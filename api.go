@@ -1,0 +1,194 @@
+package graphreorder
+
+import (
+	"io"
+
+	"graphreorder/internal/apps"
+	"graphreorder/internal/cachesim"
+	"graphreorder/internal/gen"
+	"graphreorder/internal/graph"
+	"graphreorder/internal/ligra"
+	"graphreorder/internal/reorder"
+	"graphreorder/internal/stats"
+	"graphreorder/internal/trace"
+)
+
+// Core graph types, re-exported from the graph substrate.
+type (
+	// Graph is an immutable directed multigraph in dual-CSR form.
+	Graph = graph.Graph
+	// Edge is a directed, optionally weighted edge.
+	Edge = graph.Edge
+	// VertexID identifies a vertex; IDs are dense in [0, NumVertices).
+	VertexID = graph.VertexID
+	// DegreeKind selects in-, out- or total degree.
+	DegreeKind = graph.DegreeKind
+)
+
+// Degree kinds. The paper reorders by out-degree for pull-dominated
+// applications and in-degree for push-dominated ones (Table VIII).
+const (
+	InDegree  = graph.InDegree
+	OutDegree = graph.OutDegree
+)
+
+// Reordering types.
+type (
+	// Technique computes a vertex permutation for a graph.
+	Technique = reorder.Technique
+	// Permutation maps original vertex IDs to new IDs.
+	Permutation = reorder.Permutation
+	// ReorderResult bundles the relabeled graph, the permutation and the
+	// measured reordering/rebuild times.
+	ReorderResult = reorder.Result
+)
+
+// BuildGraph converts an edge list into a Graph (neighbor lists sorted,
+// weights kept if any edge carries one).
+func BuildGraph(edges []Edge) (*Graph, error) { return graph.Build(edges) }
+
+// ReadEdgeList parses a text edge list ("src dst [weight]" lines, '#'/'%'
+// comments) from r.
+func ReadEdgeList(r io.Reader) ([]Edge, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList writes g as a text edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadGraphBinary loads a graph written by WriteGraphBinary.
+func ReadGraphBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteGraphBinary writes g in the compact binary format.
+func WriteGraphBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// GenerateDataset synthesizes one of the paper's datasets (kr, pl, tw,
+// sd, lj, wl, fr, mp, uni, road) at a named scale (tiny, small, medium,
+// large). See internal/gen for what each stands in for.
+func GenerateDataset(name, scale string) (*Graph, error) {
+	s, err := gen.ParseScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := gen.Dataset(name, s)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Generate(cfg)
+}
+
+// DatasetNames returns all built-in dataset names.
+func DatasetNames() []string { return gen.AllNames() }
+
+// DBG returns Degree-Based Grouping with the paper's 8-group
+// configuration — the library's headline technique.
+func DBG() Technique { return reorder.NewDBG() }
+
+// DBGWithGroups returns DBG with k geometric degree groups (k >= 2);
+// larger k packs hot vertices tighter at the cost of more structure
+// disruption.
+func DBGWithGroups(k int) (Technique, error) { return reorder.NewDBGGeometric(k, 0.5) }
+
+// Sort returns full descending-degree sorting.
+func Sort() Technique { return reorder.SortTechnique{} }
+
+// HubSort returns Hub Sorting (Zhang et al.): hot vertices sorted, cold
+// order preserved.
+func HubSort() Technique { return reorder.HubSort{} }
+
+// HubCluster returns Hub Clustering (Balaji & Lucia): hot vertices
+// segregated but unsorted.
+func HubCluster() Technique { return reorder.HubCluster{} }
+
+// Gorder returns the structure-aware Gorder baseline (Wei et al.) —
+// highest quality, prohibitive reordering cost.
+func Gorder() Technique { return reorder.Gorder{} }
+
+// TechniqueByName resolves a technique name (dbg, sort, hubsort,
+// hubcluster, hubsort-o, hubcluster-o, gorder, gorder+dbg, rv, rcb-<n>,
+// dbg<k>, original).
+func TechniqueByName(name string) (Technique, error) { return reorder.ByName(name) }
+
+// Reorder applies a technique: it computes the permutation using degrees
+// of the given kind and relabels the graph, timing both phases.
+func Reorder(g *Graph, t Technique, kind DegreeKind) (ReorderResult, error) {
+	return reorder.Apply(g, t, kind)
+}
+
+// PageRank runs pull-based PageRank (damping 0.85) until convergence or
+// maxIters (0 = default); returns ranks and iterations executed.
+func PageRank(g *Graph, maxIters int) ([]float64, int) {
+	ranks, iters, _ := apps.PageRank(g, maxIters, nil)
+	return ranks, iters
+}
+
+// PageRankDelta runs push-based incremental PageRank; returns ranks and
+// iterations executed.
+func PageRankDelta(g *Graph, maxIters int) ([]float64, int) {
+	ranks, iters, _ := apps.PageRankDelta(g, maxIters, nil)
+	return ranks, iters
+}
+
+// InfDistance marks unreachable vertices in ShortestPaths results.
+const InfDistance = apps.InfDistance
+
+// ShortestPaths runs frontier-based Bellman-Ford from root on a weighted
+// graph.
+func ShortestPaths(g *Graph, root VertexID) ([]int64, error) {
+	dist, _, _, err := apps.SSSP(g, root, nil)
+	return dist, err
+}
+
+// Betweenness computes single-source betweenness-centrality dependency
+// scores from root (Brandes' algorithm).
+func Betweenness(g *Graph, root VertexID) []float64 {
+	dep, _, _ := apps.BC(g, root, nil)
+	return dep
+}
+
+// Radii estimates per-vertex eccentricity with up to 64 simultaneous
+// BFS sources; -1 marks vertices none of the samples reached.
+func Radii(g *Graph, samples []VertexID) []int32 {
+	radii, _, _ := apps.Radii(g, samples, nil)
+	return radii
+}
+
+// SkewStats describes a dataset's degree skew (the paper's Table I).
+type SkewStats struct {
+	// HotVertexFrac is the fraction of vertices with degree >= average.
+	HotVertexFrac float64
+	// EdgeCoverage is the fraction of edges incident on hot vertices.
+	EdgeCoverage float64
+	// HotPerCacheBlock is the mean number of hot vertices per 64 B block
+	// (8 B properties), counting blocks holding at least one (Table II).
+	HotPerCacheBlock float64
+}
+
+// Skew computes degree-skew statistics for g under the given degree kind.
+func Skew(g *Graph, kind DegreeKind) SkewStats {
+	s := stats.ComputeSkew(g, kind)
+	return SkewStats{
+		HotVertexFrac:    s.HotFrac,
+		EdgeCoverage:     s.EdgeCoverage,
+		HotPerCacheBlock: stats.HotPerBlock(g, kind, stats.DefaultPropertyBytes),
+	}
+}
+
+// CacheStats is the outcome of a trace-driven cache simulation.
+type CacheStats = cachesim.Stats
+
+// SimulatePageRankCache replays a PageRank execution on g through the
+// simulated dual-socket cache hierarchy sized for the given dataset scale
+// and returns miss statistics (use CacheStats.MPKI and L2MissBreakdown).
+func SimulatePageRankCache(g *Graph, scale string, iters int) (CacheStats, error) {
+	s, err := gen.ParseScale(scale)
+	if err != nil {
+		return CacheStats{}, err
+	}
+	spec, err := apps.ByName("PR")
+	if err != nil {
+		return CacheStats{}, err
+	}
+	return trace.Simulate(spec, g, nil, trace.MachineFor(s), iters)
+}
+
+// compile-time check that the facade stays wired to real implementations.
+var _ ligra.Tracer = (*trace.Tracer)(nil)

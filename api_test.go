@@ -1,0 +1,205 @@
+package graphreorder
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBuildGraphAndRoundTrip(t *testing.T) {
+	edges := []Edge{{Src: 0, Dst: 1, Weight: 2}, {Src: 1, Dst: 2, Weight: 3}, {Src: 2, Dst: 0, Weight: 4}}
+	g, err := BuildGraph(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 || !g.Weighted() {
+		t.Fatalf("bad graph: %d/%d weighted=%v", g.NumVertices(), g.NumEdges(), g.Weighted())
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("round trip lost edges: %d", len(back))
+	}
+	buf.Reset()
+	if err := WriteGraphBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraphBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Error("binary round trip lost edges")
+	}
+}
+
+func TestGenerateDatasetAndNames(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 10 {
+		t.Fatalf("want 10 datasets, got %d: %v", len(names), names)
+	}
+	g, err := GenerateDataset("lj", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if _, err := GenerateDataset("lj", "galactic"); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if _, err := GenerateDataset("nope", "tiny"); err == nil {
+		t.Error("bad dataset accepted")
+	}
+}
+
+func TestTechniqueConstructorsAndReorder(t *testing.T) {
+	g, err := GenerateDataset("sd", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	techs := []Technique{DBG(), Sort(), HubSort(), HubCluster(), Gorder()}
+	k4, err := DBGWithGroups(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	techs = append(techs, k4)
+	for _, tech := range techs {
+		res, err := Reorder(g, tech, OutDegree)
+		if err != nil {
+			t.Fatalf("%s: %v", tech.Name(), err)
+		}
+		if err := res.Perm.Validate(); err != nil {
+			t.Fatalf("%s: %v", tech.Name(), err)
+		}
+		if res.Graph.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: edges changed", tech.Name())
+		}
+	}
+	if _, err := DBGWithGroups(1); err == nil {
+		t.Error("DBGWithGroups(1) accepted")
+	}
+	if _, err := TechniqueByName("rcb-2"); err != nil {
+		t.Errorf("rcb-2: %v", err)
+	}
+	if _, err := TechniqueByName("nope"); err == nil {
+		t.Error("unknown technique accepted")
+	}
+}
+
+func TestApplicationsViaFacade(t *testing.T) {
+	g, err := GenerateDataset("wl", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, iters := PageRank(g, 10)
+	if iters == 0 || len(ranks) != g.NumVertices() {
+		t.Fatal("PageRank did nothing")
+	}
+	prd, _ := PageRankDelta(g, 10)
+	var d float64
+	for i := range ranks {
+		d += math.Abs(ranks[i] - prd[i])
+	}
+	if d > 0.1 {
+		t.Errorf("PR and PRD diverge: L1=%v", d)
+	}
+
+	var root VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.OutDegree(VertexID(v)) > g.OutDegree(root) {
+			root = VertexID(v)
+		}
+	}
+	dist, err := ShortestPaths(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[root] != 0 {
+		t.Error("root distance nonzero")
+	}
+	reached := 0
+	for _, dd := range dist {
+		if dd != InfDistance {
+			reached++
+		}
+	}
+	if reached < 2 {
+		t.Error("SSSP reached nothing")
+	}
+
+	dep := Betweenness(g, root)
+	if len(dep) != g.NumVertices() {
+		t.Error("BC length wrong")
+	}
+	radii := Radii(g, []VertexID{root})
+	if radii[root] != 0 {
+		t.Errorf("radii[root] = %d, want 0", radii[root])
+	}
+}
+
+func TestSkewFacade(t *testing.T) {
+	g, err := GenerateDataset("sd", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Skew(g, OutDegree)
+	if s.HotVertexFrac <= 0 || s.HotVertexFrac > 0.5 {
+		t.Errorf("hot fraction %v implausible", s.HotVertexFrac)
+	}
+	if s.EdgeCoverage < 0.5 {
+		t.Errorf("coverage %v implausible for a skewed dataset", s.EdgeCoverage)
+	}
+	if s.HotPerCacheBlock < 1 || s.HotPerCacheBlock > 8 {
+		t.Errorf("hot/block %v out of [1,8]", s.HotPerCacheBlock)
+	}
+}
+
+func TestSimulatePageRankCacheFacade(t *testing.T) {
+	g, err := GenerateDataset("sd", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := SimulatePageRankCache(g, "tiny", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses == 0 || st.MPKI(1) <= 0 {
+		t.Error("simulation recorded nothing")
+	}
+	if _, err := SimulatePageRankCache(g, "bogus", 2); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+// TestEndToEndReorderingImprovesSimulatedLocality is the facade-level
+// integration check of the library's whole point: DBG must reduce
+// simulated L3 MPKI for PageRank on a skewed unstructured dataset.
+func TestEndToEndReorderingImprovesSimulatedLocality(t *testing.T) {
+	g, err := GenerateDataset("sd", "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := SimulatePageRankCache(g, "small", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reorder(g, DBG(), OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbg, err := SimulatePageRankCache(res.Graph, "small", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbg.MPKI(3) >= base.MPKI(3) {
+		t.Errorf("DBG did not reduce simulated L3 MPKI: %.2f -> %.2f", base.MPKI(3), dbg.MPKI(3))
+	}
+}

@@ -1,0 +1,107 @@
+// Command reorder applies a reordering technique to a graph file and
+// writes the relabeled graph.
+//
+// Usage:
+//
+//	reorder -technique dbg -degree out -i graph.txt -o graph.dbg.txt
+//
+// Input format is detected from content (binary magic) and output format
+// follows the input. Reordering and CSR-rebuild times are reported on
+// stderr, matching the cost accounting of the paper's Fig. 10.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	graphreorder "graphreorder"
+)
+
+func main() {
+	var (
+		techName = flag.String("technique", "dbg", "dbg|sort|hubsort|hubcluster|hubsort-o|hubcluster-o|gorder|gorder+dbg|rv|rcb-<n>|dbg<k>")
+		degree   = flag.String("degree", "out", "degree used for binning: in|out")
+		in       = flag.String("i", "", "input graph (text edge list or binary; default stdin)")
+		out      = flag.String("o", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	tech, err := graphreorder.TechniqueByName(*techName)
+	if err != nil {
+		fatal(err)
+	}
+	var kind graphreorder.DegreeKind
+	switch *degree {
+	case "in":
+		kind = graphreorder.InDegree
+	case "out":
+		kind = graphreorder.OutDegree
+	default:
+		fatal(fmt.Errorf("bad -degree %q (want in|out)", *degree))
+	}
+
+	var rd io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rd = f
+	}
+	g, binary, err := readGraph(rd)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := graphreorder.Reorder(g, tech, kind)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "reorder: %s on %d vertices / %d edges: permute %v, rebuild %v\n",
+		tech.Name(), g.NumVertices(), g.NumEdges(), res.ReorderTime, res.RebuildTime)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if binary {
+		err = graphreorder.WriteGraphBinary(w, res.Graph)
+	} else {
+		err = graphreorder.WriteEdgeList(w, res.Graph)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// readGraph sniffs the input format: the binary header starts with the
+// magic 'GRPR' little-endian; anything else parses as a text edge list.
+func readGraph(r io.Reader) (*graphreorder.Graph, bool, error) {
+	br := bufio.NewReader(r)
+	head, _ := br.Peek(4)
+	if bytes.Equal(head, []byte{0x52, 0x50, 0x52, 0x47}) { // "GRPR" LE
+		g, err := graphreorder.ReadGraphBinary(br)
+		return g, true, err
+	}
+	edges, err := graphreorder.ReadEdgeList(br)
+	if err != nil {
+		return nil, false, err
+	}
+	g, err := graphreorder.BuildGraph(edges)
+	return g, false, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reorder:", err)
+	os.Exit(1)
+}

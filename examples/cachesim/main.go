@@ -1,0 +1,52 @@
+// Cachesim: inspect *why* a reordering helps, using the trace-driven
+// cache simulator instead of wall-clock time.
+//
+// The simulator replays the exact memory-access stream of a PageRank run
+// on a modeled dual-socket machine and reports MPKI per cache level — the
+// methodology behind the paper's Fig. 8. This is how you can evaluate a
+// reordering decision deterministically, without a quiet benchmarking
+// host.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	graphreorder "graphreorder"
+)
+
+func main() {
+	const scale = "small"
+	g, err := graphreorder.GenerateDataset("sd", scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset sd/%s: %d vertices, %d edges\n", scale, g.NumVertices(), g.NumEdges())
+	fmt.Printf("%-12s %8s %8s %8s %9s\n", "ordering", "L1 MPKI", "L2 MPKI", "L3 MPKI", "off-chip%")
+
+	report := func(label string, g *graphreorder.Graph) {
+		st, err := graphreorder.SimulatePageRankCache(g, scale, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, _, _, off := st.L2MissBreakdown()
+		fmt.Printf("%-12s %8.1f %8.1f %8.1f %8.1f%%\n",
+			label, st.MPKI(1), st.MPKI(2), st.MPKI(3), off*100)
+	}
+
+	report("original", g)
+	for _, name := range []string{"dbg", "hubcluster", "sort", "rv"} {
+		tech, err := graphreorder.TechniqueByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := graphreorder.Reorder(g, tech, graphreorder.OutDegree)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(tech.Name(), res.Graph)
+	}
+	fmt.Println("\nExpected shape (paper Fig. 8): skew-aware techniques cut L3 MPKI on this")
+	fmt.Println("unstructured dataset; RV lifts misses everywhere. On structured datasets")
+	fmt.Println("(try \"fr\" or \"mp\") Sort additionally inflates L1/L2 MPKI — DBG does not.")
+}

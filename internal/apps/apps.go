@@ -1,0 +1,96 @@
+// Package apps implements the paper's five benchmark applications
+// (Table VII) on top of the Ligra-style framework: PageRank (PR),
+// PageRank-Delta (PRD), single-source shortest paths (SSSP), betweenness
+// centrality (BC) and Radii estimation.
+//
+// Computation direction and the degree kind used for reordering follow
+// Table VIII: BC and Radii are pull-push with out-degree reordering, PR is
+// pull-only with out-degree, SSSP and PRD are push-only with in-degree.
+package apps
+
+import (
+	"fmt"
+
+	"graphreorder/internal/graph"
+	"graphreorder/internal/ligra"
+)
+
+// Input carries everything an application run needs. Roots are original
+// graph positions mapped by the harness through the active permutation, so
+// every ordering computes the same logical problem.
+type Input struct {
+	Graph *graph.Graph
+	// Roots seeds root-dependent applications (SSSP, BC) and supplies the
+	// sample set for Radii. Ignored by PR and PRD.
+	Roots []graph.VertexID
+	// MaxIters bounds iterative applications; 0 means the per-app default.
+	MaxIters int
+	// Tracer, when non-nil, observes every edge examination (wired into
+	// EdgeMap) so the cache simulator can replay the access stream.
+	Tracer ligra.Tracer
+}
+
+// Output summarizes a run for validation and reporting.
+type Output struct {
+	// Iterations is the number of EdgeMap rounds executed.
+	Iterations int
+	// EdgesTraversed counts edge examinations across all rounds.
+	EdgesTraversed uint64
+	// Checksum is an ordering-invariant digest of the result (e.g. the sum
+	// of all vertex values), used to confirm that reordered executions
+	// compute the same answer.
+	Checksum float64
+}
+
+// Spec describes one benchmark application to the harness.
+type Spec struct {
+	// Name is the paper's abbreviation: BC, SSSP, PR, PRD, Radii.
+	Name string
+	// ReorderDegree is the degree kind used when reordering for this
+	// application (Table VIII).
+	ReorderDegree graph.DegreeKind
+	// NumRoots is how many root vertices a single run consumes (0 for
+	// rootless applications; Radii consumes a sample of 64).
+	NumRoots int
+	// PushDominated marks the two applications whose irregular accesses
+	// are writes (SSSP, PRD); Fig. 9 studies exactly these.
+	PushDominated bool
+	// Run executes the application.
+	Run func(Input) (Output, error)
+}
+
+// All returns the five applications in the paper's presentation order.
+func All() []Spec {
+	return []Spec{
+		{Name: "BC", ReorderDegree: graph.OutDegree, NumRoots: 1, Run: runBC},
+		{Name: "SSSP", ReorderDegree: graph.InDegree, NumRoots: 1, PushDominated: true, Run: runSSSP},
+		{Name: "PR", ReorderDegree: graph.OutDegree, Run: runPR},
+		{Name: "PRD", ReorderDegree: graph.InDegree, PushDominated: true, Run: runPRD},
+		{Name: "Radii", ReorderDegree: graph.OutDegree, NumRoots: radiiSamples, Run: runRadii},
+	}
+}
+
+// ByName returns the Spec with the given (case-sensitive) paper name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("apps: unknown application %q (want BC|SSSP|PR|PRD|Radii)", name)
+}
+
+func checkInput(in Input, needRoots int) error {
+	if in.Graph == nil {
+		return fmt.Errorf("apps: nil graph")
+	}
+	if len(in.Roots) < needRoots {
+		return fmt.Errorf("apps: need %d roots, got %d", needRoots, len(in.Roots))
+	}
+	for _, r := range in.Roots[:needRoots] {
+		if int(r) >= in.Graph.NumVertices() {
+			return fmt.Errorf("apps: root %d out of range [0,%d)", r, in.Graph.NumVertices())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package apps
+
+import (
+	"graphreorder/internal/graph"
+	"graphreorder/internal/ligra"
+)
+
+// BC computes betweenness-centrality dependency scores from a single root
+// using Brandes' algorithm in the Ligra formulation (Table VII): a forward
+// BFS with pull-push direction switching accumulates shortest-path counts
+// per level, then a backward sweep over the BFS DAG accumulates
+// dependencies. Returns the dependency scores, the number of BFS rounds,
+// and edges examined.
+func BC(g *graph.Graph, root graph.VertexID, tracer ligra.Tracer) ([]float64, int, uint64) {
+	n := g.NumVertices()
+	numPaths := make([]float64, n)
+	level := make([]int32, n)
+	for v := range level {
+		level[v] = -1
+	}
+	numPaths[root] = 1
+	level[root] = 0
+
+	wt := ligra.WriteTracer(tracer)
+	frontier := ligra.NewVertexSet(n, root)
+	levels := []*ligra.VertexSet{frontier}
+	var edges uint64
+	depth := int32(0)
+	for !frontier.Empty() {
+		depth++
+		d := depth
+		next := ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{
+			// Push: first touch claims the vertex for this level; later
+			// touches from the same level add path counts.
+			Update: func(src, dst graph.VertexID) bool {
+				if level[dst] == -1 {
+					level[dst] = d
+					numPaths[dst] = numPaths[src]
+					if wt != nil {
+						wt.PropertyWritten(dst)
+					}
+					return true
+				}
+				if level[dst] == d {
+					numPaths[dst] += numPaths[src]
+					if wt != nil {
+						wt.PropertyWritten(dst)
+					}
+				}
+				return false
+			},
+			// Pull: accumulate from all frontier in-neighbors; activation
+			// happens on the first accumulation.
+			UpdatePull: func(src, dst graph.VertexID) bool {
+				first := level[dst] == -1
+				if first {
+					level[dst] = d
+				}
+				if level[dst] == d {
+					numPaths[dst] += numPaths[src]
+				}
+				return first || level[dst] == d
+			},
+			Cond: func(dst graph.VertexID) bool { return level[dst] == -1 || level[dst] == d },
+		}, ligra.EdgeMapOpts{Trace: tracer})
+		for _, u := range frontier.Members() {
+			edges += uint64(g.OutDegree(u))
+		}
+		frontier = next
+		if !frontier.Empty() {
+			levels = append(levels, frontier)
+		}
+	}
+
+	// Backward sweep: process levels deepest-first, accumulating
+	// dependency = sum over successors of numPaths(u)/numPaths(v)*(1+dep(v)).
+	dep := make([]float64, n)
+	for li := len(levels) - 2; li >= 0; li-- {
+		for _, u := range levels[li].Members() {
+			var acc float64
+			for _, v := range g.OutNeighbors(u) {
+				if level[v] == level[u]+1 && numPaths[v] > 0 {
+					acc += numPaths[u] / numPaths[v] * (1 + dep[v])
+				}
+			}
+			edges += uint64(g.OutDegree(u))
+			dep[u] += acc
+		}
+	}
+	// Brandes' dependency delta_s(v) is defined for v != s only.
+	dep[root] = 0
+	return dep, int(depth), edges
+}
+
+func runBC(in Input) (Output, error) {
+	if err := checkInput(in, 1); err != nil {
+		return Output{}, err
+	}
+	dep, rounds, edges := BC(in.Graph, in.Roots[0], in.Tracer)
+	var sum float64
+	for _, d := range dep {
+		sum += d
+	}
+	return Output{Iterations: rounds, EdgesTraversed: edges, Checksum: sum}, nil
+}

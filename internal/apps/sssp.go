@@ -1,0 +1,75 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"graphreorder/internal/graph"
+	"graphreorder/internal/ligra"
+)
+
+// InfDistance marks unreachable vertices in SSSP results.
+const InfDistance = math.MaxInt64
+
+// SSSP computes single-source shortest paths with frontier-based
+// Bellman-Ford over out-edges (push-only, Table VIII), as in Ligra's
+// BellmanFord. Weights must be present and non-negative. Returns the
+// distance vector, rounds executed and edges examined.
+//
+// The irregular Property Array accesses are reads of dist[dst] followed by
+// *conditional* writes — SSSP pushes an update only when it found a
+// shorter path, which is why it generates far less write sharing than PRD
+// (§VI-C of the paper).
+func SSSP(g *graph.Graph, root graph.VertexID, tracer ligra.Tracer) ([]int64, int, uint64, error) {
+	if !g.Weighted() {
+		return nil, 0, 0, fmt.Errorf("apps: SSSP requires a weighted graph")
+	}
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for v := range dist {
+		dist[v] = InfDistance
+	}
+	dist[root] = 0
+	wt := ligra.WriteTracer(tracer)
+	frontier := ligra.NewVertexSet(n, root)
+	var edges uint64
+	rounds := 0
+	for ; !frontier.Empty() && rounds <= n; rounds++ {
+		for _, u := range frontier.Members() {
+			edges += uint64(g.OutDegree(u))
+		}
+		frontier = ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{
+			UpdateWeighted: func(src, dst graph.VertexID, w uint32) bool {
+				nd := dist[src] + int64(w)
+				if nd < dist[dst] {
+					dist[dst] = nd
+					if wt != nil {
+						wt.PropertyWritten(dst)
+					}
+					return true
+				}
+				return false
+			},
+		}, ligra.EdgeMapOpts{Dir: ligra.Push, Trace: tracer})
+	}
+	return dist, rounds, edges, nil
+}
+
+func runSSSP(in Input) (Output, error) {
+	if err := checkInput(in, 1); err != nil {
+		return Output{}, err
+	}
+	dist, rounds, edges, err := SSSP(in.Graph, in.Roots[0], in.Tracer)
+	if err != nil {
+		return Output{}, err
+	}
+	var sum float64
+	reached := 0
+	for _, d := range dist {
+		if d != InfDistance {
+			sum += float64(d)
+			reached++
+		}
+	}
+	return Output{Iterations: rounds, EdgesTraversed: edges, Checksum: sum + float64(reached)}, nil
+}

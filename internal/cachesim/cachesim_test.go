@@ -1,0 +1,242 @@
+package cachesim
+
+import (
+	"testing"
+)
+
+// tinyConfig: 1-2 cores, miniature caches for hand-computed traces.
+// L1: 2 sets x 2 ways x 64B = 256B. L2: 4 sets x 2 ways. L3: 8 sets x 2 ways.
+func tinyConfig(cores, sockets int) Config {
+	return Config{
+		Cores:     cores,
+		Sockets:   sockets,
+		LineBytes: 64,
+		L1:        CacheConfig{SizeBytes: 256, Ways: 2},
+		L2:        CacheConfig{SizeBytes: 512, Ways: 2},
+		L3:        CacheConfig{SizeBytes: 1024, Ways: 2},
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Hierarchy {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Cores: 0, Sockets: 1, L1: CacheConfig{64, 1}, L2: CacheConfig{64, 1}, L3: CacheConfig{64, 1}},
+		{Cores: 3, Sockets: 2, L1: CacheConfig{64, 1}, L2: CacheConfig{64, 1}, L3: CacheConfig{64, 1}},
+		{Cores: 2, Sockets: 1, L1: CacheConfig{0, 1}, L2: CacheConfig{64, 1}, L3: CacheConfig{64, 1}},
+		{Cores: 32, Sockets: 2, L1: CacheConfig{64, 1}, L2: CacheConfig{64, 1}, L3: CacheConfig{64, 1}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(DefaultConfig(256 << 10)); err != nil {
+		t.Errorf("DefaultConfig rejected: %v", err)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := mustNew(t, tinyConfig(1, 1))
+	if lv := h.Access(0, 0x1000, false); lv != OffChip {
+		t.Errorf("first access served at %v, want OffChip", lv)
+	}
+	if lv := h.Access(0, 0x1000, false); lv != L1Hit {
+		t.Errorf("second access served at %v, want L1Hit", lv)
+	}
+	// Same line, different byte.
+	if lv := h.Access(0, 0x1030, false); lv != L1Hit {
+		t.Errorf("same-line access served at %v, want L1Hit", lv)
+	}
+	st := h.Stats()
+	if st.Accesses != 3 || st.L1Misses != 1 || st.L2Misses != 1 || st.L3Misses != 1 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h := mustNew(t, tinyConfig(1, 1))
+	// L1 has 2 sets; lines map to set (lineAddr & 1). Three lines in set 0:
+	// 0x0000, 0x0080, 0x0100 (lineAddrs 0, 2, 4 — all even -> set 0).
+	h.Access(0, 0x0000, false)
+	h.Access(0, 0x0080, false)
+	h.Access(0, 0x0100, false) // evicts LRU 0x0000 from L1 (2 ways)
+	// 0x0080 was MRU before 0x0100, so it survived the eviction.
+	if lv := h.Access(0, 0x0080, false); lv != L1Hit {
+		t.Errorf("recently-used line was evicted (served %v)", lv)
+	}
+	if lv := h.Access(0, 0x0000, false); lv == L1Hit {
+		t.Error("evicted line still hit in L1")
+	}
+}
+
+func TestL2CatchesL1Eviction(t *testing.T) {
+	h := mustNew(t, tinyConfig(1, 1))
+	h.Access(0, 0x0000, false)
+	h.Access(0, 0x0080, false)
+	h.Access(0, 0x0100, false) // 0x0000 falls out of L1 but stays in L2
+	if lv := h.Access(0, 0x0000, false); lv != L2Hit {
+		t.Errorf("served %v, want L2Hit", lv)
+	}
+}
+
+func TestSharedL3AcrossCoresSameSocket(t *testing.T) {
+	h := mustNew(t, tinyConfig(2, 1))
+	h.Access(0, 0x2000, false) // core 0 pulls the line on-chip
+	if lv := h.Access(1, 0x2000, false); lv != L3Hit {
+		t.Errorf("core 1 served at %v, want L3Hit (shared L3, clean line)", lv)
+	}
+}
+
+func TestDirtySnoopSameSocket(t *testing.T) {
+	h := mustNew(t, tinyConfig(2, 1))
+	h.Access(0, 0x3000, true) // core 0 writes: dirty in core 0's L1
+	if lv := h.Access(1, 0x3000, false); lv != SnoopLocal {
+		t.Errorf("core 1 served at %v, want SnoopLocal (dirty in peer)", lv)
+	}
+}
+
+func TestDirtySnoopRemoteSocket(t *testing.T) {
+	h := mustNew(t, tinyConfig(2, 2)) // cores 0,1 on different sockets
+	h.Access(0, 0x4000, true)
+	if lv := h.Access(1, 0x4000, false); lv != SnoopRemote {
+		t.Errorf("served at %v, want SnoopRemote", lv)
+	}
+}
+
+func TestWriteInvalidatesOtherCopies(t *testing.T) {
+	h := mustNew(t, tinyConfig(2, 1))
+	h.Access(0, 0x5000, false)
+	h.Access(1, 0x5000, false) // both cores now hold the line
+	h.Access(1, 0x5000, true)  // core 1 writes: core 0's copy is stale
+	if lv := h.Access(0, 0x5000, false); lv == L1Hit || lv == L2Hit {
+		t.Errorf("stale copy served from private cache (%v)", lv)
+	}
+}
+
+func TestCleanRemoteL3Snoop(t *testing.T) {
+	h := mustNew(t, tinyConfig(2, 2))
+	h.Access(0, 0x6000, false) // clean line in socket 0's L3
+	if lv := h.Access(1, 0x6000, false); lv != SnoopRemote {
+		t.Errorf("served at %v, want SnoopRemote (line in remote L3)", lv)
+	}
+	// After the fill, core 1's socket L3 has it too.
+	h.Access(1, 0x6040, false) // different line, don't disturb
+	if lv := h.Access(1, 0x6000, false); lv != L1Hit {
+		t.Errorf("second access served at %v, want L1Hit", lv)
+	}
+}
+
+func TestDirtyWritebackClearsSnoopNeed(t *testing.T) {
+	// Write a line on core 0, then stream enough lines through core 0's
+	// private caches to evict it (writing it back). A later read from core
+	// 1 must then be served by L3, not a snoop.
+	h := mustNew(t, tinyConfig(2, 1))
+	h.Access(0, 0x0000, true)
+	// Evict from both L1 (2 ways/set) and L2 (2 ways/set): push 4+ lines
+	// into the same sets. Set count: L1 2 sets, L2 4 sets. Lines 0x0200,
+	// 0x0400, ... map set 0 in both.
+	for i := 1; i <= 6; i++ {
+		h.Access(0, uint64(i)*0x0200, false)
+	}
+	lv := h.Access(1, 0x0000, false)
+	if lv == SnoopLocal || lv == SnoopRemote {
+		t.Errorf("written-back line still snooped (%v)", lv)
+	}
+}
+
+func TestMPKIAccounting(t *testing.T) {
+	h := mustNew(t, tinyConfig(1, 1))
+	h.Access(0, 0x0000, false) // all-level miss
+	h.Access(0, 0x0000, false) // L1 hit
+	h.AddInstructions(1000)
+	st := h.Stats()
+	if got := st.MPKI(1); got != 1.0 {
+		t.Errorf("L1 MPKI = %v, want 1.0", got)
+	}
+	if got := st.MPKI(3); got != 1.0 {
+		t.Errorf("L3 MPKI = %v, want 1.0", got)
+	}
+	if got := st.MPKI(9); got != 0 {
+		t.Errorf("bogus level MPKI = %v, want 0", got)
+	}
+	var empty Stats
+	if empty.MPKI(1) != 0 {
+		t.Error("zero-instruction MPKI should be 0")
+	}
+}
+
+func TestL2MissBreakdownSumsToOne(t *testing.T) {
+	h := mustNew(t, tinyConfig(4, 2))
+	// Generate a mixed workload.
+	for i := 0; i < 200; i++ {
+		core := i % 4
+		addr := uint64((i * 7919) % 64 * 64)
+		h.Access(core, addr, i%3 == 0)
+	}
+	st := h.Stats()
+	a, b, c, d := st.L2MissBreakdown()
+	sum := a + b + c + d
+	if st.L2Misses > 0 && (sum < 0.999 || sum > 1.001) {
+		t.Errorf("breakdown sums to %v", sum)
+	}
+	var empty Stats
+	if a, b, c, d := empty.L2MissBreakdown(); a+b+c+d != 0 {
+		t.Error("empty breakdown should be zeros")
+	}
+}
+
+func TestAccessPanicsOnBadCore(t *testing.T) {
+	h := mustNew(t, tinyConfig(1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad core")
+		}
+	}()
+	h.Access(5, 0, false)
+}
+
+func TestWorkingSetFitsMeansNoSteadyStateMisses(t *testing.T) {
+	// A working set smaller than L1 must produce only cold misses.
+	h := mustNew(t, tinyConfig(1, 1))
+	for pass := 0; pass < 10; pass++ {
+		for lineIdx := 0; lineIdx < 4; lineIdx++ {
+			// 4 lines: 2 sets x 2 ways fills L1 exactly.
+			h.Access(0, uint64(lineIdx)*64, false)
+		}
+	}
+	st := h.Stats()
+	if st.L1Misses != 4 {
+		t.Errorf("L1 misses = %d, want 4 (cold only)", st.L1Misses)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[Level]string{
+		L1Hit: "L1", L2Hit: "L2", L3Hit: "L3",
+		SnoopLocal: "snoop-local", SnoopRemote: "snoop-remote", OffChip: "off-chip",
+	}
+	for lv, want := range names {
+		if lv.String() != want {
+			t.Errorf("%d.String() = %q, want %q", lv, lv.String(), want)
+		}
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	h, err := New(DefaultConfig(256 << 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(i%8, uint64(i*64%(1<<22)), i%5 == 0)
+	}
+}

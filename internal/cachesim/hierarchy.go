@@ -1,0 +1,258 @@
+package cachesim
+
+import "fmt"
+
+// dirEntry is the directory's view of one cache line.
+type dirEntry struct {
+	// holders is a bitmask of cores whose private caches may hold the
+	// line at the current version.
+	holders uint16
+	// version increments on every write, invalidating other copies.
+	version uint32
+	// lastWriter is the core that produced the current version.
+	lastWriter int8
+	// dirty marks that the current version has not been written back.
+	dirty bool
+}
+
+// Stats aggregates simulation counters.
+type Stats struct {
+	// Instructions is the modeled instruction count (from the tracer).
+	Instructions uint64
+	// Accesses is the number of memory accesses simulated.
+	Accesses uint64
+	// L1Misses, L2Misses, L3Misses count misses at each level; an access
+	// that snoops or goes off-chip counts as a miss at all three.
+	L1Misses, L2Misses, L3Misses uint64
+	// Served breaks down where accesses were satisfied (Fig. 9's four
+	// categories are Served[L3Hit], Served[SnoopLocal], Served[SnoopRemote]
+	// and Served[OffChip], normalized to L2Misses).
+	Served [OffChip + 1]uint64
+}
+
+// MPKI returns misses-per-kilo-instruction at the given miss level
+// (1 = L1, 2 = L2, 3 = L3), the Fig. 8 metric.
+func (s Stats) MPKI(level int) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	var m uint64
+	switch level {
+	case 1:
+		m = s.L1Misses
+	case 2:
+		m = s.L2Misses
+	case 3:
+		m = s.L3Misses
+	default:
+		return 0
+	}
+	return float64(m) / float64(s.Instructions) * 1000
+}
+
+// L2MissBreakdown returns the Fig. 9 fractions: of all L2 misses, the
+// shares served by L3 without snooping, by same-socket snoops, by
+// remote-socket snoops, and off-chip. Returns zeros when there were no L2
+// misses.
+func (s Stats) L2MissBreakdown() (l3Hit, snoopLocal, snoopRemote, offChip float64) {
+	total := float64(s.Served[L3Hit] + s.Served[SnoopLocal] + s.Served[SnoopRemote] + s.Served[OffChip])
+	if total == 0 {
+		return 0, 0, 0, 0
+	}
+	return float64(s.Served[L3Hit]) / total,
+		float64(s.Served[SnoopLocal]) / total,
+		float64(s.Served[SnoopRemote]) / total,
+		float64(s.Served[OffChip]) / total
+}
+
+// Hierarchy simulates the configured machine.
+type Hierarchy struct {
+	cfg       Config
+	lineShift uint
+	l1, l2    []*cache // per core
+	l3        []*cache // per socket
+	dir       map[uint64]*dirEntry
+	stats     Stats
+}
+
+// New builds a Hierarchy; the config is validated and normalized.
+func New(cfg Config) (*Hierarchy, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cores > 16 {
+		return nil, fmt.Errorf("cachesim: at most 16 cores supported (directory mask), got %d", cfg.Cores)
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	h := &Hierarchy{cfg: cfg, lineShift: shift, dir: make(map[uint64]*dirEntry)}
+	for c := 0; c < cfg.Cores; c++ {
+		h.l1 = append(h.l1, newCache(cfg.L1, cfg.LineBytes))
+		h.l2 = append(h.l2, newCache(cfg.L2, cfg.LineBytes))
+	}
+	for s := 0; s < cfg.Sockets; s++ {
+		h.l3 = append(h.l3, newCache(cfg.L3, cfg.LineBytes))
+	}
+	return h, nil
+}
+
+// Cores returns the simulated core count.
+func (h *Hierarchy) Cores() int { return h.cfg.Cores }
+
+func (h *Hierarchy) socketOf(core int) int {
+	return core / (h.cfg.Cores / h.cfg.Sockets)
+}
+
+// AddInstructions credits modeled instructions to the MPKI denominator.
+func (h *Hierarchy) AddInstructions(n uint64) { h.stats.Instructions += n }
+
+// Stats returns a copy of the accumulated counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Access simulates one memory access by core to byte address addr and
+// returns where it was served.
+func (h *Hierarchy) Access(core int, addr uint64, write bool) Level {
+	if core < 0 || core >= h.cfg.Cores {
+		panic(fmt.Sprintf("cachesim: core %d out of range", core))
+	}
+	lineAddr := addr >> h.lineShift
+	h.stats.Accesses++
+
+	de := h.dir[lineAddr]
+	if de == nil {
+		de = &dirEntry{lastWriter: -1}
+		h.dir[lineAddr] = de
+	}
+	oldVer := de.version
+	newVer := oldVer
+	if write && de.holders&^(1<<uint(core)) != 0 {
+		// Other cores may hold copies: invalidate them by bumping the
+		// version. The writer's own copy is upgraded in place (MESI
+		// shared->modified upgrade), not invalidated.
+		newVer = oldVer + 1
+	}
+
+	served := h.probe(core, lineAddr, oldVer, newVer, write)
+	h.stats.Served[served]++
+	if served != L1Hit {
+		h.stats.L1Misses++
+	}
+	if served != L1Hit && served != L2Hit {
+		h.stats.L2Misses++
+	}
+	if served == OffChip || served == SnoopRemote {
+		// Remote-socket service implies a local L3 miss. (Fig. 8 counts
+		// per-socket L3 misses; an off-chip or cross-socket access missed
+		// the local L3.)
+		h.stats.L3Misses++
+	}
+
+	de.version = newVer
+	if write {
+		de.holders = 0
+		de.lastWriter = int8(core)
+		de.dirty = true
+	}
+	de.holders |= 1 << uint(core)
+
+	if served != L1Hit {
+		if served != L2Hit {
+			h.fillL2(core, lineAddr, newVer, write)
+			h.fillL3(h.socketOf(core), lineAddr, newVer, write)
+		}
+		h.fillL1(core, lineAddr, newVer, write)
+	}
+	return served
+}
+
+// probe walks the hierarchy and classifies where the access is served.
+// Existing copies are at oldVer; the writer's own hits are upgraded to
+// newVer in place.
+func (h *Hierarchy) probe(core int, lineAddr uint64, oldVer, newVer uint32, write bool) Level {
+	if h.l1[core].lookupUpgrade(lineAddr, oldVer, newVer, write) {
+		// Keep the L2 copy's version in sync so the inclusive hierarchy
+		// does not hold a stale duplicate.
+		if newVer != oldVer {
+			h.l2[core].lookupUpgrade(lineAddr, oldVer, newVer, write)
+		}
+		return L1Hit
+	}
+	if h.l2[core].lookupUpgrade(lineAddr, oldVer, newVer, write) {
+		return L2Hit
+	}
+
+	// L2 miss: consult the directory for a dirty copy in another core's
+	// private cache — that forces a snoop regardless of L3 state.
+	de := h.dir[lineAddr]
+	mySocket := h.socketOf(core)
+	if de != nil && de.dirty && de.lastWriter >= 0 && int(de.lastWriter) != core {
+		owner := int(de.lastWriter)
+		// The owner's copy must still be live in its private caches.
+		if h.l1[owner].contains(lineAddr, oldVer) || h.l2[owner].contains(lineAddr, oldVer) {
+			// The snoop forwards the data and writes it back: the owner's
+			// copy is downgraded to clean and the owner's L3 receives the
+			// current data, so subsequent readers hit in L3.
+			de.dirty = false
+			h.fillL3(h.socketOf(owner), lineAddr, oldVer, false)
+			if h.socketOf(owner) == mySocket {
+				return SnoopLocal
+			}
+			return SnoopRemote
+		}
+	}
+	// Clean (or written-back) data: local L3, then remote L3/off-chip.
+	if h.l3[mySocket].lookupUpgrade(lineAddr, oldVer, newVer, write) {
+		return L3Hit
+	}
+	for s := 0; s < h.cfg.Sockets; s++ {
+		if s == mySocket {
+			continue
+		}
+		if h.l3[s].contains(lineAddr, oldVer) {
+			return SnoopRemote
+		}
+	}
+	return OffChip
+}
+
+// fillL1 inserts a line into a core's L1. A dirty victim is written back
+// into the same core's L2 (it stays dirty on-chip and remains snoopable).
+func (h *Hierarchy) fillL1(core int, lineAddr uint64, ver uint32, write bool) {
+	evicted, ok := h.l1[core].insert(lineAddr, ver, write)
+	if !ok || !evicted.dirty {
+		return
+	}
+	// Write the victim back to this core's L2, dirtying the copy there
+	// (or allocating one if the L2 already lost it).
+	if !h.l2[core].lookup(evicted.tag, evicted.version, true) {
+		h.fillL2(core, evicted.tag, evicted.version, true)
+	}
+}
+
+// fillL2 inserts a line into a core's L2. A dirty victim is written back
+// to the socket's L3, at which point the directory stops requiring snoops
+// for it (the shared L3 copy is current).
+func (h *Hierarchy) fillL2(core int, lineAddr uint64, ver uint32, write bool) {
+	evicted, ok := h.l2[core].insert(lineAddr, ver, write)
+	if !ok || !evicted.dirty {
+		return
+	}
+	h.fillL3(h.socketOf(core), evicted.tag, evicted.version, true)
+	if de := h.dir[evicted.tag]; de != nil && de.version == evicted.version {
+		de.dirty = false
+	}
+}
+
+// fillL3 inserts a line into a socket's L3; victims spill to memory, so a
+// dirty victim clears the directory's dirty bit (memory is now current).
+func (h *Hierarchy) fillL3(socket int, lineAddr uint64, ver uint32, write bool) {
+	evicted, ok := h.l3[socket].insert(lineAddr, ver, write)
+	if !ok || !evicted.dirty {
+		return
+	}
+	if de := h.dir[evicted.tag]; de != nil && de.version == evicted.version {
+		de.dirty = false
+	}
+}

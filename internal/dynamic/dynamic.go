@@ -1,0 +1,179 @@
+// Package dynamic implements the evolving-graph deployment sketched in
+// the paper's future-work section (§VIII-B): a stream of edge updates is
+// interleaved with graph-analytic queries, and reordering is re-applied
+// only at periodic intervals so its cost is amortized over many queries.
+//
+// The package provides a batched-update graph whose snapshots are the
+// static CSR graphs the rest of the library consumes, and a Reorderer
+// that owns the periodic-reordering policy. The paper's intuition —
+// adding or removing some edges does not drastically change the degree
+// distribution, so hot-vertex classification stays valid between
+// reorderings — is exactly what the staleness policy encodes.
+package dynamic
+
+import (
+	"fmt"
+
+	"graphreorder/internal/graph"
+	"graphreorder/internal/reorder"
+)
+
+// Update is one edge mutation.
+type Update struct {
+	// Remove distinguishes deletions from insertions.
+	Remove bool
+	Edge   graph.Edge
+}
+
+// Graph is a directed multigraph under batched mutation. It is not safe
+// for concurrent use. Snapshots are cached until the next mutation.
+type Graph struct {
+	n        int
+	edges    []graph.Edge
+	weighted bool
+
+	snapshot *graph.Graph // nil when stale
+	batches  int          // mutation batches applied since creation
+}
+
+// FromGraph starts a dynamic graph from a static snapshot.
+func FromGraph(g *graph.Graph) *Graph {
+	return &Graph{
+		n:        g.NumVertices(),
+		edges:    g.Edges(),
+		weighted: g.Weighted(),
+		snapshot: g,
+	}
+}
+
+// NumVertices returns the current vertex-space size.
+func (d *Graph) NumVertices() int { return d.n }
+
+// NumEdges returns the current edge count.
+func (d *Graph) NumEdges() int { return len(d.edges) }
+
+// Batches returns how many update batches have been applied.
+func (d *Graph) Batches() int { return d.batches }
+
+// AddVertices grows the vertex space by k and returns the first new ID.
+func (d *Graph) AddVertices(k int) graph.VertexID {
+	first := graph.VertexID(d.n)
+	d.n += k
+	d.snapshot = nil
+	return first
+}
+
+// Apply applies one batch of updates. Insertions of edges with endpoints
+// outside the vertex space and removals of absent edges are errors
+// (removals delete one matching (src, dst) instance, ignoring weight).
+func (d *Graph) Apply(batch []Update) error {
+	for _, u := range batch {
+		if int(u.Edge.Src) >= d.n || int(u.Edge.Dst) >= d.n {
+			return fmt.Errorf("dynamic: edge %d->%d outside vertex space [0,%d)",
+				u.Edge.Src, u.Edge.Dst, d.n)
+		}
+		if !u.Remove {
+			d.edges = append(d.edges, u.Edge)
+			continue
+		}
+		found := -1
+		for i := range d.edges {
+			if d.edges[i].Src == u.Edge.Src && d.edges[i].Dst == u.Edge.Dst {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("dynamic: removing absent edge %d->%d", u.Edge.Src, u.Edge.Dst)
+		}
+		d.edges[found] = d.edges[len(d.edges)-1]
+		d.edges = d.edges[:len(d.edges)-1]
+	}
+	d.batches++
+	d.snapshot = nil
+	return nil
+}
+
+// Snapshot materializes the current graph as static CSR (cached until the
+// next mutation).
+func (d *Graph) Snapshot() (*graph.Graph, error) {
+	if d.snapshot != nil {
+		return d.snapshot, nil
+	}
+	g, err := graph.BuildWith(d.edges, graph.BuildOptions{
+		NumVertices:   d.n,
+		Weighted:      d.weighted,
+		SortNeighbors: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.snapshot = g
+	return g, nil
+}
+
+// Policy configures when a Reorderer refreshes its ordering.
+type Policy struct {
+	// Every reorders after this many update batches; 0 disables periodic
+	// reordering (the ordering from the last explicit Refresh persists).
+	Every int
+}
+
+// Reorderer maintains a reordered view of a dynamic graph under a
+// periodic-refresh policy. Queries run against the reordered snapshot;
+// between refreshes the stale permutation is reused, per §VIII-B.
+type Reorderer struct {
+	tech   reorder.Technique
+	kind   graph.DegreeKind
+	policy Policy
+
+	perm            reorder.Permutation
+	view            *graph.Graph
+	batchesAtPerm   int
+	lastViewBatches int
+	// Refreshes counts how many times the ordering was recomputed.
+	Refreshes int
+}
+
+// NewReorderer builds a Reorderer; the first View call performs the
+// initial reordering.
+func NewReorderer(tech reorder.Technique, kind graph.DegreeKind, policy Policy) *Reorderer {
+	return &Reorderer{tech: tech, kind: kind, policy: policy, batchesAtPerm: -1}
+}
+
+// View returns the reordered snapshot of d, refreshing the ordering if
+// the policy says it is due. The returned permutation maps d's vertex IDs
+// to the view's IDs (needed to translate query roots).
+func (r *Reorderer) View(d *Graph) (*graph.Graph, reorder.Permutation, error) {
+	g, err := d.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	due := r.batchesAtPerm < 0 || // never ordered
+		len(r.perm) != g.NumVertices() || // vertex space changed
+		(r.policy.Every > 0 && d.Batches()-r.batchesAtPerm >= r.policy.Every)
+	if due {
+		res, err := reorder.Apply(g, r.tech, r.kind)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.perm = res.Perm
+		r.view = res.Graph
+		r.batchesAtPerm = d.Batches()
+		r.lastViewBatches = d.Batches()
+		r.Refreshes++
+		return r.view, r.perm, nil
+	}
+	if r.view == nil || d.Batches() != r.lastViewBatches {
+		// Stale permutation, fresh edges: relabel the current snapshot
+		// with the old permutation (cheap compared to recomputing it, and
+		// exactly the reuse §VIII-B argues for).
+		view, err := g.Relabel(r.perm)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.view = view
+		r.lastViewBatches = d.Batches()
+	}
+	return r.view, r.perm, nil
+}

@@ -1,0 +1,248 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"graphreorder/internal/apps"
+	"graphreorder/internal/gen"
+	"graphreorder/internal/graph"
+	"graphreorder/internal/reorder"
+)
+
+func base(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Generate(gen.MustDataset("lj", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromGraphRoundTrip(t *testing.T) {
+	g := base(t)
+	d := FromGraph(g)
+	if d.NumVertices() != g.NumVertices() || d.NumEdges() != g.NumEdges() {
+		t.Fatalf("dimensions changed: %d/%d", d.NumVertices(), d.NumEdges())
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != g {
+		t.Error("initial snapshot should be the original graph (cached)")
+	}
+}
+
+func TestApplyInsertAndRemove(t *testing.T) {
+	g := base(t)
+	d := FromGraph(g)
+	m0 := d.NumEdges()
+
+	// Insert two edges, remove one existing edge.
+	victim := g.Edges()[0]
+	err := d.Apply([]Update{
+		{Edge: graph.Edge{Src: 0, Dst: 1, Weight: 3}},
+		{Edge: graph.Edge{Src: 1, Dst: 2, Weight: 4}},
+		{Remove: true, Edge: victim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEdges() != m0+1 {
+		t.Fatalf("edge count %d, want %d", d.NumEdges(), m0+1)
+	}
+	if d.Batches() != 1 {
+		t.Fatalf("batches %d, want 1", d.Batches())
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumEdges() != m0+1 {
+		t.Error("snapshot out of sync")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyRejectsBadUpdates(t *testing.T) {
+	d := FromGraph(base(t))
+	if err := d.Apply([]Update{{Edge: graph.Edge{Src: 0, Dst: 1 << 30}}}); err == nil {
+		t.Error("out-of-range insert accepted")
+	}
+	if err := d.Apply([]Update{{Remove: true, Edge: graph.Edge{Src: 0, Dst: 0}}}); err == nil {
+		// lj generator never emits self-loops, so this edge is absent.
+		t.Error("absent-edge removal accepted")
+	}
+}
+
+func TestAddVertices(t *testing.T) {
+	d := FromGraph(base(t))
+	n0 := d.NumVertices()
+	first := d.AddVertices(10)
+	if int(first) != n0 || d.NumVertices() != n0+10 {
+		t.Fatalf("AddVertices: first=%d n=%d", first, d.NumVertices())
+	}
+	if err := d.Apply([]Update{{Edge: graph.Edge{Src: first, Dst: 0, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.OutDegree(first) != 1 {
+		t.Error("new vertex's edge missing")
+	}
+}
+
+func TestReordererRefreshPolicy(t *testing.T) {
+	g := base(t)
+	d := FromGraph(g)
+	r := NewReorderer(reorder.NewDBG(), graph.OutDegree, Policy{Every: 2})
+
+	if _, _, err := r.View(d); err != nil {
+		t.Fatal(err)
+	}
+	if r.Refreshes != 1 {
+		t.Fatalf("initial refresh count %d, want 1", r.Refreshes)
+	}
+	// One batch: policy Every=2 not due, must reuse the stale perm.
+	if err := d.Apply([]Update{{Edge: graph.Edge{Src: 1, Dst: 2, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	_, perm1, err := r.View(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Refreshes != 1 {
+		t.Errorf("refreshed too early (count %d)", r.Refreshes)
+	}
+	// Second batch: refresh due.
+	if err := d.Apply([]Update{{Edge: graph.Edge{Src: 2, Dst: 3, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	_, perm2, err := r.View(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Refreshes != 2 {
+		t.Errorf("refresh not triggered (count %d)", r.Refreshes)
+	}
+	if err := perm1.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := perm2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReordererVertexGrowthForcesRefresh(t *testing.T) {
+	d := FromGraph(base(t))
+	r := NewReorderer(reorder.HubCluster{}, graph.OutDegree, Policy{Every: 1000})
+	if _, _, err := r.View(d); err != nil {
+		t.Fatal(err)
+	}
+	d.AddVertices(5)
+	if err := d.Apply(nil); err != nil {
+		t.Fatal(err)
+	}
+	_, perm, err := r.View(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Refreshes != 2 {
+		t.Errorf("vertex growth did not force refresh (count %d)", r.Refreshes)
+	}
+	if len(perm) != d.NumVertices() {
+		t.Errorf("perm length %d, want %d", len(perm), d.NumVertices())
+	}
+}
+
+func TestQueriesAgreeAcrossPolicies(t *testing.T) {
+	// PR on the reordered view must equal PR on the raw snapshot no matter
+	// how stale the permutation is — relabeling never changes results.
+	g := base(t)
+	d := FromGraph(g)
+	r := NewReorderer(reorder.NewDBG(), graph.OutDegree, Policy{Every: 0}) // never refresh after first
+	if _, _, err := r.View(d); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate heavily: double some hub's in-degree.
+	var batch []Update
+	for i := 0; i < 200; i++ {
+		batch = append(batch, Update{Edge: graph.Edge{
+			Src: graph.VertexID(i % d.NumVertices()), Dst: 7, Weight: 1}})
+	}
+	if err := d.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	view, _, err := r.View(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Refreshes != 1 {
+		t.Fatalf("policy Every=0 must never refresh again (count %d)", r.Refreshes)
+	}
+	snap, _ := d.Snapshot()
+	if view.NumEdges() != snap.NumEdges() {
+		t.Fatalf("view has %d edges, snapshot %d", view.NumEdges(), snap.NumEdges())
+	}
+	pr1, _, _ := apps.PageRank(snap, 10, nil)
+	pr2, _, _ := apps.PageRank(view, 10, nil)
+	var s1, s2 float64
+	for i := range pr1 {
+		s1 += pr1[i]
+		s2 += pr2[i]
+	}
+	if math.Abs(s1-s2) > 1e-9 {
+		t.Errorf("rank mass diverged: %v vs %v", s1, s2)
+	}
+}
+
+func TestStaleOrderingStillPacksMostHubs(t *testing.T) {
+	// §VIII-B's premise: after moderate mutation, the hot set barely
+	// changes, so the stale DBG ordering still packs most hot vertices
+	// into the hot region. Quantify: fraction of currently-hot vertices
+	// whose stale new-ID falls in the first third of the ID space.
+	g := base(t)
+	d := FromGraph(g)
+	r := NewReorderer(reorder.NewDBG(), graph.OutDegree, Policy{Every: 0})
+	if _, _, err := r.View(d); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate ~5% of edges.
+	var batch []Update
+	edges := g.Edges()
+	for i := 0; i < len(edges)/20; i++ {
+		batch = append(batch, Update{Edge: graph.Edge{
+			Src: edges[i].Dst, Dst: edges[i].Src, Weight: 1}})
+	}
+	if err := d.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	view, perm, err := r.View(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := d.Snapshot()
+	avg := snap.AvgDegree()
+	hot, packed := 0, 0
+	cutoff := graph.VertexID(snap.NumVertices() / 3)
+	for v := 0; v < snap.NumVertices(); v++ {
+		if float64(snap.OutDegree(graph.VertexID(v))) >= avg {
+			hot++
+			if perm[v] < cutoff {
+				packed++
+			}
+		}
+	}
+	if hot == 0 {
+		t.Fatal("no hot vertices")
+	}
+	if frac := float64(packed) / float64(hot); frac < 0.8 {
+		t.Errorf("stale ordering packs only %.2f of hot vertices", frac)
+	}
+	_ = view
+}

@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scale selects the size of a dataset. The paper's graphs have 5M–95M
+// vertices; we scale down so experiments complete on a laptop while keeping
+// the hot-footprint-vs-LLC ratio in the paper's regime (the cache simulator
+// scales its LLC with the dataset, see internal/cachesim).
+type Scale uint8
+
+const (
+	// Tiny is for unit tests (~4K vertices).
+	Tiny Scale = iota
+	// Small is for quick runs and Go benchmarks (~32K vertices).
+	Small
+	// Medium is the default harness scale (~128K vertices).
+	Medium
+	// Large is for wall-clock speedup fidelity (~1M vertices).
+	Large
+)
+
+// String returns the scale name.
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	default:
+		return fmt.Sprintf("Scale(%d)", uint8(s))
+	}
+}
+
+// ParseScale converts a scale name to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	default:
+		return 0, fmt.Errorf("gen: unknown scale %q (want tiny|small|medium|large)", s)
+	}
+}
+
+// Vertices returns the scale's baseline vertex count (before per-dataset
+// size factors are applied). The cache simulator sizes its LLC from this
+// baseline so every dataset at a given scale runs on the same "machine".
+func (s Scale) Vertices() int { return s.vertices() }
+
+func (s Scale) vertices() int {
+	switch s {
+	case Tiny:
+		return 1 << 12
+	case Small:
+		return 1 << 15
+	case Medium:
+		return 1 << 17
+	case Large:
+		return 1 << 20
+	default:
+		return 1 << 12
+	}
+}
+
+// dataset describes one paper dataset in scale-independent terms. The
+// average degrees mirror Table IX; skew and structure parameters are tuned
+// so Table I/II statistics land in the paper's reported ranges.
+type dataset struct {
+	kind       Kind
+	avgDegree  float64
+	structured bool
+	a, b, c    float64 // rmat
+	alpha      float64 // community degree shape
+	zipfS      float64
+	pIntra     float64
+	seed       uint64
+	// sizeFactor scales the vertex count relative to the scale's default,
+	// mirroring the relative sizes of Table IX (lj and wl are an order of
+	// magnitude smaller than sd/tw, which is why their hot vertices fit in
+	// the LLC and skew-aware reordering buys little — Fig. 8).
+	sizeFactor float64
+}
+
+// datasetTable mirrors Table IX (skewed datasets) and Table X (no-skew).
+//
+//	kr  Kron      synthetic unstructured, avg 20
+//	pl  PLD       real unstructured,      avg 15
+//	tw  Twitter   real unstructured,      avg 24
+//	sd  SD        real unstructured,      avg 20
+//	lj  LiveJournal real structured,      avg 14
+//	wl  WikiLinks real structured,        avg  9
+//	fr  Friendster real structured,       avg 33
+//	mp  MPI-Twitter real structured,      avg 37
+//	uni uniform   no skew,                avg 20
+//	road USA road no skew,                avg 1.2
+var datasetTable = map[string]dataset{
+	"kr":   {kind: RMAT, avgDegree: 20, a: 0.57, b: 0.19, c: 0.19, seed: 0xA001, sizeFactor: 1},
+	"pl":   {kind: Community, avgDegree: 15, structured: false, alpha: 1.10, zipfS: 1.10, pIntra: 0.75, seed: 0xA002, sizeFactor: 0.75},
+	"tw":   {kind: Community, avgDegree: 24, structured: false, alpha: 1.12, zipfS: 1.05, pIntra: 0.7, seed: 0xA003, sizeFactor: 1},
+	"sd":   {kind: Community, avgDegree: 20, structured: false, alpha: 1.10, zipfS: 1.10, pIntra: 0.72, seed: 0xA004, sizeFactor: 1.5},
+	"lj":   {kind: Community, avgDegree: 14, structured: true, alpha: 1.20, zipfS: 0.95, pIntra: 0.85, seed: 0xA005, sizeFactor: 0.125},
+	"wl":   {kind: Community, avgDegree: 9, structured: true, alpha: 1.15, zipfS: 1.00, pIntra: 0.85, seed: 0xA006, sizeFactor: 0.25},
+	"fr":   {kind: Community, avgDegree: 33, structured: true, alpha: 1.22, zipfS: 0.95, pIntra: 0.88, seed: 0xA007, sizeFactor: 1},
+	"mp":   {kind: Community, avgDegree: 37, structured: true, alpha: 1.12, zipfS: 1.00, pIntra: 0.85, seed: 0xA008, sizeFactor: 1},
+	"uni":  {kind: RMAT, avgDegree: 20, a: 0.25, b: 0.25, c: 0.25, seed: 0xA009, sizeFactor: 0.75},
+	"road": {kind: Road, avgDegree: 1.2, seed: 0xA00A, sizeFactor: 0.5},
+}
+
+// SkewedNames returns the eight skewed dataset names in the paper's
+// presentation order (unstructured first, then structured).
+func SkewedNames() []string {
+	return []string{"kr", "pl", "tw", "sd", "lj", "wl", "fr", "mp"}
+}
+
+// UnstructuredNames returns the datasets whose original ordering carries no
+// locality (Table IX "Unstructured").
+func UnstructuredNames() []string { return []string{"kr", "pl", "tw", "sd"} }
+
+// StructuredNames returns the datasets whose original ordering encodes
+// community locality (Table IX "Structured").
+func StructuredNames() []string { return []string{"lj", "wl", "fr", "mp"} }
+
+// NoSkewNames returns the Table X datasets.
+func NoSkewNames() []string { return []string{"uni", "road"} }
+
+// AllNames returns every registered dataset name, sorted.
+func AllNames() []string {
+	names := make([]string, 0, len(datasetTable))
+	for name := range datasetTable {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsStructured reports whether the named dataset's original ordering
+// encodes community structure. Unknown names report false.
+func IsStructured(name string) bool {
+	d, ok := datasetTable[name]
+	return ok && d.structured
+}
+
+// Dataset returns the generation Config for the named paper dataset at the
+// given scale. All datasets are weighted so SSSP can run on them.
+func Dataset(name string, scale Scale) (Config, error) {
+	d, ok := datasetTable[name]
+	if !ok {
+		return Config{}, fmt.Errorf("gen: unknown dataset %q (known: %v)", name, AllNames())
+	}
+	nv := int(float64(scale.vertices()) * d.sizeFactor)
+	if nv < 64 {
+		nv = 64
+	}
+	return Config{
+		Name:        name,
+		Kind:        d.kind,
+		NumVertices: nv,
+		AvgDegree:   d.avgDegree,
+		Seed:        d.seed,
+		Weighted:    true,
+		Structured:  d.structured,
+		A:           d.a, B: d.b, C: d.c,
+		DegreeAlpha: d.alpha,
+		ZipfS:       d.zipfS,
+		PIntra:      d.pIntra,
+	}, nil
+}
+
+// MustDataset is Dataset but panics on unknown names; for tests and
+// examples where the name is a literal.
+func MustDataset(name string, scale Scale) Config {
+	cfg, err := Dataset(name, scale)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}

@@ -1,0 +1,270 @@
+package gen
+
+import (
+	"testing"
+
+	"graphreorder/internal/graph"
+)
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	if _, err := Generate(Config{NumVertices: 0}); err == nil {
+		t.Error("zero vertices accepted")
+	}
+	if _, err := Generate(Config{NumVertices: 10, AvgDegree: -1}); err == nil {
+		t.Error("negative degree accepted")
+	}
+	if _, err := Generate(Config{NumVertices: 10, Kind: Kind(99)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Generate(Config{NumVertices: 10, Kind: RMAT, A: 0.9, B: 0.9, C: 0.9}); err == nil {
+		t.Error("RMAT probabilities summing >1 accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := MustDataset("sd", Tiny)
+	g1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	cfg := MustDataset("tw", Tiny)
+	g1, _ := Generate(cfg)
+	cfg.Seed++
+	g2, _ := Generate(cfg)
+	e1, e2 := g1.Edges(), g2.Edges()
+	same := len(e1) == len(e2)
+	if same {
+		diff := 0
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				diff++
+			}
+		}
+		if diff == 0 {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestAvgDegreeApproximatelyHit(t *testing.T) {
+	for _, name := range append(SkewedNames(), "uni") {
+		cfg := MustDataset(name, Tiny)
+		g, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := g.AvgDegree()
+		if got < 0.7*cfg.AvgDegree || got > 1.3*cfg.AvgDegree {
+			t.Errorf("%s: avg degree %.2f, want ~%.1f", name, got, cfg.AvgDegree)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// hotStats returns (hot fraction of vertices, fraction of edges into hot
+// vertices) for the given degree kind — the Table I metrics.
+func hotStats(g *graph.Graph, kind graph.DegreeKind) (hotFrac, coverage float64) {
+	degs := g.Degrees(kind)
+	avg := g.AvgDegree()
+	hot, hotEdges, total := 0, 0, 0
+	for _, d := range degs {
+		total += int(d)
+		if float64(d) >= avg {
+			hot++
+			hotEdges += int(d)
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(hot) / float64(len(degs)), float64(hotEdges) / float64(total)
+}
+
+func TestSkewedDatasetsAreSkewed(t *testing.T) {
+	// Paper Table I: hot vertices are 9-26% of vertices and cover 80-94%
+	// of edges. Synthetic stand-ins must land in a generous band around
+	// that: <=35% hot covering >=60% of edges, for both in and out degree.
+	for _, name := range SkewedNames() {
+		g, err := Generate(MustDataset(name, Small))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, kind := range []graph.DegreeKind{graph.InDegree, graph.OutDegree} {
+			hotFrac, coverage := hotStats(g, kind)
+			if hotFrac > 0.35 {
+				t.Errorf("%s/%s: hot fraction %.2f too high (no skew?)", name, kind, hotFrac)
+			}
+			if coverage < 0.60 {
+				t.Errorf("%s/%s: hot edge coverage %.2f too low", name, kind, coverage)
+			}
+		}
+	}
+}
+
+func TestNoSkewDatasetsAreNotSkewed(t *testing.T) {
+	g, err := Generate(MustDataset("uni", Small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coverage := hotStats(g, graph.InDegree)
+	// Uniform graph: hot vertices (deg >= avg) cover roughly half the
+	// edges, nowhere near the 80%+ of skewed sets.
+	if coverage > 0.75 {
+		t.Errorf("uni: hot edge coverage %.2f suspiciously high", coverage)
+	}
+}
+
+func TestRoadIsSparseAndLowDegree(t *testing.T) {
+	g, err := Generate(MustDataset("road", Small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.AvgDegree() > 2.5 {
+		t.Errorf("road avg degree %.2f, want <= 2.5", g.AvgDegree())
+	}
+	if g.MaxDegree(graph.OutDegree) > 2 {
+		t.Errorf("road max out-degree %d, want <= 2", g.MaxDegree(graph.OutDegree))
+	}
+}
+
+func TestStructuredLocality(t *testing.T) {
+	// In a structured dataset most edges connect vertices within the same
+	// community, and community IDs are contiguous; after shuffling
+	// (unstructured) the same topology has distant endpoints.
+	sCfg := MustDataset("lj", Small)
+	g, comm, err := GenerateWithCommunities(sCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := 0
+	for _, e := range g.Edges() {
+		if comm[e.Src] == comm[e.Dst] {
+			intra++
+		}
+	}
+	frac := float64(intra) / float64(g.NumEdges())
+	if frac < 0.6 {
+		t.Errorf("structured lj: intra-community edge fraction %.2f, want >= 0.6", frac)
+	}
+
+	// Mean |src-dst| ID distance: structured must be far below shuffled.
+	meanDist := func(g *graph.Graph) float64 {
+		var sum float64
+		for _, e := range g.Edges() {
+			d := int64(e.Src) - int64(e.Dst)
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+		}
+		return sum / float64(g.NumEdges())
+	}
+	uCfg := sCfg
+	uCfg.Structured = false
+	ug, err := Generate(uCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds, du := meanDist(g), meanDist(ug); ds > du/3 {
+		t.Errorf("structured mean ID distance %.0f not well below unstructured %.0f", ds, du)
+	}
+}
+
+func TestCommunitySizesPowerLaw(t *testing.T) {
+	_, comm, err := GenerateWithCommunities(MustDataset("fr", Small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := sortedCommunitySizes(comm)
+	if len(sizes) < 10 {
+		t.Fatalf("only %d communities", len(sizes))
+	}
+	if sizes[0] <= sizes[len(sizes)/2] {
+		t.Error("community sizes not skewed")
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	if _, err := Dataset("nope", Tiny); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if len(SkewedNames()) != 8 {
+		t.Errorf("want 8 skewed datasets, got %d", len(SkewedNames()))
+	}
+	for _, n := range SkewedNames() {
+		if _, err := Dataset(n, Tiny); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if !IsStructured("lj") || IsStructured("kr") || IsStructured("absent") {
+		t.Error("IsStructured misclassifies")
+	}
+	us, st := UnstructuredNames(), StructuredNames()
+	if len(us)+len(st) != len(SkewedNames()) {
+		t.Error("structured+unstructured != skewed")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []Scale{Tiny, Small, Medium, Large} {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScale(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestWeightsInRange(t *testing.T) {
+	g, err := Generate(MustDataset("kr", Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("dataset should be weighted")
+	}
+	for _, e := range g.Edges() {
+		if e.Weight < 1 || e.Weight > 63 {
+			t.Fatalf("weight %d out of [1,63]", e.Weight)
+		}
+	}
+}
+
+func BenchmarkGenerateCommunity(b *testing.B) {
+	cfg := MustDataset("sd", Small)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateRMAT(b *testing.B) {
+	cfg := MustDataset("kr", Small)
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

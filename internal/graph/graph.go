@@ -1,0 +1,248 @@
+// Package graph provides the Compressed Sparse Row (CSR) graph substrate
+// that every other component of this repository builds on.
+//
+// A Graph stores a directed multigraph in CSR form twice: once over
+// out-edges (for push-based computations) and once over in-edges (for
+// pull-based computations), mirroring §II-B of the paper. Vertices are
+// dense uint32 IDs in [0, N). Optional per-edge weights (used by SSSP) are
+// kept aligned with both edge arrays.
+//
+// Graphs are immutable after construction; reordering produces a new Graph
+// via Relabel.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VertexID identifies a vertex. IDs are dense in [0, NumVertices).
+type VertexID = uint32
+
+// Edge is a directed edge with an optional weight (0 when unweighted).
+type Edge struct {
+	Src, Dst VertexID
+	Weight   uint32
+}
+
+// Graph is an immutable directed multigraph in dual-CSR form.
+type Graph struct {
+	n int
+	m int // number of directed edges
+
+	// Out-CSR: outEdges[outIndex[v]:outIndex[v+1]] are v's out-neighbors.
+	outIndex []uint64
+	outEdges []VertexID
+
+	// In-CSR: inEdges[inIndex[v]:inIndex[v+1]] are v's in-neighbors.
+	inIndex []uint64
+	inEdges []VertexID
+
+	// Aligned weights; nil when the graph is unweighted.
+	outWeights []uint32
+	inWeights  []uint32
+}
+
+// NumVertices returns the number of vertices N.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of directed edges M.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Weighted reports whether per-edge weights are present.
+func (g *Graph) Weighted() bool { return g.outWeights != nil }
+
+// AvgDegree returns the average degree M/N (0 for an empty graph).
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.m) / float64(g.n)
+}
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.outIndex[v+1] - g.outIndex[v])
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int {
+	return int(g.inIndex[v+1] - g.inIndex[v])
+}
+
+// OutNeighbors returns v's out-neighbors as a shared sub-slice; callers
+// must not modify it.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.outEdges[g.outIndex[v]:g.outIndex[v+1]]
+}
+
+// InNeighbors returns v's in-neighbors as a shared sub-slice; callers must
+// not modify it.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	return g.inEdges[g.inIndex[v]:g.inIndex[v+1]]
+}
+
+// OutWeights returns the weights aligned with OutNeighbors(v), or nil for
+// unweighted graphs.
+func (g *Graph) OutWeights(v VertexID) []uint32 {
+	if g.outWeights == nil {
+		return nil
+	}
+	return g.outWeights[g.outIndex[v]:g.outIndex[v+1]]
+}
+
+// InWeights returns the weights aligned with InNeighbors(v), or nil for
+// unweighted graphs.
+func (g *Graph) InWeights(v VertexID) []uint32 {
+	if g.inWeights == nil {
+		return nil
+	}
+	return g.inWeights[g.inIndex[v]:g.inIndex[v+1]]
+}
+
+// OutIndex exposes the raw out-CSR offset array (length N+1). It is shared
+// state: callers must treat it as read-only. Exposed for the trace engine,
+// which models the exact memory layout of the Vertex Array.
+func (g *Graph) OutIndex() []uint64 { return g.outIndex }
+
+// InIndex exposes the raw in-CSR offset array (length N+1), read-only.
+func (g *Graph) InIndex() []uint64 { return g.inIndex }
+
+// OutEdgeArray exposes the raw out-edge array (length M), read-only.
+func (g *Graph) OutEdgeArray() []VertexID { return g.outEdges }
+
+// InEdgeArray exposes the raw in-edge array (length M), read-only.
+func (g *Graph) InEdgeArray() []VertexID { return g.inEdges }
+
+// Degrees returns a freshly allocated slice of degrees of the requested
+// kind for all vertices.
+func (g *Graph) Degrees(kind DegreeKind) []uint32 {
+	d := make([]uint32, g.n)
+	for v := 0; v < g.n; v++ {
+		switch kind {
+		case InDegree:
+			d[v] = uint32(g.InDegree(VertexID(v)))
+		case OutDegree:
+			d[v] = uint32(g.OutDegree(VertexID(v)))
+		case TotalDegree:
+			d[v] = uint32(g.InDegree(VertexID(v)) + g.OutDegree(VertexID(v)))
+		default:
+			panic(fmt.Sprintf("graph: unknown DegreeKind %d", kind))
+		}
+	}
+	return d
+}
+
+// MaxDegree returns the maximum degree of the requested kind (0 for an
+// empty graph).
+func (g *Graph) MaxDegree(kind DegreeKind) uint32 {
+	var max uint32
+	for _, d := range g.Degrees(kind) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DegreeKind selects which degree a computation is based on. The paper's
+// Table VIII prescribes out-degree for pull-dominated applications and
+// in-degree for push-dominated ones.
+type DegreeKind uint8
+
+const (
+	// InDegree counts edges pointing at the vertex.
+	InDegree DegreeKind = iota
+	// OutDegree counts edges leaving the vertex.
+	OutDegree
+	// TotalDegree is the sum of in- and out-degree.
+	TotalDegree
+)
+
+// String returns the lowercase name of the degree kind.
+func (k DegreeKind) String() string {
+	switch k {
+	case InDegree:
+		return "in"
+	case OutDegree:
+		return "out"
+	case TotalDegree:
+		return "total"
+	default:
+		return fmt.Sprintf("DegreeKind(%d)", uint8(k))
+	}
+}
+
+// Edges materializes the edge list (src, dst, weight) in out-CSR order.
+// Intended for tests and I/O, not hot paths.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for v := 0; v < g.n; v++ {
+		nbrs := g.OutNeighbors(VertexID(v))
+		ws := g.OutWeights(VertexID(v))
+		for i, dst := range nbrs {
+			e := Edge{Src: VertexID(v), Dst: dst}
+			if ws != nil {
+				e.Weight = ws[i]
+			}
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}
+
+// Validate checks internal CSR invariants. It returns nil for a
+// well-formed graph and is used by tests and by the binary loader to
+// reject corrupted files.
+func (g *Graph) Validate() error {
+	if g.n < 0 || g.m < 0 {
+		return errors.New("graph: negative dimensions")
+	}
+	if len(g.outIndex) != g.n+1 || len(g.inIndex) != g.n+1 {
+		return fmt.Errorf("graph: index arrays have lengths %d/%d, want %d",
+			len(g.outIndex), len(g.inIndex), g.n+1)
+	}
+	if len(g.outEdges) != g.m || len(g.inEdges) != g.m {
+		return fmt.Errorf("graph: edge arrays have lengths %d/%d, want %d",
+			len(g.outEdges), len(g.inEdges), g.m)
+	}
+	if err := validateIndex(g.outIndex, g.m, "out"); err != nil {
+		return err
+	}
+	if err := validateIndex(g.inIndex, g.m, "in"); err != nil {
+		return err
+	}
+	for _, d := range g.outEdges {
+		if int(d) >= g.n {
+			return fmt.Errorf("graph: out-edge destination %d out of range [0,%d)", d, g.n)
+		}
+	}
+	for _, s := range g.inEdges {
+		if int(s) >= g.n {
+			return fmt.Errorf("graph: in-edge source %d out of range [0,%d)", s, g.n)
+		}
+	}
+	if (g.outWeights == nil) != (g.inWeights == nil) {
+		return errors.New("graph: weight arrays inconsistently present")
+	}
+	if g.outWeights != nil && (len(g.outWeights) != g.m || len(g.inWeights) != g.m) {
+		return fmt.Errorf("graph: weight arrays have lengths %d/%d, want %d",
+			len(g.outWeights), len(g.inWeights), g.m)
+	}
+	return nil
+}
+
+func validateIndex(index []uint64, m int, name string) error {
+	if index[0] != 0 {
+		return fmt.Errorf("graph: %s-index[0] = %d, want 0", name, index[0])
+	}
+	for i := 1; i < len(index); i++ {
+		if index[i] < index[i-1] {
+			return fmt.Errorf("graph: %s-index not monotonic at %d", name, i)
+		}
+	}
+	if index[len(index)-1] != uint64(m) {
+		return fmt.Errorf("graph: %s-index[N] = %d, want %d", name, index[len(index)-1], m)
+	}
+	return nil
+}

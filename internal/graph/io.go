@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list format: one edge per line, "src dst" or "src dst weight",
+// '#' or '%' comment lines ignored. Binary format (".gr"): a fixed header
+// followed by the out-CSR and weights; the in-CSR is rebuilt on load.
+
+const (
+	binaryMagic   = 0x47525052 // "GRPR"
+	binaryVersion = 1
+)
+
+// ReadEdgeList parses a text edge list from r.
+func ReadEdgeList(r io.Reader) ([]Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 2 or 3 fields, got %d", line, len(fields))
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %v", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %v", line, err)
+		}
+		e := Edge{Src: VertexID(src), Dst: VertexID(dst)}
+		if len(fields) == 3 {
+			w, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+			}
+			e.Weight = uint32(w)
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return edges, nil
+}
+
+// WriteEdgeList writes g as a text edge list to w.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	weighted := g.Weighted()
+	for v := 0; v < g.NumVertices(); v++ {
+		nbrs := g.OutNeighbors(VertexID(v))
+		ws := g.OutWeights(VertexID(v))
+		for i, dst := range nbrs {
+			var err error
+			if weighted {
+				_, err = fmt.Fprintf(bw, "%d %d %d\n", v, dst, ws[i])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", v, dst)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteBinary writes g in the compact binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{binaryMagic, binaryVersion, uint64(g.n), uint64(g.m)}
+	flags := uint64(0)
+	if g.Weighted() {
+		flags = 1
+	}
+	hdr = append(hdr, flags)
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outIndex); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outEdges); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := binary.Write(bw, binary.LittleEndian, g.outWeights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary loads a Graph written by WriteBinary, rebuilding the in-CSR
+// and validating the result.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: reading header: %w", err)
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, errors.New("graph: bad magic; not a graph binary")
+	}
+	if hdr[1] != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", hdr[1])
+	}
+	n, m, flags := int(hdr[2]), int(hdr[3]), hdr[4]
+	if n < 0 || m < 0 || n > 1<<31 || m > 1<<38 {
+		return nil, fmt.Errorf("graph: implausible dimensions n=%d m=%d", n, m)
+	}
+	outIndex := make([]uint64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, outIndex); err != nil {
+		return nil, fmt.Errorf("graph: reading index: %w", err)
+	}
+	outEdges := make([]VertexID, m)
+	if err := binary.Read(br, binary.LittleEndian, outEdges); err != nil {
+		return nil, fmt.Errorf("graph: reading edges: %w", err)
+	}
+	var outWeights []uint32
+	if flags&1 != 0 {
+		outWeights = make([]uint32, m)
+		if err := binary.Read(br, binary.LittleEndian, outWeights); err != nil {
+			return nil, fmt.Errorf("graph: reading weights: %w", err)
+		}
+	}
+
+	// Reconstruct the edge list and rebuild both CSRs so the in-CSR and all
+	// invariants come from one code path.
+	edges := make([]Edge, m)
+	v := 0
+	for i := 0; i < m; i++ {
+		for uint64(i) >= outIndex[v+1] {
+			v++
+			if v >= n {
+				return nil, errors.New("graph: corrupt index array")
+			}
+		}
+		if int(outEdges[i]) >= n {
+			return nil, fmt.Errorf("graph: edge destination %d out of range", outEdges[i])
+		}
+		edges[i] = Edge{Src: VertexID(v), Dst: outEdges[i]}
+		if outWeights != nil {
+			edges[i].Weight = outWeights[i]
+		}
+	}
+	g, err := BuildWith(edges, BuildOptions{
+		NumVertices:   n,
+		Weighted:      outWeights != nil,
+		SortNeighbors: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

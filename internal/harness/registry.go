@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Experiment ties a paper artifact to its driver.
+type Experiment struct {
+	// ID is the harness name (table1, fig6, ablation-groups, ...).
+	ID string
+	// Artifact names the paper table/figure being regenerated.
+	Artifact string
+	// Run executes the experiment on a Runner.
+	Run func(*Runner) error
+}
+
+// Experiments returns every experiment in the paper's presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table I — degree skew", (*Runner).Table1},
+		{"table2", "Table II — hot vertices per cache block", (*Runner).Table2},
+		{"table3", "Table III — hot-vertex footprint", (*Runner).Table3},
+		{"table4", "Table IV — hot degree ranges (sd)", (*Runner).Table4},
+		{"table5", "Table V — techniques in the DBG framework", (*Runner).Table5},
+		{"table6", "Table VI — qualitative comparison", (*Runner).Table6},
+		{"fig3", "Fig. 3 — random-reordering slowdown (Radii)", (*Runner).Fig3},
+		{"fig5", "Fig. 5 — original vs reimplemented hub techniques", (*Runner).Fig5},
+		{"table11", "Table XI — reordering time vs Sort", (*Runner).Table11},
+		{"fig6", "Fig. 6 — speed-up excluding reordering time", (*Runner).Fig6},
+		{"fig7", "Fig. 7 — no-skew datasets", (*Runner).Fig7},
+		{"fig8", "Fig. 8 — MPKI across cache levels (PR)", (*Runner).Fig8},
+		{"fig9", "Fig. 9 — L2 miss break-up (SSSP, PRD)", (*Runner).Fig9},
+		{"fig10", "Fig. 10 — net speed-up including reordering", (*Runner).Fig10},
+		{"fig11", "Fig. 11 — SSSP net speed-up vs #traversals", (*Runner).Fig11},
+		{"table12", "Table XII — PR iterations to amortize", (*Runner).Table12},
+		{"ablation-groups", "Ablation — DBG group-count sweep", (*Runner).AblationGroups},
+		{"ablation-gorderdbg", "Ablation — Gorder+DBG composition", (*Runner).AblationGorderDBG},
+		{"ablation-genorder", "Ablation — §VIII-A generation-integrated reordering", (*Runner).AblationGenOrder},
+		{"ablation-dynamic", "Ablation — §VIII-B dynamic-graph amortization", (*Runner).AblationDynamic},
+	}
+}
+
+// ExperimentIDs returns the valid experiment IDs in order.
+func ExperimentIDs() []string {
+	exps := Experiments()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// RunByID runs one experiment ("all" runs every one).
+func (r *Runner) RunByID(id string) error {
+	id = strings.ToLower(strings.TrimSpace(id))
+	if id == "all" {
+		for _, e := range Experiments() {
+			fmt.Fprintf(r.out(), "\n===== %s (%s) =====\n", e.ID, e.Artifact)
+			if err := e.Run(r); err != nil {
+				return fmt.Errorf("harness: %s: %w", e.ID, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Run(r)
+		}
+	}
+	return fmt.Errorf("harness: unknown experiment %q (known: %s, all)",
+		id, strings.Join(ExperimentIDs(), ", "))
+}

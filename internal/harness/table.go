@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders fixed-width ASCII tables resembling the paper's layout.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable starts a table with a caption and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Add appends a row; missing cells render empty, extras are kept.
+func (t *Table) Add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Addf appends a row built from (label, formatted values...).
+func (t *Table) Addf(label string, format string, values ...any) {
+	t.Add(label, fmt.Sprintf(format, values...))
+}
+
+// Note appends a footnote line rendered under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var line strings.Builder
+	total := 1
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	rule := strings.Repeat("-", total)
+
+	fmt.Fprintf(w, "\n%s\n%s\n", t.title, rule)
+	writeRow := func(row []string) {
+		line.Reset()
+		line.WriteString("|")
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&line, " %-*s |", widths[i], cell)
+		}
+		fmt.Fprintln(w, line.String())
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		fmt.Fprintln(w, rule)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	fmt.Fprintln(w, rule)
+	for _, n := range t.notes {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+}

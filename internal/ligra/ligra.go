@@ -1,0 +1,332 @@
+// Package ligra is a compact reimplementation of the Ligra shared-memory
+// graph-processing model (Shun & Blelloch, PPoPP'13) that the paper uses
+// as its evaluation framework: vertex subsets (frontiers), EdgeMap with
+// push- and pull-based traversal and automatic direction switching, and
+// VertexMap.
+//
+// The implementation is deliberately sequential and deterministic: the
+// reproduction host is single-core, the paper's locality phenomena are
+// visible single-threaded, and multi-core cache behaviour is studied in
+// the trace-driven simulator (internal/cachesim) where core count is a
+// model parameter rather than a host property.
+package ligra
+
+import "graphreorder/internal/graph"
+
+// VertexSet is a frontier: a subset of vertices, stored sparse (ID list)
+// or dense (bitmap) depending on size, as in Ligra.
+type VertexSet struct {
+	n        int
+	sparse   []graph.VertexID
+	dense    []bool
+	isDense  bool
+	count    int
+	outEdges uint64 // sum of out-degrees of members; drives direction switching
+}
+
+// NewVertexSet returns a sparse frontier over n vertices containing the
+// given members (deduplicated by the caller).
+func NewVertexSet(n int, members ...graph.VertexID) *VertexSet {
+	s := &VertexSet{n: n, sparse: append([]graph.VertexID(nil), members...), count: len(members)}
+	return s
+}
+
+// NewDenseVertexSet returns a dense frontier from a membership bitmap (the
+// slice is retained, not copied).
+func NewDenseVertexSet(bitmap []bool) *VertexSet {
+	s := &VertexSet{n: len(bitmap), dense: bitmap, isDense: true}
+	for _, b := range bitmap {
+		if b {
+			s.count++
+		}
+	}
+	return s
+}
+
+// FullVertexSet returns a frontier containing every vertex of g.
+func FullVertexSet(n int) *VertexSet {
+	bitmap := make([]bool, n)
+	for i := range bitmap {
+		bitmap[i] = true
+	}
+	return NewDenseVertexSet(bitmap)
+}
+
+// Len returns the number of member vertices.
+func (s *VertexSet) Len() int { return s.count }
+
+// Empty reports whether the frontier has no members.
+func (s *VertexSet) Empty() bool { return s.count == 0 }
+
+// NumVertices returns the size of the universe the set ranges over.
+func (s *VertexSet) NumVertices() int { return s.n }
+
+// Has reports membership of v.
+func (s *VertexSet) Has(v graph.VertexID) bool {
+	if s.isDense {
+		return s.dense[v]
+	}
+	for _, u := range s.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Members returns the member IDs in ascending order for dense sets, or
+// insertion order for sparse sets. The result is freshly allocated for
+// dense sets and shared for sparse ones; treat as read-only.
+func (s *VertexSet) Members() []graph.VertexID {
+	if !s.isDense {
+		return s.sparse
+	}
+	out := make([]graph.VertexID, 0, s.count)
+	for v, in := range s.dense {
+		if in {
+			out = append(out, graph.VertexID(v))
+		}
+	}
+	return out
+}
+
+// Bitmap returns a dense membership bitmap (freshly allocated for sparse
+// sets, shared for dense ones); treat as read-only.
+func (s *VertexSet) Bitmap() []bool {
+	if s.isDense {
+		return s.dense
+	}
+	b := make([]bool, s.n)
+	for _, v := range s.sparse {
+		b[v] = true
+	}
+	return b
+}
+
+// computeOutEdges fills the member out-degree sum used by the direction
+// heuristic; cached after first use.
+func (s *VertexSet) computeOutEdges(g *graph.Graph) uint64 {
+	if s.outEdges != 0 || s.count == 0 {
+		return s.outEdges
+	}
+	var sum uint64
+	if s.isDense {
+		for v, in := range s.dense {
+			if in {
+				sum += uint64(g.OutDegree(graph.VertexID(v)))
+			}
+		}
+	} else {
+		for _, v := range s.sparse {
+			sum += uint64(g.OutDegree(v))
+		}
+	}
+	s.outEdges = sum
+	return sum
+}
+
+// EdgeMapFns carries the per-edge callbacks of an EdgeMap.
+type EdgeMapFns struct {
+	// Update processes edge src->dst in push mode (src in frontier) and is
+	// expected to return true when dst becomes a member of the output
+	// frontier. Must be idempotent-safe: dst may be offered multiple times
+	// but is added at most once.
+	Update func(src, dst graph.VertexID) bool
+	// UpdatePull, if non-nil, is used in pull (dense) mode instead of
+	// Update; same contract with the same argument order (src, dst). Ligra
+	// distinguishes these because pull-mode updates need no atomics.
+	UpdatePull func(src, dst graph.VertexID) bool
+	// UpdateWeighted, if non-nil, replaces Update/UpdatePull and
+	// additionally receives the edge weight (0 on unweighted graphs).
+	UpdateWeighted func(src, dst graph.VertexID, w uint32) bool
+	// Cond gates destinations: edges into dst with Cond(dst) == false are
+	// skipped. In pull mode Cond is rechecked as the in-edges of dst are
+	// scanned, enabling early exit once dst saturates (e.g. BFS parent
+	// found). Nil means always true.
+	Cond func(dst graph.VertexID) bool
+}
+
+// Direction forces a traversal direction in EdgeMapOpts.
+type Direction uint8
+
+const (
+	// Auto picks push or pull with Ligra's |frontier out-edges| > M/20
+	// heuristic.
+	Auto Direction = iota
+	// Push forces sparse push-based traversal over out-edges.
+	Push
+	// Pull forces dense pull-based traversal over in-edges.
+	Pull
+)
+
+// EdgeMapOpts tunes an EdgeMap call.
+type EdgeMapOpts struct {
+	// Dir forces a direction; Auto by default.
+	Dir Direction
+	// DenseThresholdDiv is the divisor d in the switching rule
+	// "go dense when frontier out-edges + size > M/d"; 0 means 20.
+	DenseThresholdDiv int
+	// Trace, when non-nil, observes every edge examination and property
+	// access; used by the trace engine to feed the cache simulator.
+	Trace Tracer
+}
+
+// Tracer observes the memory behaviour of a traversal. Implemented by the
+// trace engine; the zero-overhead case is a nil Tracer.
+type Tracer interface {
+	// EdgeExamined is called for each edge scanned: src, dst and whether
+	// the traversal ran in pull mode.
+	EdgeExamined(src, dst graph.VertexID, pull bool)
+	// VertexVisited is called once per frontier vertex driving the scan.
+	VertexVisited(v graph.VertexID, pull bool)
+}
+
+// PropertyWriteTracer is optionally implemented by tracers that model
+// actual property-array writes separately from edge examinations.
+// Applications call PropertyWritten(dst) from their update functions when
+// they really write dst's property — this is what lets the simulator
+// distinguish SSSP's conditional pushes from PRD's unconditional ones, the
+// contrast at the heart of Fig. 9 (§VI-C).
+type PropertyWriteTracer interface {
+	Tracer
+	PropertyWritten(v graph.VertexID)
+}
+
+// WriteTracer extracts the optional write-tracking interface from a Tracer
+// once, so per-edge code avoids repeated type assertions. Returns nil when
+// tr is nil or does not track writes.
+func WriteTracer(tr Tracer) PropertyWriteTracer {
+	if wt, ok := tr.(PropertyWriteTracer); ok {
+		return wt
+	}
+	return nil
+}
+
+// EdgeMap applies fns over the edges leaving the frontier, returning the
+// next frontier, per the Ligra model. Push mode scans out-edges of
+// frontier members; pull mode scans in-edges of all vertices passing Cond
+// and checks membership of the source.
+func EdgeMap(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, opts EdgeMapOpts) *VertexSet {
+	dir := opts.Dir
+	if dir == Auto {
+		div := opts.DenseThresholdDiv
+		if div <= 0 {
+			div = 20
+		}
+		threshold := uint64(g.NumEdges() / div)
+		if frontier.computeOutEdges(g)+uint64(frontier.Len()) > threshold {
+			dir = Pull
+		} else {
+			dir = Push
+		}
+	}
+	if dir == Pull {
+		return edgeMapDense(g, frontier, fns, opts.Trace)
+	}
+	return edgeMapSparse(g, frontier, fns, opts.Trace)
+}
+
+func edgeMapSparse(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, tr Tracer) *VertexSet {
+	cond := fns.Cond
+	next := make([]graph.VertexID, 0, frontier.Len())
+	inNext := make([]bool, g.NumVertices())
+	for _, u := range frontier.Members() {
+		if tr != nil {
+			tr.VertexVisited(u, false)
+		}
+		nbrs := g.OutNeighbors(u)
+		ws := g.OutWeights(u)
+		for i, dst := range nbrs {
+			if tr != nil {
+				tr.EdgeExamined(u, dst, false)
+			}
+			if cond != nil && !cond(dst) {
+				continue
+			}
+			var hit bool
+			if fns.UpdateWeighted != nil {
+				var w uint32
+				if ws != nil {
+					w = ws[i]
+				}
+				hit = fns.UpdateWeighted(u, dst, w)
+			} else {
+				hit = fns.Update(u, dst)
+			}
+			if hit && !inNext[dst] {
+				inNext[dst] = true
+				next = append(next, dst)
+			}
+		}
+	}
+	return NewVertexSet(g.NumVertices(), next...)
+}
+
+func edgeMapDense(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, tr Tracer) *VertexSet {
+	update := fns.UpdatePull
+	if update == nil {
+		update = fns.Update
+	}
+	cond := fns.Cond
+	inFrontier := frontier.Bitmap()
+	nextDense := make([]bool, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		dst := graph.VertexID(v)
+		if cond != nil && !cond(dst) {
+			continue
+		}
+		if tr != nil {
+			tr.VertexVisited(dst, true)
+		}
+		srcs := g.InNeighbors(dst)
+		ws := g.InWeights(dst)
+		for i, src := range srcs {
+			if tr != nil {
+				tr.EdgeExamined(src, dst, true)
+			}
+			if !inFrontier[src] {
+				continue
+			}
+			var hit bool
+			if fns.UpdateWeighted != nil {
+				var w uint32
+				if ws != nil {
+					w = ws[i]
+				}
+				hit = fns.UpdateWeighted(src, dst, w)
+			} else {
+				hit = update(src, dst)
+			}
+			if hit {
+				nextDense[v] = true
+			}
+			// Early exit: once dst stops satisfying Cond (e.g. it has been
+			// claimed), the rest of its in-edges are skipped, as in Ligra.
+			if cond != nil && !cond(dst) {
+				break
+			}
+		}
+	}
+	return NewDenseVertexSet(nextDense)
+}
+
+// VertexMap applies f to every member of the frontier and returns the set
+// of members for which f returned true.
+func VertexMap(s *VertexSet, f func(v graph.VertexID) bool) *VertexSet {
+	if s.isDense {
+		next := make([]bool, s.n)
+		for v, in := range s.dense {
+			if in && f(graph.VertexID(v)) {
+				next[v] = true
+			}
+		}
+		return NewDenseVertexSet(next)
+	}
+	var next []graph.VertexID
+	for _, v := range s.sparse {
+		if f(v) {
+			next = append(next, v)
+		}
+	}
+	return NewVertexSet(s.n, next...)
+}

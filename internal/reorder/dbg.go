@@ -1,0 +1,310 @@
+package reorder
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"graphreorder/internal/graph"
+)
+
+// DBG is Degree-Based Grouping (Listing 1 of the paper): vertices are
+// partitioned into K groups by geometric degree ranges and, crucially, the
+// original relative order of vertices *within* each group is preserved.
+// Groups are laid out hottest-first, so all hot vertices occupy a small
+// contiguous region while structure is preserved at a coarse grain.
+//
+// Boundaries are expressed as multiples of the dataset's average degree A.
+// The zero value is not useful; construct with NewDBG or NewDBGBounds.
+type DBG struct {
+	// boundsOfA holds group lower bounds as multiples of A, strictly
+	// descending, ending at 0. Group k (0-based, hottest first) holds
+	// vertices with degree in [boundsOfA[k]*A, boundsOfA[k-1]*A).
+	boundsOfA []float64
+}
+
+// NewDBG returns DBG with the paper's evaluated configuration (§V-C):
+// 8 groups with ranges [32A,∞), [16A,32A), [8A,16A), [4A,8A), [2A,4A),
+// [A,2A), [A/2,A), [0,A/2) — note the cold vertices are split in two.
+func NewDBG() *DBG {
+	return &DBG{boundsOfA: []float64{32, 16, 8, 4, 2, 1, 0.5, 0}}
+}
+
+// NewDBGBounds returns DBG with custom group lower bounds, given as
+// strictly descending multiples of the average degree; the last bound must
+// be 0 so the groups cover every degree. Used by the group-count ablation.
+func NewDBGBounds(boundsOfA []float64) (*DBG, error) {
+	if len(boundsOfA) == 0 {
+		return nil, fmt.Errorf("reorder: DBG needs at least one group")
+	}
+	for i := 1; i < len(boundsOfA); i++ {
+		if boundsOfA[i] >= boundsOfA[i-1] {
+			return nil, fmt.Errorf("reorder: DBG bounds must be strictly descending, got %v", boundsOfA)
+		}
+	}
+	if boundsOfA[len(boundsOfA)-1] != 0 {
+		return nil, fmt.Errorf("reorder: DBG bounds must end at 0, got %v", boundsOfA)
+	}
+	cp := append([]float64(nil), boundsOfA...)
+	return &DBG{boundsOfA: cp}, nil
+}
+
+// NewDBGGeometric returns DBG with k geometric groups [0,C), [C,2C),
+// [2C,4C)... expressed relative to A via cOfA (Table V's formulation with
+// threshold C = cOfA*A). k must be >= 2.
+func NewDBGGeometric(k int, cOfA float64) (*DBG, error) {
+	if k < 2 || cOfA <= 0 {
+		return nil, fmt.Errorf("reorder: NewDBGGeometric(k=%d, cOfA=%v): need k>=2, cOfA>0", k, cOfA)
+	}
+	bounds := make([]float64, k)
+	// Hottest group first: bounds are cOfA*2^(k-2), ..., 2c, c, 0.
+	for i := 0; i < k-1; i++ {
+		bounds[i] = cOfA * math.Pow(2, float64(k-2-i))
+	}
+	bounds[k-1] = 0
+	return &DBG{boundsOfA: bounds}, nil
+}
+
+// Name implements Technique.
+func (d *DBG) Name() string { return "DBG" }
+
+// NumGroups returns the number of degree groups.
+func (d *DBG) NumGroups() int { return len(d.boundsOfA) }
+
+// GroupBounds returns the group lower bounds as multiples of A, hottest
+// group first; the caller must not modify the slice.
+func (d *DBG) GroupBounds() []float64 { return d.boundsOfA }
+
+// Permute implements Technique.
+func (d *DBG) Permute(g *graph.Graph, kind graph.DegreeKind) (Permutation, error) {
+	return degreeBasedPermute(g, kind, d)
+}
+
+// PermuteDegrees implements DegreeBased. It is the direct realization of
+// Listing 1: a stable two-pass counting layout — count group sizes, prefix
+// sum, then scatter vertices in original order. O(V), no sorting.
+func (d *DBG) PermuteDegrees(degs []uint32, avg float64) Permutation {
+	bounds := make([]uint32, len(d.boundsOfA))
+	for i, m := range d.boundsOfA {
+		b := m * avg
+		// Group bounds are degree thresholds; round up so a bound of
+		// exactly avg keeps the paper's "hot means degree >= A" rule.
+		bounds[i] = uint32(math.Ceil(b))
+	}
+	return stableGroupLayout(degs, func(deg uint32) int {
+		// Group index: first (hottest) group whose lower bound <= deg.
+		// Linear scan is fine — K is 8 in the evaluated configuration.
+		for k, b := range bounds {
+			if deg >= b {
+				return k
+			}
+		}
+		return len(bounds) - 1
+	}, len(bounds))
+}
+
+// stableGroupLayout assigns new IDs so that all vertices of group 0 come
+// first (in original relative order), then group 1, etc.
+func stableGroupLayout(degs []uint32, groupOf func(uint32) int, numGroups int) Permutation {
+	counts := make([]uint64, numGroups+1)
+	groups := make([]int32, len(degs))
+	for v, deg := range degs {
+		k := groupOf(deg)
+		groups[v] = int32(k)
+		counts[k+1]++
+	}
+	for k := 1; k <= numGroups; k++ {
+		counts[k] += counts[k-1]
+	}
+	perm := make(Permutation, len(degs))
+	for v := range degs {
+		k := groups[v]
+		perm[v] = graph.VertexID(counts[k])
+		counts[k]++
+	}
+	return perm
+}
+
+// GroupSizes returns how many vertices fall in each DBG group for the
+// given degree array; used by Table V-style reporting and the ablation.
+func (d *DBG) GroupSizes(degs []uint32, avg float64) []int {
+	sizes := make([]int, len(d.boundsOfA))
+	bounds := make([]uint32, len(d.boundsOfA))
+	for i, m := range d.boundsOfA {
+		bounds[i] = uint32(math.Ceil(m * avg))
+	}
+	for _, deg := range degs {
+		for k, b := range bounds {
+			if deg >= b {
+				sizes[k]++
+				break
+			}
+		}
+	}
+	return sizes
+}
+
+// SortTechnique reorders all vertices by descending degree (the paper's
+// "Sort"). Equivalent to DBG with one group per distinct degree (Table V).
+// The implementation is a stable counting sort keyed by degree, so ties
+// preserve original order — matching Fig. 2(b).
+type SortTechnique struct{}
+
+// Name implements Technique.
+func (SortTechnique) Name() string { return "Sort" }
+
+// Permute implements Technique.
+func (s SortTechnique) Permute(g *graph.Graph, kind graph.DegreeKind) (Permutation, error) {
+	return degreeBasedPermute(g, kind, s)
+}
+
+// PermuteDegrees implements DegreeBased.
+func (SortTechnique) PermuteDegrees(degs []uint32, _ float64) Permutation {
+	return sortDescStable(degs, nil)
+}
+
+// sortDescStable assigns new IDs by descending degree with stable ties.
+// When subset is non-nil, only vertices v with subset[v] participate; the
+// returned slice then holds, in order, the original IDs sorted by
+// descending degree (not a permutation — a layout order).
+func sortDescStable(degs []uint32, subset []bool) Permutation {
+	var maxDeg uint32
+	for v, d := range degs {
+		if subset != nil && !subset[v] {
+			continue
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Counting sort over descending degree buckets.
+	counts := make([]uint64, maxDeg+2)
+	for v, d := range degs {
+		if subset != nil && !subset[v] {
+			continue
+		}
+		bucket := maxDeg - d // descending
+		counts[bucket+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	if subset == nil {
+		perm := make(Permutation, len(degs))
+		for v, d := range degs {
+			bucket := maxDeg - d
+			perm[v] = graph.VertexID(counts[bucket])
+			counts[bucket]++
+		}
+		return perm
+	}
+	// Subset variant: emit the participating original IDs in sorted order.
+	order := make(Permutation, counts[len(counts)-1])
+	for v, d := range degs {
+		if !subset[v] {
+			continue
+		}
+		bucket := maxDeg - d
+		order[counts[bucket]] = graph.VertexID(v)
+		counts[bucket]++
+	}
+	return order
+}
+
+// HubSort is Hub Sorting (Zhang et al. [5], "frequency-based clustering")
+// expressed in the DBG framework per Table V: hot vertices (degree >= A)
+// are fully sorted by descending degree and placed first; cold vertices
+// keep their original relative order.
+type HubSort struct{}
+
+// Name implements Technique.
+func (HubSort) Name() string { return "HubSort" }
+
+// Permute implements Technique.
+func (h HubSort) Permute(g *graph.Graph, kind graph.DegreeKind) (Permutation, error) {
+	return degreeBasedPermute(g, kind, h)
+}
+
+// PermuteDegrees implements DegreeBased.
+func (HubSort) PermuteDegrees(degs []uint32, avg float64) Permutation {
+	hot := hotMask(degs, avg)
+	hotOrder := sortDescStable(degs, hot)
+	perm := make(Permutation, len(degs))
+	next := uint64(0)
+	for _, v := range hotOrder {
+		perm[v] = graph.VertexID(next)
+		next++
+	}
+	for v := range degs {
+		if !hot[v] {
+			perm[v] = graph.VertexID(next)
+			next++
+		}
+	}
+	return perm
+}
+
+// HubCluster is Hub Clustering (Balaji & Lucia [6]) expressed in the DBG
+// framework per Table V: DBG with exactly two groups — hot first, cold
+// second — and no sorting anywhere.
+type HubCluster struct{}
+
+// Name implements Technique.
+func (HubCluster) Name() string { return "HubCluster" }
+
+// Permute implements Technique.
+func (h HubCluster) Permute(g *graph.Graph, kind graph.DegreeKind) (Permutation, error) {
+	return degreeBasedPermute(g, kind, h)
+}
+
+// PermuteDegrees implements DegreeBased.
+func (HubCluster) PermuteDegrees(degs []uint32, avg float64) Permutation {
+	hotThreshold := uint32(math.Ceil(avg))
+	return stableGroupLayout(degs, func(deg uint32) int {
+		if deg >= hotThreshold {
+			return 0
+		}
+		return 1
+	}, 2)
+}
+
+func hotMask(degs []uint32, avg float64) []bool {
+	hot := make([]bool, len(degs))
+	for v, d := range degs {
+		if float64(d) >= avg {
+			hot[v] = true
+		}
+	}
+	return hot
+}
+
+// sortPermValidateHelper is used in tests via sort.Sort to double check
+// counting-sort results against the standard library on small inputs.
+type byDegDesc struct {
+	ids  []graph.VertexID
+	degs []uint32
+}
+
+func (s byDegDesc) Len() int { return len(s.ids) }
+func (s byDegDesc) Less(i, j int) bool {
+	if s.degs[s.ids[i]] != s.degs[s.ids[j]] {
+		return s.degs[s.ids[i]] > s.degs[s.ids[j]]
+	}
+	return s.ids[i] < s.ids[j]
+}
+func (s byDegDesc) Swap(i, j int) { s.ids[i], s.ids[j] = s.ids[j], s.ids[i] }
+
+// referenceSortDesc is a slow, obviously-correct descending stable sort
+// used by tests.
+func referenceSortDesc(degs []uint32) Permutation {
+	ids := make([]graph.VertexID, len(degs))
+	for i := range ids {
+		ids[i] = graph.VertexID(i)
+	}
+	sort.Stable(byDegDesc{ids, degs})
+	perm := make(Permutation, len(degs))
+	for pos, v := range ids {
+		perm[v] = graph.VertexID(pos)
+	}
+	return perm
+}

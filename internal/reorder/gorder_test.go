@@ -1,0 +1,108 @@
+package reorder
+
+import (
+	"testing"
+
+	"graphreorder/internal/graph"
+	"graphreorder/internal/rng"
+)
+
+func TestBucketQueueBasics(t *testing.T) {
+	q := newBucketQueue(4)
+	// All keys start at 0; popMax returns some live vertex.
+	v, ok := q.popMax()
+	if !ok {
+		t.Fatal("fresh queue empty")
+	}
+	q.remove(v)
+	q.adjust(1, +1)
+	q.adjust(1, +1)
+	q.adjust(2, +1)
+	got, ok := q.popMax()
+	if !ok || got != 1 {
+		t.Fatalf("popMax = %v,%v, want vertex 1 (key 2)", got, ok)
+	}
+}
+
+func TestBucketQueueDecrementAndStaleEntries(t *testing.T) {
+	q := newBucketQueue(3)
+	q.adjust(0, +3) // key 3, with stale entries at 1 and 2
+	q.adjust(0, -1) // key 2
+	q.adjust(1, +1) // key 1
+	v, ok := q.popMax()
+	if !ok || v != 0 {
+		t.Fatalf("popMax = %v, want 0 at key 2", v)
+	}
+	if q.key[0] != 2 {
+		t.Fatalf("key[0] = %d, want 2", q.key[0])
+	}
+}
+
+func TestBucketQueueRemoveAll(t *testing.T) {
+	q := newBucketQueue(3)
+	for v := 0; v < 3; v++ {
+		q.remove(graph.VertexID(v))
+	}
+	if _, ok := q.popMax(); ok {
+		t.Fatal("popMax returned from fully-removed queue")
+	}
+}
+
+func TestBucketQueueNegativeClamp(t *testing.T) {
+	q := newBucketQueue(2)
+	q.adjust(0, -5)
+	if q.key[0] != 0 {
+		t.Fatalf("negative key not clamped: %d", q.key[0])
+	}
+}
+
+func TestBucketQueueAdjustAfterRemoveIsNoop(t *testing.T) {
+	q := newBucketQueue(2)
+	q.remove(0)
+	q.adjust(0, +7)
+	if q.key[0] != 0 {
+		t.Fatalf("removed vertex key changed: %d", q.key[0])
+	}
+}
+
+func TestGorderWindowSizesProduceValidPerms(t *testing.T) {
+	r := rng.New(31)
+	var edges []graph.Edge
+	n := 200
+	for i := 0; i < 800; i++ {
+		edges = append(edges, graph.Edge{
+			Src: graph.VertexID(r.Intn(n)), Dst: graph.VertexID(r.Intn(n))})
+	}
+	g, err := graph.BuildWith(edges, graph.BuildOptions{NumVertices: n, SortNeighbors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 3, 5, 16} {
+		p, err := Gorder{Window: w, FanoutCap: 8}.Permute(g, graph.OutDegree)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+	}
+}
+
+func TestGorderStartsFromMaxInDegree(t *testing.T) {
+	// Star into vertex 4: Gorder must place it first (new ID 0).
+	var edges []graph.Edge
+	for v := 0; v < 4; v++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: 4})
+	}
+	g, err := graph.Build(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Gorder{}.Permute(g, graph.OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[4] != 0 {
+		t.Errorf("max in-degree vertex got new ID %d, want 0", p[4])
+	}
+}

@@ -1,0 +1,86 @@
+package reorder
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"graphreorder/internal/gen"
+	"graphreorder/internal/graph"
+	"graphreorder/internal/rng"
+)
+
+func TestParallelDBGEqualsSequential(t *testing.T) {
+	g, err := gen.Generate(gen.MustDataset("sd", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewDBG().Permute(g, graph.OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		par, err := NewParallelDBGFrom(NewDBG(), workers).Permute(g, graph.OutDegree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: parallel DBG diverges from sequential", workers)
+		}
+	}
+}
+
+func TestParallelDBGProperty(t *testing.T) {
+	f := func(seed uint64, workersRaw uint8) bool {
+		r := rng.New(seed)
+		n := 1024 + r.Intn(4096)
+		degs := make([]uint32, n)
+		for i := range degs {
+			degs[i] = uint32(r.Zipf(2000, 1.1))
+		}
+		var avg float64
+		for _, d := range degs {
+			avg += float64(d)
+		}
+		avg /= float64(n)
+		workers := 2 + int(workersRaw%14)
+		seq := NewDBG().PermuteDegrees(degs, avg)
+		par := NewParallelDBGFrom(NewDBG(), workers).PermuteDegrees(degs, avg)
+		return reflect.DeepEqual(seq, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelDBGSmallInputFallsBack(t *testing.T) {
+	degs := []uint32{5, 1, 9, 0}
+	seq := NewDBG().PermuteDegrees(degs, 3)
+	par := NewParallelDBG().PermuteDegrees(degs, 3)
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("small-input fallback diverges")
+	}
+}
+
+func TestCeilU32(t *testing.T) {
+	cases := map[float64]uint32{0: 0, 0.5: 1, 1: 1, 1.0001: 2, 20: 20}
+	for in, want := range cases {
+		if got := ceilU32(in); got != want {
+			t.Errorf("ceilU32(%v) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func BenchmarkParallelDBG(b *testing.B) {
+	g, err := gen.Generate(gen.MustDataset("sd", gen.Small))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewParallelDBG()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Permute(g, graph.OutDegree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package reorder
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ByName returns the technique for a CLI/harness name. Recognized names
+// (case-insensitive): original, sort, hubsort, hubcluster, hubsort-o,
+// hubcluster-o, dbg, gorder, gorder+dbg, rv, rcb-<n>, dbg<k> (DBG with k
+// geometric groups, e.g. dbg4).
+func ByName(name string) (Technique, error) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	switch lower {
+	case "original", "identity", "none":
+		return IdentityTechnique{}, nil
+	case "sort":
+		return SortTechnique{}, nil
+	case "hubsort":
+		return HubSort{}, nil
+	case "hubcluster":
+		return HubCluster{}, nil
+	case "hubsort-o", "hubsorto":
+		return HubSortO{}, nil
+	case "hubcluster-o", "hubclustero":
+		return HubClusterO{}, nil
+	case "dbg":
+		return NewDBG(), nil
+	case "gorder":
+		return Gorder{}, nil
+	case "gorder+dbg", "gorderdbg":
+		return Composed{First: Gorder{}, Second: NewDBG(), DisplayName: "Gorder+DBG"}, nil
+	case "rv", "random":
+		return RandomVertex{Seed: 1}, nil
+	}
+	if rest, ok := strings.CutPrefix(lower, "rcb-"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("reorder: bad RCB granularity in %q", name)
+		}
+		return RandomCacheBlock{Seed: 1, Blocks: n}, nil
+	}
+	if rest, ok := strings.CutPrefix(lower, "dbg"); ok {
+		k, err := strconv.Atoi(rest)
+		if err != nil || k < 2 {
+			return nil, fmt.Errorf("reorder: bad DBG group count in %q", name)
+		}
+		return NewDBGGeometric(k, 0.5)
+	}
+	return nil, fmt.Errorf("reorder: unknown technique %q", name)
+}
+
+// SkewAware returns the paper's four skew-aware techniques in presentation
+// order: Sort, HubSort, HubCluster, DBG.
+func SkewAware() []Technique {
+	return []Technique{SortTechnique{}, HubSort{}, HubCluster{}, NewDBG()}
+}
+
+// Evaluated returns the five techniques of Fig. 6: the skew-aware four
+// plus Gorder.
+func Evaluated() []Technique {
+	return append(SkewAware(), Gorder{})
+}

@@ -1,0 +1,182 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the repository.
+//
+// Every dataset, reordering and experiment in this repository must be
+// bit-reproducible across runs and machines, so we avoid math/rand's
+// global state and implement two well-known generators from scratch:
+//
+//   - SplitMix64: used for seeding and for cheap one-shot hashing.
+//   - Xoshiro256++: the workhorse generator for dataset synthesis.
+//
+// Both are public-domain algorithms (Blackman & Vigna). The implementations
+// here are intentionally minimal: no locking, value receivers avoided so a
+// generator can be embedded and advanced in place.
+package rng
+
+import "math"
+
+// SplitMix64 is a tiny 64-bit generator with a 64-bit state. It is mainly
+// used to derive independent seeds for Xoshiro streams, and as a cheap
+// stateless mixer (see Mix64).
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the SplitMix64 finalizer to x. It is a high-quality
+// stateless 64-bit mixing function, useful for deterministic hashing of
+// indices (e.g., deriving a per-vertex stream from a base seed).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Rand is a Xoshiro256++ generator. The zero value is not usable; construct
+// with New.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Xoshiro256++ generator seeded from seed via SplitMix64, per
+// the authors' recommendation.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{s0: sm.Next(), s1: sm.Next(), s2: sm.Next(), s3: sm.Next()}
+	// Guard against the (astronomically unlikely) all-zero state, which is
+	// the one fixed point of the xoshiro transition.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1
+	}
+	return r
+}
+
+// NewStream returns an independent generator for (seed, stream). Streams
+// derived from the same seed but different stream indices are statistically
+// independent, which lets parallel code draw from disjoint sequences.
+func NewStream(seed, stream uint64) *Rand {
+	return New(Mix64(seed) ^ Mix64(stream*0x9e3779b97f4a7c15+1))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Uint32 returns 32 random bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Rejection sampling on the top bits: draw until the value falls in the
+	// largest multiple of n that fits in 64 bits.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Pareto returns a sample from a Pareto distribution with minimum xm and
+// shape alpha. Power-law degree sequences use this: P(X > x) = (xm/x)^alpha.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	// Invert the CDF; 1-u is uniform in (0,1] so the pow never sees 0.
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Exp returns an exponentially distributed sample with rate lambda.
+func (r *Rand) Exp(lambda float64) float64 {
+	u := r.Float64()
+	return -math.Log(1-u) / lambda
+}
+
+// Zipf samples a rank in [0, n) with probability proportional to
+// 1/(rank+1)^s, using the inverse-CDF approximation of the continuous
+// bounded Pareto. It is accurate enough for workload synthesis and O(1)
+// per sample (no precomputed tables), which matters when drawing hundreds
+// of millions of edges.
+func (r *Rand) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	if s == 1 {
+		s = 1.0000001 // avoid the harmonic singularity
+	}
+	u := r.Float64()
+	nf := float64(n)
+	// Continuous bounded Pareto on [1, n+1): invert the CDF.
+	oneMinusS := 1 - s
+	x := math.Pow(u*(math.Pow(nf+1, oneMinusS)-1)+1, 1/oneMinusS)
+	k := int(x) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a slice,
+// generated with the inside-out Fisher-Yates shuffle.
+func (r *Rand) Perm(n int) []uint32 {
+	p := make([]uint32, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = uint32(i)
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,217 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("SplitMix64 not deterministic at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values from the public-domain C implementation with seed 0.
+	s := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("step %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMix64MatchesSplitMixStep(t *testing.T) {
+	// Mix64(x) must equal the SplitMix64 output whose pre-increment state is x.
+	for _, x := range []uint64{0, 1, 42, 1 << 40, math.MaxUint64} {
+		s := &SplitMix64{state: x}
+		if got, want := s.Next(), Mix64(x); got != want {
+			t.Errorf("Mix64(%#x) = %#x, want %#x", x, want, got)
+		}
+	}
+}
+
+func TestXoshiroDeterministicAndSeedSensitive(t *testing.T) {
+	a, b := New(7), New(7)
+	c := New(8)
+	same, diff := true, false
+	for i := 0; i < 1000; i++ {
+		va, vb, vc := a.Uint64(), b.Uint64(), c.Uint64()
+		if va != vb {
+			same = false
+		}
+		if va != vc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different sequences")
+	}
+	if !diff {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	a := NewStream(1, 0)
+	b := NewStream(1, 1)
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 2 {
+		t.Errorf("streams look correlated: %d collisions in 1000 draws", collisions)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("bucket %d: count %d deviates >5%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %v too far from 0.5", mean)
+	}
+}
+
+func TestParetoMinimumAndMean(t *testing.T) {
+	r := New(9)
+	const xm, alpha, draws = 2.0, 3.0, 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		v := r.Pareto(xm, alpha)
+		if v < xm {
+			t.Fatalf("Pareto sample %v below minimum %v", v, xm)
+		}
+		sum += v
+	}
+	// E[X] = alpha*xm/(alpha-1) = 3 for these parameters.
+	if mean := sum / draws; math.Abs(mean-3.0) > 0.1 {
+		t.Errorf("Pareto mean %v, want ~3.0", mean)
+	}
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	r := New(13)
+	const n, draws = 1000, 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := r.Zipf(n, 1.2)
+		if k < 0 || k >= n {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[500] {
+		t.Errorf("Zipf not monotonically skewed: c0=%d c10=%d c500=%d",
+			counts[0], counts[10], counts[500])
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	r := New(1)
+	if got := r.Zipf(1, 2.0); got != 0 {
+		t.Errorf("Zipf(1) = %d, want 0", got)
+	}
+	if got := r.Zipf(0, 2.0); got != 0 {
+		t.Errorf("Zipf(0) = %d, want 0", got)
+	}
+}
+
+func TestPermIsBijection(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + int(seed%257)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(21)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Errorf("shuffle changed element multiset: sum %d != %d", got, sum)
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}

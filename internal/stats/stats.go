@@ -1,0 +1,188 @@
+// Package stats computes the dataset characterization metrics the paper
+// reports in Tables I–IV: hot-vertex skew, cache-block packing of hot
+// vertices, hot-vertex footprint, and the degree-range histogram that
+// motivates DBG's geometric groups.
+//
+// Throughout, a vertex is hot when its degree is greater than or equal to
+// the dataset's average degree (the paper's classification threshold).
+package stats
+
+import (
+	"math"
+
+	"graphreorder/internal/graph"
+)
+
+// Bytes-per-element constants used by the paper's arithmetic.
+const (
+	// CacheBlockBytes is the cache line size assumed throughout (64 B).
+	CacheBlockBytes = 64
+	// DefaultPropertyBytes is the per-vertex property size assumed in
+	// Tables II and IV (8 bytes).
+	DefaultPropertyBytes = 8
+)
+
+// Skew holds the Table I metrics for one degree kind.
+type Skew struct {
+	// HotFrac is the fraction of vertices whose degree >= average.
+	HotFrac float64
+	// EdgeCoverage is the fraction of edges incident (by this degree
+	// kind) on hot vertices.
+	EdgeCoverage float64
+}
+
+// ComputeSkew computes Table I metrics for g under the given degree kind.
+func ComputeSkew(g *graph.Graph, kind graph.DegreeKind) Skew {
+	degs := g.Degrees(kind)
+	avg := g.AvgDegree()
+	hot, hotEdges, total := 0, 0, 0
+	for _, d := range degs {
+		total += int(d)
+		if float64(d) >= avg {
+			hot++
+			hotEdges += int(d)
+		}
+	}
+	if g.NumVertices() == 0 || total == 0 {
+		return Skew{}
+	}
+	return Skew{
+		HotFrac:      float64(hot) / float64(g.NumVertices()),
+		EdgeCoverage: float64(hotEdges) / float64(total),
+	}
+}
+
+// HotPerBlock computes the Table II metric: the average number of hot
+// vertices per cache block, counting only blocks that contain at least one
+// hot vertex, assuming propertyBytes per vertex and CacheBlockBytes-sized
+// blocks, with vertices laid out in ID order.
+func HotPerBlock(g *graph.Graph, kind graph.DegreeKind, propertyBytes int) float64 {
+	if propertyBytes <= 0 {
+		propertyBytes = DefaultPropertyBytes
+	}
+	perBlock := CacheBlockBytes / propertyBytes
+	if perBlock < 1 {
+		perBlock = 1
+	}
+	degs := g.Degrees(kind)
+	avg := g.AvgDegree()
+	blocksWithHot, hotTotal := 0, 0
+	for blockStart := 0; blockStart < len(degs); blockStart += perBlock {
+		end := blockStart + perBlock
+		if end > len(degs) {
+			end = len(degs)
+		}
+		hotHere := 0
+		for v := blockStart; v < end; v++ {
+			if float64(degs[v]) >= avg {
+				hotHere++
+			}
+		}
+		if hotHere > 0 {
+			blocksWithHot++
+			hotTotal += hotHere
+		}
+	}
+	if blocksWithHot == 0 {
+		return 0
+	}
+	return float64(hotTotal) / float64(blocksWithHot)
+}
+
+// HotFootprintBytes computes the Table III metric: bytes needed to store
+// the properties of all hot vertices, at propertyBytes per vertex.
+func HotFootprintBytes(g *graph.Graph, kind graph.DegreeKind, propertyBytes int) int64 {
+	degs := g.Degrees(kind)
+	avg := g.AvgDegree()
+	hot := int64(0)
+	for _, d := range degs {
+		if float64(d) >= avg {
+			hot++
+		}
+	}
+	return hot * int64(propertyBytes)
+}
+
+// DegreeRangeBin is one row slot of Table IV: hot vertices whose degree
+// falls in [Lo, Hi) where the bounds are multiples of the average degree.
+type DegreeRangeBin struct {
+	// LoMult and HiMult are the range bounds as multiples of the average
+	// degree A; HiMult = +Inf for the last bin.
+	LoMult, HiMult float64
+	// Count is the number of hot vertices in the range.
+	Count int
+	// FracOfHot is Count as a fraction of all hot vertices.
+	FracOfHot float64
+	// FootprintBytes is Count * propertyBytes.
+	FootprintBytes int64
+}
+
+// DegreeRanges computes the Table IV histogram: hot vertices partitioned
+// into geometrically-spaced degree ranges [A,2A), [2A,4A), ... with the
+// final bin open-ended at [2^(bins-1)·A, ∞). bins must be >= 1.
+func DegreeRanges(g *graph.Graph, kind graph.DegreeKind, bins, propertyBytes int) []DegreeRangeBin {
+	if bins < 1 {
+		bins = 1
+	}
+	if propertyBytes <= 0 {
+		propertyBytes = DefaultPropertyBytes
+	}
+	avg := g.AvgDegree()
+	degs := g.Degrees(kind)
+
+	out := make([]DegreeRangeBin, bins)
+	for i := range out {
+		out[i].LoMult = math.Pow(2, float64(i))
+		if i == bins-1 {
+			out[i].HiMult = math.Inf(1)
+		} else {
+			out[i].HiMult = math.Pow(2, float64(i+1))
+		}
+	}
+	totalHot := 0
+	for _, d := range degs {
+		df := float64(d)
+		if df < avg || avg == 0 {
+			continue
+		}
+		totalHot++
+		idx := 0
+		if avg > 0 {
+			idx = int(math.Floor(math.Log2(df / avg)))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		out[idx].Count++
+	}
+	for i := range out {
+		if totalHot > 0 {
+			out[i].FracOfHot = float64(out[i].Count) / float64(totalHot)
+		}
+		out[i].FootprintBytes = int64(out[i].Count) * int64(propertyBytes)
+	}
+	return out
+}
+
+// MeanNeighborIDDistance returns the average |src-dst| over all edges — a
+// structure-locality proxy used by the harness to report how much a
+// reordering disrupted the layout.
+func MeanNeighborIDDistance(g *graph.Graph) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	var sum float64
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, dst := range g.OutNeighbors(graph.VertexID(v)) {
+			d := int64(v) - int64(dst)
+			if d < 0 {
+				d = -d
+			}
+			sum += float64(d)
+		}
+	}
+	return sum / float64(g.NumEdges())
+}

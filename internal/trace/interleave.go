@@ -1,0 +1,126 @@
+package trace
+
+import "graphreorder/internal/cachesim"
+
+// access is one pending memory access of a simulated core.
+type access struct {
+	addr  uint64
+	write bool
+}
+
+// Interleaver buffers the access stream of each simulated core and feeds
+// the cache hierarchy round-robin, a few accesses per core per turn.
+//
+// The tracer observes a *sequential* application run in which the work of
+// different simulated cores arrives in chunks (core A's whole scheduling
+// chunk, then core B's, ...). Replaying that order directly would inflate
+// cross-core reuse distances by a full chunk of accesses, hiding exactly
+// the fine-grained sharing that produces the paper's Fig. 9 coherence
+// traffic. Interleaving the per-core streams at small granularity restores
+// the concurrent-execution timing in which thread A writes a hub line and
+// thread B touches it a handful of instructions later.
+type Interleaver struct {
+	h        *cachesim.Hierarchy
+	queues   [][]access
+	heads    []int // index of first unpopped element per queue
+	capacity int
+	grain    int
+}
+
+// NewInterleaver wraps h. capacity bounds each core's pending queue
+// (accesses are drained round-robin once any queue fills); grain is how
+// many accesses one core issues per round-robin turn. Zero values select
+// 4096 and 4.
+func NewInterleaver(h *cachesim.Hierarchy, capacity, grain int) *Interleaver {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if grain <= 0 {
+		grain = 4
+	}
+	return &Interleaver{
+		h:        h,
+		queues:   make([][]access, h.Cores()),
+		heads:    make([]int, h.Cores()),
+		capacity: capacity,
+		grain:    grain,
+	}
+}
+
+// Push enqueues an access for core, draining round-robin when the queue
+// fills.
+func (iv *Interleaver) Push(core int, addr uint64, write bool) {
+	iv.queues[core] = append(iv.queues[core], access{addr, write})
+	if len(iv.queues[core])-iv.heads[core] >= iv.capacity {
+		iv.drain(iv.capacity / 2)
+	}
+}
+
+// drain issues accesses round-robin from every non-empty queue — grain
+// accesses per core per turn — until no queue holds more than highWater
+// pending entries. Mixing all streams (not just the overfull one) is what
+// produces concurrent-execution timing.
+func (iv *Interleaver) drain(highWater int) {
+	for iv.maxPending() > highWater {
+		for core := range iv.queues {
+			pending := len(iv.queues[core]) - iv.heads[core]
+			if pending == 0 {
+				continue
+			}
+			n := iv.grain
+			if n > pending {
+				n = pending
+			}
+			iv.pop(core, n)
+		}
+	}
+}
+
+func (iv *Interleaver) maxPending() int {
+	max := 0
+	for core := range iv.queues {
+		if p := len(iv.queues[core]) - iv.heads[core]; p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+func (iv *Interleaver) pop(core, n int) {
+	q := iv.queues[core]
+	h := iv.heads[core]
+	for i := 0; i < n; i++ {
+		a := q[h+i]
+		iv.h.Access(core, a.addr, a.write)
+	}
+	h += n
+	if h >= len(q) {
+		iv.queues[core] = q[:0]
+		iv.heads[core] = 0
+	} else {
+		iv.heads[core] = h
+	}
+}
+
+// Flush issues every pending access, interleaving the remaining streams
+// round-robin. Must be called once at end of simulation.
+func (iv *Interleaver) Flush() {
+	for {
+		remaining := false
+		for core := range iv.queues {
+			pending := len(iv.queues[core]) - iv.heads[core]
+			if pending == 0 {
+				continue
+			}
+			remaining = true
+			n := iv.grain
+			if n > pending {
+				n = pending
+			}
+			iv.pop(core, n)
+		}
+		if !remaining {
+			return
+		}
+	}
+}
