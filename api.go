@@ -8,6 +8,7 @@ import (
 	"graphreorder/internal/gen"
 	"graphreorder/internal/graph"
 	"graphreorder/internal/ligra"
+	"graphreorder/internal/par"
 	"graphreorder/internal/reorder"
 	"graphreorder/internal/stats"
 	"graphreorder/internal/trace"
@@ -113,42 +114,101 @@ func Reorder(g *Graph, t Technique, kind DegreeKind) (ReorderResult, error) {
 	return reorder.Apply(g, t, kind)
 }
 
+// Engine bundles execution options for the multicore execution engine.
+// The zero value runs on every core.
+type Engine struct {
+	// Workers is the number of worker goroutines EdgeMap and the bulk
+	// vertex passes may use: 0 means GOMAXPROCS, 1 forces the sequential
+	// engine. Pull-based traversals are bit-identical at any worker count;
+	// push-based ones compute the same frontiers and results up to
+	// floating-point summation order (see doc.go for the determinism
+	// contract).
+	Workers int
+}
+
+// Parallel returns an Engine using every core (GOMAXPROCS workers).
+func Parallel() Engine { return Engine{} }
+
+// Sequential returns an Engine pinned to the deterministic single-worker
+// path.
+func Sequential() Engine { return Engine{Workers: 1} }
+
+func (e Engine) workers() int { return par.Resolve(e.Workers) }
+
+// Reorder applies a technique using the engine's worker count for the CSR
+// rebuild (the rebuilt graph is bit-identical at any worker count; only
+// the measured RebuildTime changes).
+func (e Engine) Reorder(g *Graph, t Technique, kind DegreeKind) (ReorderResult, error) {
+	return reorder.ApplyWorkers(g, t, kind, e.workers())
+}
+
 // PageRank runs pull-based PageRank (damping 0.85) until convergence or
 // maxIters (0 = default); returns ranks and iterations executed.
-func PageRank(g *Graph, maxIters int) ([]float64, int) {
-	ranks, iters, _ := apps.PageRank(g, maxIters, nil)
+func (e Engine) PageRank(g *Graph, maxIters int) ([]float64, int) {
+	ranks, iters, _ := apps.PageRank(g, maxIters, e.workers(), nil)
 	return ranks, iters
 }
 
 // PageRankDelta runs push-based incremental PageRank; returns ranks and
 // iterations executed.
-func PageRankDelta(g *Graph, maxIters int) ([]float64, int) {
-	ranks, iters, _ := apps.PageRankDelta(g, maxIters, nil)
+func (e Engine) PageRankDelta(g *Graph, maxIters int) ([]float64, int) {
+	ranks, iters, _ := apps.PageRankDelta(g, maxIters, e.workers(), nil)
 	return ranks, iters
+}
+
+// ShortestPaths runs frontier-based Bellman-Ford from root on a weighted
+// graph.
+func (e Engine) ShortestPaths(g *Graph, root VertexID) ([]int64, error) {
+	dist, _, _, err := apps.SSSP(g, root, e.workers(), nil)
+	return dist, err
+}
+
+// Betweenness computes single-source betweenness-centrality dependency
+// scores from root (Brandes' algorithm).
+func (e Engine) Betweenness(g *Graph, root VertexID) []float64 {
+	dep, _, _ := apps.BC(g, root, e.workers(), nil)
+	return dep
+}
+
+// Radii estimates per-vertex eccentricity with up to 64 simultaneous
+// BFS sources; -1 marks vertices none of the samples reached.
+func (e Engine) Radii(g *Graph, samples []VertexID) []int32 {
+	radii, _, _ := apps.Radii(g, samples, e.workers(), nil)
+	return radii
+}
+
+// PageRank runs pull-based PageRank on the sequential engine; see
+// Engine.PageRank to use multiple cores.
+func PageRank(g *Graph, maxIters int) ([]float64, int) {
+	return Sequential().PageRank(g, maxIters)
+}
+
+// PageRankDelta runs push-based incremental PageRank on the sequential
+// engine.
+func PageRankDelta(g *Graph, maxIters int) ([]float64, int) {
+	return Sequential().PageRankDelta(g, maxIters)
 }
 
 // InfDistance marks unreachable vertices in ShortestPaths results.
 const InfDistance = apps.InfDistance
 
 // ShortestPaths runs frontier-based Bellman-Ford from root on a weighted
-// graph.
+// graph, sequentially.
 func ShortestPaths(g *Graph, root VertexID) ([]int64, error) {
-	dist, _, _, err := apps.SSSP(g, root, nil)
-	return dist, err
+	return Sequential().ShortestPaths(g, root)
 }
 
 // Betweenness computes single-source betweenness-centrality dependency
-// scores from root (Brandes' algorithm).
+// scores from root (Brandes' algorithm), sequentially.
 func Betweenness(g *Graph, root VertexID) []float64 {
-	dep, _, _ := apps.BC(g, root, nil)
-	return dep
+	return Sequential().Betweenness(g, root)
 }
 
 // Radii estimates per-vertex eccentricity with up to 64 simultaneous
-// BFS sources; -1 marks vertices none of the samples reached.
+// BFS sources, sequentially; -1 marks vertices none of the samples
+// reached.
 func Radii(g *Graph, samples []VertexID) []int32 {
-	radii, _, _ := apps.Radii(g, samples, nil)
-	return radii
+	return Sequential().Radii(g, samples)
 }
 
 // SkewStats describes a dataset's degree skew (the paper's Table I).

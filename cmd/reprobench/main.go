@@ -28,6 +28,7 @@ func main() {
 		maxIters   = flag.Int("iters", 10, "iteration cap for iterative applications")
 		roots      = flag.Int("roots", 4, "roots aggregated per root-dependent application run")
 		seed       = flag.Uint64("seed", 0, "root-selection seed (0 = default)")
+		workers    = flag.Int("workers", 1, "EdgeMap worker goroutines (1 = deterministic sequential engine, -1 = GOMAXPROCS)")
 		gorderDiv  = flag.Float64("gorder-scale", 40, "divide Gorder reordering time by this (paper's ÷40 convention)")
 		skipGorder = flag.Bool("skip-gorder", false, "omit Gorder from technique sweeps (recommended at -scale large)")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
@@ -62,6 +63,7 @@ func main() {
 		Trials:      *trials,
 		MaxIters:    *maxIters,
 		RootsPerApp: *roots,
+		Workers:     *workers,
 		Seed:        *seed,
 		GorderScale: *gorderDiv,
 		SkipGorder:  *skipGorder,

@@ -26,4 +26,39 @@
 // trace-driven multi-core cache simulator, and a harness (cmd/reprobench)
 // that regenerates every table and figure of the paper. See DESIGN.md for
 // the system inventory and EXPERIMENTS.md for measured results.
+//
+// # Workers and the determinism contract
+//
+// The execution engine is multicore. The Workers knob appears on
+// Engine.Workers here, harness.Options.Workers, apps.Input.Workers and
+// ligra.EdgeMapOpts.Workers, and means the same thing everywhere: how
+// many goroutines a traversal or CSR build may use, with the zero value
+// (and 1) pinning the sequential engine — except Engine.Workers, where 0
+// means GOMAXPROCS because Engine is the explicit "use the cores" entry
+// point. What parallelism does to reproducibility is spelled out per
+// path:
+//
+//   - CSR construction and Relabel are bit-identical at every worker
+//     count: workers count/prefix/scatter over contiguous input chunks
+//     (the pattern of reorder.ParallelDBG), which preserves the sequential
+//     edge order exactly.
+//   - Pull-mode EdgeMap is bit-identical at every worker count: the
+//     destination range is partitioned into contiguous 64-aligned chunks,
+//     each destination is owned by one worker, and per-destination
+//     accumulation runs in CSR order. PageRank's rank vector is therefore
+//     reproducible to the last bit on any core count.
+//   - Push-mode EdgeMap is frontier-order-independent: the output
+//     frontier is the same *set* at every worker count (claimed via
+//     compare-and-swap on a word-level bitset), but its member order — and
+//     the order in which update functions observe edges — depends on
+//     interleaving. Integer-state applications (SSSP distances, Radii
+//     estimates, BFS levels) still produce exact sequential answers;
+//     float accumulators (PRD, BC path counts) match up to summation
+//     order.
+//   - Tracing forces the sequential path: any run with a Tracer attached
+//     is deterministic regardless of Workers, so cache-simulator traces
+//     never depend on scheduling.
+//
+// Frontiers returned by EdgeMap/VertexMap come from an internal pool;
+// Release them when done and steady-state iterations allocate nothing.
 package graphreorder

@@ -1,0 +1,3 @@
+module graphreorder
+
+go 1.24

@@ -25,6 +25,10 @@ type Input struct {
 	Roots []graph.VertexID
 	// MaxIters bounds iterative applications; 0 means the per-app default.
 	MaxIters int
+	// Workers is the number of goroutines EdgeMap and the bulk vertex
+	// passes may use; values <= 1 run sequentially. Ignored (sequential)
+	// while Tracer is set, so simulator traces stay deterministic.
+	Workers int
 	// Tracer, when non-nil, observes every edge examination (wired into
 	// EdgeMap) so the cache simulator can replay the access stream.
 	Tracer ligra.Tracer

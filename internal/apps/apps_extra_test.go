@@ -13,14 +13,14 @@ import (
 
 func TestPageRankEmptyAndSingleton(t *testing.T) {
 	empty, _ := graph.Build(nil)
-	if rank, iters, edges := PageRank(empty, 5, nil); rank != nil || iters != 0 || edges != 0 {
+	if rank, iters, edges := PageRank(empty, 5, 1, nil); rank != nil || iters != 0 || edges != 0 {
 		t.Error("empty graph mishandled")
 	}
 	single, err := graph.BuildWith(nil, graph.BuildOptions{NumVertices: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rank, _, _ := PageRank(single, 5, nil)
+	rank, _, _ := PageRank(single, 5, 1, nil)
 	if len(rank) != 1 || rank[0] <= 0 {
 		t.Errorf("singleton rank = %v", rank)
 	}
@@ -37,7 +37,7 @@ func TestPageRankDanglingMassBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rank, _, _ := PageRank(g, 30, nil)
+	rank, _, _ := PageRank(g, 30, 1, nil)
 	for v, r := range rank {
 		if r <= 0 || r > 1 {
 			t.Errorf("rank[%d] = %v out of (0,1]", v, r)
@@ -56,7 +56,7 @@ func TestPRDFrontierShrinks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, iters, edges := PageRankDelta(g, 50, nil)
+	_, iters, edges := PageRankDelta(g, 50, 1, nil)
 	if iters == 50 {
 		t.Error("PRD did not converge within 50 iterations on a tiny graph")
 	}
@@ -77,7 +77,7 @@ func TestSSSPSelfLoopAndZeroWeightSafe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dist, rounds, _, err := SSSP(g, 0, nil)
+	dist, rounds, _, err := SSSP(g, 0, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestSSSPOnRoadChainDepth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dist, rounds, _, err := SSSP(g, 0, nil)
+	dist, rounds, _, err := SSSP(g, 0, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestBCDisconnectedRootOnlyComponent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, rounds, _ := BC(g, 0, nil)
+	dep, rounds, _ := BC(g, 0, 1, nil)
 	if rounds != 1 {
 		t.Errorf("rounds = %d, want 1 (immediate empty frontier)", rounds)
 	}
@@ -140,7 +140,7 @@ func TestBCDirectionSwitchingConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	root := hubVertex(g)
-	got, _, _ := BC(g, root, nil)
+	got, _, _ := BC(g, root, 1, nil)
 	want := refBCSingle(g, root)
 	for v := range want {
 		diff := got[v] - want[v]
@@ -162,13 +162,13 @@ func TestRadiiSampleCapAt64(t *testing.T) {
 	for i := range samples {
 		samples[i] = graph.VertexID(i % g.NumVertices())
 	}
-	radii, rounds, _ := Radii(g, samples, nil)
+	radii, rounds, _ := Radii(g, samples, 1, nil)
 	if len(radii) != g.NumVertices() {
 		t.Fatal("radii length wrong")
 	}
 	// Samples beyond 64 are ignored: the result must be identical to
 	// passing exactly the first 64.
-	radii64, rounds64, _ := Radii(g, samples[:64], nil)
+	radii64, rounds64, _ := Radii(g, samples[:64], 1, nil)
 	if rounds != rounds64 {
 		t.Fatalf("rounds %d != %d with truncated samples", rounds, rounds64)
 	}
@@ -191,7 +191,7 @@ func TestRadiiEstimateBoundedByDiameter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	radii, rounds, _ := Radii(g, []graph.VertexID{0, 5, 9}, nil)
+	radii, rounds, _ := Radii(g, []graph.VertexID{0, 5, 9}, 1, nil)
 	if rounds > n+1 {
 		t.Errorf("rounds %d exceed cycle length", rounds)
 	}

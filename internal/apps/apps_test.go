@@ -30,7 +30,7 @@ func diamond(t *testing.T) *graph.Graph {
 
 func TestSSSPDiamond(t *testing.T) {
 	g := diamond(t)
-	dist, _, _, err := SSSP(g, 0, nil)
+	dist, _, _, err := SSSP(g, 0, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestSSSPUnreachable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dist, _, _, err := SSSP(g, 0, nil)
+	dist, _, _, err := SSSP(g, 0, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestSSSPUnreachable(t *testing.T) {
 
 func TestSSSPRequiresWeights(t *testing.T) {
 	g, _ := graph.Build([]graph.Edge{{Src: 0, Dst: 1}})
-	if _, _, _, err := SSSP(g, 0, nil); err == nil {
+	if _, _, _, err := SSSP(g, 0, 1, nil); err == nil {
 		t.Error("unweighted graph accepted")
 	}
 }
@@ -101,7 +101,7 @@ func TestSSSPAgainstDijkstra(t *testing.T) {
 		t.Fatal(err)
 	}
 	root := hubVertex(g)
-	got, _, _, err := SSSP(g, root, nil)
+	got, _, _, err := SSSP(g, root, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestPageRankProperties(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rank, iters, edges := PageRank(g, 0, nil)
+	rank, iters, edges := PageRank(g, 0, 1, nil)
 	if iters == 0 || edges == 0 {
 		t.Fatal("PageRank did nothing")
 	}
@@ -157,7 +157,7 @@ func TestPageRankOnCycleIsUniform(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rank, _, _ := PageRank(g, 50, nil)
+	rank, _, _ := PageRank(g, 50, 1, nil)
 	for v, r := range rank {
 		if math.Abs(r-1.0/float64(n)) > 1e-6 {
 			t.Errorf("rank[%d] = %v, want %v", v, r, 1.0/float64(n))
@@ -170,8 +170,8 @@ func TestPageRankDeltaConvergesNearPageRank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pr, _, _ := PageRank(g, 50, nil)
-	prd, _, _ := PageRankDelta(g, 50, nil)
+	pr, _, _ := PageRank(g, 50, 1, nil)
+	prd, _, _ := PageRankDelta(g, 50, 1, nil)
 	var prSum, prdSum, diff float64
 	for v := range pr {
 		prSum += pr[v]
@@ -191,7 +191,7 @@ func TestBCPathCountsOnDiamond(t *testing.T) {
 	// Dependencies from root 0 (Brandes): delta(3) = 1 (for vertex 4),
 	// delta(1) = delta(2) = 1/2 * (1 + 1) = 1 each.
 	g := diamond(t)
-	dep, rounds, _ := BC(g, 0, nil)
+	dep, rounds, _ := BC(g, 0, 1, nil)
 	if rounds < 3 {
 		t.Fatalf("BC rounds = %d, want >= 3", rounds)
 	}
@@ -249,7 +249,7 @@ func TestBCAgainstReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	root := hubVertex(g)
-	got, _, _ := BC(g, root, nil)
+	got, _, _ := BC(g, root, 1, nil)
 	want := refBCSingle(g, root)
 	for v := range want {
 		if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
@@ -268,7 +268,7 @@ func TestRadiiChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	radii, rounds, _ := Radii(g, []graph.VertexID{0}, nil)
+	radii, rounds, _ := Radii(g, []graph.VertexID{0}, 1, nil)
 	want := []int32{0, 1, 2, 3}
 	for v, w := range want {
 		if radii[v] != w {
@@ -290,7 +290,7 @@ func TestRadiiMultiSourceTakesUnion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	radii, _, _ := Radii(g, []graph.VertexID{0, 3}, nil)
+	radii, _, _ := Radii(g, []graph.VertexID{0, 3}, 1, nil)
 	for v, r := range radii {
 		if r < 0 {
 			t.Errorf("vertex %d unreached", v)
@@ -300,7 +300,7 @@ func TestRadiiMultiSourceTakesUnion(t *testing.T) {
 
 func TestRadiiEmptyAndNoSamples(t *testing.T) {
 	empty, _ := graph.Build(nil)
-	if r, rounds, edges := Radii(empty, nil, nil); len(r) != 0 || rounds != 0 || edges != 0 {
+	if r, rounds, edges := Radii(empty, nil, 1, nil); len(r) != 0 || rounds != 0 || edges != 0 {
 		t.Error("empty graph mishandled")
 	}
 }
@@ -406,7 +406,7 @@ func BenchmarkPageRank(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		PageRank(g, 5, nil)
+		PageRank(g, 5, 1, nil)
 	}
 }
 
@@ -418,7 +418,7 @@ func BenchmarkSSSP(b *testing.B) {
 	root := hubVertex(g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, err := SSSP(g, root, nil); err != nil {
+		if _, _, _, err := SSSP(g, root, 1, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,38 @@
+package apps
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Atomic property-array primitives for the parallel push paths. Push-mode
+// EdgeMap invokes update functions concurrently, so the irregular writes
+// the paper studies (nghSum accumulation in PRD, distance relaxation in
+// SSSP, path-count accumulation in BC, visited-mask growth in Radii)
+// become CAS loops here. Pull-mode updates stay plain: each destination is
+// owned by exactly one worker.
+
+// atomicAddFloat64 adds v to *p with a CAS loop on the float's bits.
+func atomicAddFloat64(p *float64, v float64) {
+	ap := (*uint64)(unsafe.Pointer(p))
+	for {
+		old := atomic.LoadUint64(ap)
+		if atomic.CompareAndSwapUint64(ap, old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// atomicMinInt64 lowers *p to v if v is smaller, reporting whether it did.
+func atomicMinInt64(p *int64, v int64) bool {
+	for {
+		old := atomic.LoadInt64(p)
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(p, old, v) {
+			return true
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package apps
 
 import (
+	"sync/atomic"
+
 	"graphreorder/internal/graph"
 	"graphreorder/internal/ligra"
+	"graphreorder/internal/par"
 )
 
 // BC computes betweenness-centrality dependency scores from a single root
@@ -11,7 +14,16 @@ import (
 // per level, then a backward sweep over the BFS DAG accumulates
 // dependencies. Returns the dependency scores, the number of BFS rounds,
 // and edges examined.
-func BC(g *graph.Graph, root graph.VertexID, tracer ligra.Tracer) ([]float64, int, uint64) {
+//
+// With workers > 1, push rounds claim levels with CAS and accumulate path
+// counts with atomic float adds (results match the sequential run up to
+// summation order); pull rounds and the backward sweep partition
+// destinations/level members, whose updates are single-owner and need no
+// atomics.
+func BC(g *graph.Graph, root graph.VertexID, workers int, tracer ligra.Tracer) ([]float64, int, uint64) {
+	if tracer != nil {
+		workers = 1
+	}
 	n := g.NumVertices()
 	numPaths := make([]float64, n)
 	level := make([]int32, n)
@@ -29,7 +41,7 @@ func BC(g *graph.Graph, root graph.VertexID, tracer ligra.Tracer) ([]float64, in
 	for !frontier.Empty() {
 		depth++
 		d := depth
-		next := ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{
+		fns := ligra.EdgeMapFns{
 			// Push: first touch claims the vertex for this level; later
 			// touches from the same level add path counts.
 			Update: func(src, dst graph.VertexID) bool {
@@ -62,10 +74,38 @@ func BC(g *graph.Graph, root graph.VertexID, tracer ligra.Tracer) ([]float64, in
 				return first || level[dst] == d
 			},
 			Cond: func(dst graph.VertexID) bool { return level[dst] == -1 || level[dst] == d },
-		}, ligra.EdgeMapOpts{Trace: tracer})
-		for _, u := range frontier.Members() {
-			edges += uint64(g.OutDegree(u))
 		}
+		if workers > 1 {
+			// Parallel push claims a destination's level with CAS; exactly
+			// one claimer returns true, and same-level contributors (the
+			// claimer included) add path counts atomically. numPaths[src]
+			// and level[src] belong to the previous level and are stable.
+			fns.Update = func(src, dst graph.VertexID) bool {
+				for {
+					l := atomic.LoadInt32(&level[dst])
+					if l == -1 {
+						if atomic.CompareAndSwapInt32(&level[dst], -1, d) {
+							atomicAddFloat64(&numPaths[dst], numPaths[src])
+							return true
+						}
+						continue
+					}
+					if l == d {
+						atomicAddFloat64(&numPaths[dst], numPaths[src])
+					}
+					return false
+				}
+			}
+			// Pull destinations are single-owner: plain updates stay, only
+			// Cond switches to atomic loads because parallel push rounds
+			// may interleave with it across rounds.
+			fns.Cond = func(dst graph.VertexID) bool {
+				l := atomic.LoadInt32(&level[dst])
+				return l == -1 || l == d
+			}
+		}
+		next := ligra.EdgeMap(g, frontier, fns, ligra.EdgeMapOpts{Trace: tracer, Workers: workers})
+		edges += frontier.OutEdgeSum(g, workers)
 		frontier = next
 		if !frontier.Empty() {
 			levels = append(levels, frontier)
@@ -74,19 +114,29 @@ func BC(g *graph.Graph, root graph.VertexID, tracer ligra.Tracer) ([]float64, in
 
 	// Backward sweep: process levels deepest-first, accumulating
 	// dependency = sum over successors of numPaths(u)/numPaths(v)*(1+dep(v)).
+	// Members of one level are distinct and only read deeper levels'
+	// results, so the sweep parallelizes over level members without
+	// atomics (edge counting aside).
 	dep := make([]float64, n)
+	var swept atomic.Uint64
 	for li := len(levels) - 2; li >= 0; li-- {
-		for _, u := range levels[li].Members() {
-			var acc float64
-			for _, v := range g.OutNeighbors(u) {
-				if level[v] == level[u]+1 && numPaths[v] > 0 {
-					acc += numPaths[u] / numPaths[v] * (1 + dep[v])
+		members := levels[li].Members()
+		par.For(len(members), workers, 1, func(lo, hi int) {
+			var scanned uint64
+			for _, u := range members[lo:hi] {
+				var acc float64
+				for _, v := range g.OutNeighbors(u) {
+					if level[v] == level[u]+1 && numPaths[v] > 0 {
+						acc += numPaths[u] / numPaths[v] * (1 + dep[v])
+					}
 				}
+				scanned += uint64(g.OutDegree(u))
+				dep[u] += acc
 			}
-			edges += uint64(g.OutDegree(u))
-			dep[u] += acc
-		}
+			swept.Add(scanned)
+		})
 	}
+	edges += swept.Load()
 	// Brandes' dependency delta_s(v) is defined for v != s only.
 	dep[root] = 0
 	return dep, int(depth), edges
@@ -96,7 +146,7 @@ func runBC(in Input) (Output, error) {
 	if err := checkInput(in, 1); err != nil {
 		return Output{}, err
 	}
-	dep, rounds, edges := BC(in.Graph, in.Roots[0], in.Tracer)
+	dep, rounds, edges := BC(in.Graph, in.Roots[0], in.Workers, in.Tracer)
 	var sum float64
 	for _, d := range dep {
 		sum += d

@@ -1,0 +1,169 @@
+package apps
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"graphreorder/internal/gen"
+	"graphreorder/internal/graph"
+	"graphreorder/internal/rng"
+)
+
+// Differential tests: every application must compute the same answer on
+// the parallel engine as on the sequential one. Integer-state apps (SSSP
+// distances, Radii estimates) and the pull-only PR must match exactly;
+// float accumulators fed by parallel push (PRD, BC) match up to summation
+// order.
+
+func parallelTestGraph(t testing.TB, weighted bool) *graph.Graph {
+	t.Helper()
+	g, err := gen.Generate(gen.MustDataset("sd", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weighted {
+		return g
+	}
+	r := rng.NewStream(0xABCD, 3)
+	edges := g.Edges()
+	for i := range edges {
+		edges[i].Weight = uint32(1 + r.Intn(32))
+	}
+	wg, err := graph.BuildWith(edges, graph.BuildOptions{
+		NumVertices: g.NumVertices(), Weighted: true, SortNeighbors: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wg
+}
+
+func pickRoot(g *graph.Graph) graph.VertexID {
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.OutDegree(graph.VertexID(v)) > 5 {
+			return graph.VertexID(v)
+		}
+	}
+	return 0
+}
+
+var appTestWorkers = []int{2, 4, 8}
+
+func TestPageRankParallelBitIdentical(t *testing.T) {
+	g := parallelTestGraph(t, false)
+	want, wantIters, wantEdges := PageRank(g, 8, 1, nil)
+	for _, w := range appTestWorkers {
+		got, iters, edges := PageRank(g, 8, w, nil)
+		if iters != wantIters || edges != wantEdges {
+			t.Errorf("workers=%d: iters/edges %d/%d, want %d/%d", w, iters, edges, wantIters, wantEdges)
+		}
+		// Pull-only with destination-partitioned accumulation: the rank
+		// vector must be bit-identical, not merely close.
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: rank vector not bit-identical to sequential", w)
+		}
+	}
+}
+
+func TestPageRankDeltaParallelEquivalent(t *testing.T) {
+	g := parallelTestGraph(t, false)
+	want, wantIters, _ := PageRankDelta(g, 10, 1, nil)
+	for _, w := range appTestWorkers {
+		got, iters, _ := PageRankDelta(g, 10, w, nil)
+		if iters != wantIters {
+			t.Errorf("workers=%d: %d iters, want %d", w, iters, wantIters)
+		}
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9*(math.Abs(want[v])+1) {
+				t.Fatalf("workers=%d: rank[%d] = %g, want %g", w, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSSSPParallelExactDistances(t *testing.T) {
+	g := parallelTestGraph(t, true)
+	root := pickRoot(g)
+	want, _, _, err := SSSP(g, root, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range appTestWorkers {
+		got, _, _, err := SSSP(g, root, w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bellman-Ford converges to the unique shortest distances; rounds
+		// may differ (in-round propagation is interleaving-dependent) but
+		// distances may not.
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: distance vector differs from sequential", w)
+		}
+	}
+}
+
+func TestBCParallelEquivalent(t *testing.T) {
+	g := parallelTestGraph(t, false)
+	root := pickRoot(g)
+	want, wantRounds, _ := BC(g, root, 1, nil)
+	for _, w := range appTestWorkers {
+		got, rounds, _ := BC(g, root, w, nil)
+		if rounds != wantRounds {
+			t.Errorf("workers=%d: %d BFS rounds, want %d", w, rounds, wantRounds)
+		}
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-6*(math.Abs(want[v])+1) {
+				t.Fatalf("workers=%d: dep[%d] = %g, want %g", w, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestRadiiParallelExact(t *testing.T) {
+	g := parallelTestGraph(t, false)
+	n := g.NumVertices()
+	r := rng.NewStream(0xF00, 1)
+	samples := make([]graph.VertexID, 0, 16)
+	for len(samples) < 16 {
+		v := graph.VertexID(r.Intn(n))
+		if g.OutDegree(v) > 0 {
+			samples = append(samples, v)
+		}
+	}
+	want, wantRounds, _ := Radii(g, samples, 1, nil)
+	for _, w := range appTestWorkers {
+		got, rounds, _ := Radii(g, samples, w, nil)
+		if rounds != wantRounds {
+			t.Errorf("workers=%d: %d rounds, want %d", w, rounds, wantRounds)
+		}
+		// Mask unions are order-independent: estimates must match exactly.
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: radius estimates differ from sequential", w)
+		}
+	}
+}
+
+// TestSpecsRunParallel drives every Spec through Input.Workers the way the
+// harness does, checking checksums against the sequential run.
+func TestSpecsRunParallel(t *testing.T) {
+	unweighted := parallelTestGraph(t, false)
+	weighted := parallelTestGraph(t, true)
+	roots := []graph.VertexID{pickRoot(unweighted), 1, 2, 3}
+	for _, spec := range All() {
+		g := unweighted
+		if spec.Name == "SSSP" {
+			g = weighted
+		}
+		seq, err := spec.Run(Input{Graph: g, Roots: roots, MaxIters: 5, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", spec.Name, err)
+		}
+		par, err := spec.Run(Input{Graph: g, Roots: roots, MaxIters: 5, Workers: 4})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", spec.Name, err)
+		}
+		if math.Abs(par.Checksum-seq.Checksum) > 1e-6*(math.Abs(seq.Checksum)+1) {
+			t.Errorf("%s: parallel checksum %g, sequential %g", spec.Name, par.Checksum, seq.Checksum)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"graphreorder/internal/graph"
 	"graphreorder/internal/ligra"
+	"graphreorder/internal/par"
 )
 
 // PageRank constants shared by PR and PRD.
@@ -18,17 +19,22 @@ const (
 // L1 rank delta falls below tol*N or maxIters is reached. Returns the rank
 // vector and the number of iterations executed.
 //
-// This is the paper's PR workload: each iteration makes one sequential
-// pass to fill the contribution array, then one dense pull pass whose
-// reads of contrib[src] are the irregular Property Array accesses the
-// reordering techniques target (§II-C).
-func PageRank(g *graph.Graph, maxIters int, tracer ligra.Tracer) ([]float64, int, uint64) {
+// This is the paper's PR workload: each iteration makes one pass to fill
+// the contribution array, then one dense pull pass whose reads of
+// contrib[src] are the irregular Property Array accesses the reordering
+// techniques target (§II-C). workers > 1 parallelizes both passes; the
+// pull pass partitions destinations, so sum[dst] accumulates in CSR order
+// and the rank vector is bit-identical to the sequential run.
+func PageRank(g *graph.Graph, maxIters, workers int, tracer ligra.Tracer) ([]float64, int, uint64) {
 	n := g.NumVertices()
 	if n == 0 {
 		return nil, 0, 0
 	}
 	if maxIters <= 0 {
 		maxIters = prMaxIters
+	}
+	if tracer != nil {
+		workers = 1
 	}
 	rank := make([]float64, n)
 	contrib := make([]float64, n)
@@ -38,33 +44,58 @@ func PageRank(g *graph.Graph, maxIters int, tracer ligra.Tracer) ([]float64, int
 	}
 	base := (1 - prDamping) / float64(n)
 	full := ligra.FullVertexSet(n)
+	// Fixed-size L1 reduction chunks (worker-count independent; see the
+	// apply pass below).
+	const l1ChunkSize = 8192
+	numChunks := (n + l1ChunkSize - 1) / l1ChunkSize
+	partial := make([]float64, numChunks)
 	var edges uint64
 	iters := 0
 	for ; iters < maxIters; iters++ {
-		// Sequential pass: per-vertex contribution. Dangling vertices
-		// (out-degree 0) contribute nothing, as in Ligra's PageRank.
-		for v := 0; v < n; v++ {
-			if d := g.OutDegree(graph.VertexID(v)); d > 0 {
-				contrib[v] = rank[v] / float64(d)
-			} else {
-				contrib[v] = 0
+		// Per-vertex contribution pass. Dangling vertices (out-degree 0)
+		// contribute nothing, as in Ligra's PageRank.
+		par.For(n, workers, 1, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if d := g.OutDegree(graph.VertexID(v)); d > 0 {
+					contrib[v] = rank[v] / float64(d)
+				} else {
+					contrib[v] = 0
+				}
+				sum[v] = 0
 			}
-			sum[v] = 0
-		}
+		})
 		// Dense pull pass: the irregular reads.
-		ligra.EdgeMap(g, full, ligra.EdgeMapFns{
+		out := ligra.EdgeMap(g, full, ligra.EdgeMapFns{
 			UpdatePull: func(src, dst graph.VertexID) bool {
 				sum[dst] += contrib[src]
 				return false
 			},
-		}, ligra.EdgeMapOpts{Dir: ligra.Pull, Trace: tracer})
+		}, ligra.EdgeMapOpts{Dir: ligra.Pull, Trace: tracer, Workers: workers})
+		out.Release()
 		edges += uint64(g.NumEdges())
 
+		// Apply pass with a fixed-size chunk-ordered L1 reduction: partial
+		// deltas combine in chunk order, and the chunking is independent of
+		// the worker count, so the convergence test — and therefore the
+		// iteration count — is identical on any number of cores.
+		par.For(numChunks, workers, 1, func(clo, chi int) {
+			for c := clo; c < chi; c++ {
+				lo, hi := c*l1ChunkSize, (c+1)*l1ChunkSize
+				if hi > n {
+					hi = n
+				}
+				var l1 float64
+				for v := lo; v < hi; v++ {
+					next := base + prDamping*sum[v]
+					l1 += math.Abs(next - rank[v])
+					rank[v] = next
+				}
+				partial[c] = l1
+			}
+		})
 		var l1 float64
-		for v := 0; v < n; v++ {
-			next := base + prDamping*sum[v]
-			l1 += math.Abs(next - rank[v])
-			rank[v] = next
+		for _, p := range partial {
+			l1 += p
 		}
 		if l1 < prTolerance*float64(n) {
 			iters++
@@ -78,7 +109,7 @@ func runPR(in Input) (Output, error) {
 	if err := checkInput(in, 0); err != nil {
 		return Output{}, err
 	}
-	rank, iters, edges := PageRank(in.Graph, in.MaxIters, in.Tracer)
+	rank, iters, edges := PageRank(in.Graph, in.MaxIters, in.Workers, in.Tracer)
 	var sum float64
 	for _, r := range rank {
 		sum += r

@@ -5,6 +5,7 @@ import (
 
 	"graphreorder/internal/graph"
 	"graphreorder/internal/ligra"
+	"graphreorder/internal/par"
 )
 
 // PRD parameters following Ligra's PageRankDelta: a vertex stays active
@@ -18,14 +19,20 @@ const (
 // PageRankDelta computes PageRank incrementally: only vertices whose rank
 // changed enough push their delta to out-neighbors. Push-based, so the
 // irregular Property Array accesses are *writes* to nghSum[dst] — the
-// behaviour behind the coherence traffic of Fig. 9.
-func PageRankDelta(g *graph.Graph, maxIters int, tracer ligra.Tracer) ([]float64, int, uint64) {
+// behaviour behind the coherence traffic of Fig. 9. With workers > 1 the
+// push pass runs on multiple cores and the nghSum accumulation becomes an
+// atomic float add; the result matches the sequential run up to
+// floating-point summation order.
+func PageRankDelta(g *graph.Graph, maxIters, workers int, tracer ligra.Tracer) ([]float64, int, uint64) {
 	n := g.NumVertices()
 	if n == 0 {
 		return nil, 0, 0
 	}
 	if maxIters <= 0 {
 		maxIters = prdMaxIters
+	}
+	if tracer != nil {
+		workers = 1
 	}
 	rank := make([]float64, n)
 	delta := make([]float64, n)
@@ -36,32 +43,43 @@ func PageRankDelta(g *graph.Graph, maxIters int, tracer ligra.Tracer) ([]float64
 		rank[v] = 0
 	}
 	wt := ligra.WriteTracer(tracer)
+	// Push pass: scatter each active vertex's delta to its out-neighbors.
+	// Irregular writes into nghSum — plain when sequential, CAS adds when
+	// the frontier is partitioned across workers.
+	update := func(src, dst graph.VertexID) bool {
+		if d := g.OutDegree(src); d > 0 {
+			nghSum[dst] += delta[src] / float64(d)
+			if wt != nil {
+				wt.PropertyWritten(dst)
+			}
+		}
+		return false
+	}
+	if workers > 1 {
+		update = func(src, dst graph.VertexID) bool {
+			if d := g.OutDegree(src); d > 0 {
+				atomicAddFloat64(&nghSum[dst], delta[src]/float64(d))
+			}
+			return false
+		}
+	}
 	frontier := ligra.FullVertexSet(n)
 	var edges uint64
 	iters := 0
 	for ; iters < maxIters && !frontier.Empty(); iters++ {
-		for v := range nghSum {
-			nghSum[v] = 0
-		}
-		for _, u := range frontier.Members() {
-			edges += uint64(g.OutDegree(u))
-		}
-		// Push pass: scatter each active vertex's delta to its
-		// out-neighbors. Irregular writes into nghSum.
-		ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{
-			Update: func(src, dst graph.VertexID) bool {
-				if d := g.OutDegree(src); d > 0 {
-					nghSum[dst] += delta[src] / float64(d)
-					if wt != nil {
-						wt.PropertyWritten(dst)
-					}
-				}
-				return false
-			},
-		}, ligra.EdgeMapOpts{Dir: ligra.Push, Trace: tracer})
+		par.For(n, workers, 1, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				nghSum[v] = 0
+			}
+		})
+		edges += frontier.OutEdgeSum(g, workers)
+		out := ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{Update: update},
+			ligra.EdgeMapOpts{Dir: ligra.Push, Trace: tracer, Workers: workers})
+		out.Release()
 
 		// Absorb deltas and build the next frontier: vertices whose new
-		// delta is a large enough fraction of their rank.
+		// delta is a large enough fraction of their rank. Sequential so the
+		// frontier keeps ascending order and the run stays deterministic.
 		var next []graph.VertexID
 		for v := 0; v < n; v++ {
 			var nd float64
@@ -81,6 +99,7 @@ func PageRankDelta(g *graph.Graph, maxIters int, tracer ligra.Tracer) ([]float64
 				next = append(next, graph.VertexID(v))
 			}
 		}
+		frontier.Release()
 		frontier = ligra.NewVertexSet(n, next...)
 	}
 	return rank, iters, edges
@@ -90,7 +109,7 @@ func runPRD(in Input) (Output, error) {
 	if err := checkInput(in, 0); err != nil {
 		return Output{}, err
 	}
-	rank, iters, edges := PageRankDelta(in.Graph, in.MaxIters, in.Tracer)
+	rank, iters, edges := PageRankDelta(in.Graph, in.MaxIters, in.Workers, in.Tracer)
 	var sum float64
 	for _, r := range rank {
 		sum += r

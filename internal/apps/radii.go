@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"sync/atomic"
+
 	"graphreorder/internal/graph"
 	"graphreorder/internal/ligra"
 )
@@ -14,8 +16,13 @@ const radiiSamples = 64
 // radiiSamples parallel BFS's encoded as per-vertex bitmasks (Magnien et
 // al.; Table VII). A vertex's radius estimate is the last round in which
 // its visited mask grew. Pull-push direction switching, out-degree
-// reordering (Table VIII).
-func Radii(g *graph.Graph, samples []graph.VertexID, tracer ligra.Tracer) ([]int32, int, uint64) {
+// reordering (Table VIII). With workers > 1 mask growth becomes an atomic
+// OR; the radius estimates are identical to the sequential run (mask
+// unions are order-independent).
+func Radii(g *graph.Graph, samples []graph.VertexID, workers int, tracer ligra.Tracer) ([]int32, int, uint64) {
+	if tracer != nil {
+		workers = 1
+	}
 	n := g.NumVertices()
 	radii := make([]int32, n)
 	visited := make([]uint64, n)
@@ -43,25 +50,41 @@ func Radii(g *graph.Graph, samples []graph.VertexID, tracer ligra.Tracer) ([]int
 		round++
 		r := round
 		copy(nextVisited, visited)
-		next := ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{
-			Update: func(src, dst graph.VertexID) bool {
-				grow := visited[src] &^ nextVisited[dst]
+		update := func(src, dst graph.VertexID) bool {
+			grow := visited[src] &^ nextVisited[dst]
+			if grow == 0 {
+				return false
+			}
+			first := nextVisited[dst] == visited[dst]
+			nextVisited[dst] |= grow
+			radii[dst] = r
+			if wt != nil {
+				wt.PropertyWritten(dst)
+			}
+			return first
+		}
+		if workers > 1 {
+			update = func(src, dst graph.VertexID) bool {
+				if visited[src]&^atomic.LoadUint64(&nextVisited[dst]) == 0 {
+					return false
+				}
+				old := atomic.OrUint64(&nextVisited[dst], visited[src])
+				grow := visited[src] &^ old
 				if grow == 0 {
 					return false
 				}
-				first := nextVisited[dst] == visited[dst]
-				nextVisited[dst] |= grow
-				radii[dst] = r
-				if wt != nil {
-					wt.PropertyWritten(dst)
-				}
-				return first
-			},
-		}, ligra.EdgeMapOpts{Trace: tracer})
-		for _, u := range frontier.Members() {
-			edges += uint64(g.OutDegree(u))
+				atomic.StoreInt32(&radii[dst], r)
+				// Exactly one grower observes the mask still at its
+				// start-of-round value: that claim adds dst to the output
+				// frontier (EdgeMap deduplicates regardless).
+				return old == visited[dst]
+			}
 		}
+		next := ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{Update: update},
+			ligra.EdgeMapOpts{Trace: tracer, Workers: workers})
+		edges += frontier.OutEdgeSum(g, workers)
 		visited, nextVisited = nextVisited, visited
+		frontier.Release()
 		frontier = next
 	}
 	return radii, int(round), edges
@@ -75,7 +98,7 @@ func runRadii(in Input) (Output, error) {
 	if len(samples) > radiiSamples {
 		samples = samples[:radiiSamples]
 	}
-	radii, rounds, edges := Radii(in.Graph, samples, in.Tracer)
+	radii, rounds, edges := Radii(in.Graph, samples, in.Workers, in.Tracer)
 	var sum float64
 	for _, r := range radii {
 		if r >= 0 {

@@ -13,13 +13,13 @@ func TestSlicedPageRankMatchesPageRank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, iters, _ := PageRank(g, 8, nil)
+	want, iters, _ := PageRank(g, 8, 1, nil)
 	for _, slice := range []int{0, 64, 1000, g.NumVertices(), g.NumVertices() * 2} {
 		got, gotIters, edges := SlicedPageRank(g, slice, 8)
 		if gotIters != iters {
 			// PageRank may stop early on its tolerance; SlicedPageRank
 			// runs fixed iterations, so compare a fixed-iteration run.
-			want, _, _ = PageRank(g, gotIters, nil)
+			want, _, _ = PageRank(g, gotIters, 1, nil)
 		}
 		if edges == 0 {
 			t.Fatalf("slice=%d: traversed no edges", slice)

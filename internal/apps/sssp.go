@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"graphreorder/internal/graph"
 	"graphreorder/internal/ligra"
@@ -19,10 +20,17 @@ const InfDistance = math.MaxInt64
 // The irregular Property Array accesses are reads of dist[dst] followed by
 // *conditional* writes — SSSP pushes an update only when it found a
 // shorter path, which is why it generates far less write sharing than PRD
-// (§VI-C of the paper).
-func SSSP(g *graph.Graph, root graph.VertexID, tracer ligra.Tracer) ([]int64, int, uint64, error) {
+// (§VI-C of the paper). With workers > 1 relaxation becomes an atomic min;
+// the final distance vector is identical to the sequential one (Bellman-
+// Ford converges to the unique shortest distances), though round and
+// edge counts may differ because in-round propagation depends on
+// interleaving.
+func SSSP(g *graph.Graph, root graph.VertexID, workers int, tracer ligra.Tracer) ([]int64, int, uint64, error) {
 	if !g.Weighted() {
 		return nil, 0, 0, fmt.Errorf("apps: SSSP requires a weighted graph")
+	}
+	if tracer != nil {
+		workers = 1
 	}
 	n := g.NumVertices()
 	dist := make([]int64, n)
@@ -31,26 +39,32 @@ func SSSP(g *graph.Graph, root graph.VertexID, tracer ligra.Tracer) ([]int64, in
 	}
 	dist[root] = 0
 	wt := ligra.WriteTracer(tracer)
+	update := func(src, dst graph.VertexID, w uint32) bool {
+		nd := dist[src] + int64(w)
+		if nd < dist[dst] {
+			dist[dst] = nd
+			if wt != nil {
+				wt.PropertyWritten(dst)
+			}
+			return true
+		}
+		return false
+	}
+	if workers > 1 {
+		update = func(src, dst graph.VertexID, w uint32) bool {
+			nd := atomic.LoadInt64(&dist[src]) + int64(w)
+			return atomicMinInt64(&dist[dst], nd)
+		}
+	}
 	frontier := ligra.NewVertexSet(n, root)
 	var edges uint64
 	rounds := 0
 	for ; !frontier.Empty() && rounds <= n; rounds++ {
-		for _, u := range frontier.Members() {
-			edges += uint64(g.OutDegree(u))
-		}
-		frontier = ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{
-			UpdateWeighted: func(src, dst graph.VertexID, w uint32) bool {
-				nd := dist[src] + int64(w)
-				if nd < dist[dst] {
-					dist[dst] = nd
-					if wt != nil {
-						wt.PropertyWritten(dst)
-					}
-					return true
-				}
-				return false
-			},
-		}, ligra.EdgeMapOpts{Dir: ligra.Push, Trace: tracer})
+		edges += frontier.OutEdgeSum(g, workers)
+		next := ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{UpdateWeighted: update},
+			ligra.EdgeMapOpts{Dir: ligra.Push, Trace: tracer, Workers: workers})
+		frontier.Release()
+		frontier = next
 	}
 	return dist, rounds, edges, nil
 }
@@ -59,7 +73,7 @@ func runSSSP(in Input) (Output, error) {
 	if err := checkInput(in, 1); err != nil {
 		return Output{}, err
 	}
-	dist, rounds, edges, err := SSSP(in.Graph, in.Roots[0], in.Tracer)
+	dist, rounds, edges, err := SSSP(in.Graph, in.Roots[0], in.Workers, in.Tracer)
 	if err != nil {
 		return Output{}, err
 	}

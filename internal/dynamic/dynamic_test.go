@@ -189,8 +189,8 @@ func TestQueriesAgreeAcrossPolicies(t *testing.T) {
 	if view.NumEdges() != snap.NumEdges() {
 		t.Fatalf("view has %d edges, snapshot %d", view.NumEdges(), snap.NumEdges())
 	}
-	pr1, _, _ := apps.PageRank(snap, 10, nil)
-	pr2, _, _ := apps.PageRank(view, 10, nil)
+	pr1, _, _ := apps.PageRank(snap, 10, 1, nil)
+	pr2, _, _ := apps.PageRank(view, 10, 1, nil)
 	var s1, s2 float64
 	for i := range pr1 {
 		s1 += pr1[i]

@@ -402,18 +402,3 @@ func TestWeightsAlignedAcrossCSRs(t *testing.T) {
 		}
 	}
 }
-
-func BenchmarkBuildCSR(b *testing.B) {
-	r := rng.New(1)
-	n := 1 << 14
-	edges := make([]Edge, 16*n)
-	for i := range edges {
-		edges[i] = Edge{Src: VertexID(r.Intn(n)), Dst: VertexID(r.Intn(n))}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := BuildWith(edges, BuildOptions{NumVertices: n, SortNeighbors: true}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}

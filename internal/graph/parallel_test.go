@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"graphreorder/internal/rng"
+)
+
+// randomEdges synthesizes a messy edge list: skewed degrees, duplicate
+// parallel edges, self loops, optional weights — everything the builder
+// has to preserve bit-identically across worker counts.
+func randomEdges(n, m int, weighted bool, seed uint64) []Edge {
+	r := rng.NewStream(seed, 0xE)
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		src := VertexID(r.Intn(n))
+		// Square the destination draw toward low IDs for skew.
+		d1, d2 := r.Intn(n), r.Intn(n)
+		dst := VertexID(min(d1, d2))
+		e := Edge{Src: src, Dst: dst}
+		if weighted {
+			e.Weight = uint32(1 + r.Intn(100))
+		}
+		edges = append(edges, e)
+		if i%17 == 0 { // sprinkle exact duplicates
+			edges = append(edges, e)
+		}
+		if i%23 == 0 { // and self loops
+			edges = append(edges, Edge{Src: src, Dst: src, Weight: e.Weight})
+		}
+	}
+	return edges
+}
+
+func graphsEqual(t *testing.T, tag string, a, b *Graph) {
+	t.Helper()
+	if a.n != b.n || a.m != b.m {
+		t.Fatalf("%s: dimensions (%d,%d) vs (%d,%d)", tag, a.n, a.m, b.n, b.m)
+	}
+	if !reflect.DeepEqual(a.outIndex, b.outIndex) {
+		t.Errorf("%s: outIndex differs", tag)
+	}
+	if !reflect.DeepEqual(a.outEdges, b.outEdges) {
+		t.Errorf("%s: outEdges differs", tag)
+	}
+	if !reflect.DeepEqual(a.inIndex, b.inIndex) {
+		t.Errorf("%s: inIndex differs", tag)
+	}
+	if !reflect.DeepEqual(a.inEdges, b.inEdges) {
+		t.Errorf("%s: inEdges differs", tag)
+	}
+	if !reflect.DeepEqual(a.outWeights, b.outWeights) {
+		t.Errorf("%s: outWeights differs", tag)
+	}
+	if !reflect.DeepEqual(a.inWeights, b.inWeights) {
+		t.Errorf("%s: inWeights differs", tag)
+	}
+}
+
+// TestBuildParallelBitIdentical: the parallel count/prefix/scatter must
+// reproduce the sequential counting sort exactly — including duplicate
+// edge order and weight alignment — for every worker count and both
+// neighbor-sort settings.
+func TestBuildParallelBitIdentical(t *testing.T) {
+	const n = 500
+	for _, weighted := range []bool{false, true} {
+		// Enough edges to clear parallelBuildThreshold so the parallel
+		// path actually runs.
+		edges := randomEdges(n, parallelBuildThreshold+2000, weighted, 0xC0)
+		for _, sortNbrs := range []bool{false, true} {
+			opts := BuildOptions{NumVertices: n, Weighted: weighted, SortNeighbors: sortNbrs, Workers: 1}
+			seq, err := BuildWith(edges, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := seq.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 3, 7} {
+				opts.Workers = w
+				par, err := BuildWith(edges, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				graphsEqual(t, "build", seq, par)
+			}
+		}
+	}
+}
+
+// TestRelabelParallelBitIdentical: the direct CSR-to-CSR scatter must
+// reproduce what the old edge-list rebuild produced, at every worker
+// count, on weighted multigraphs with self loops.
+func TestRelabelParallelBitIdentical(t *testing.T) {
+	const n = 700
+	for _, weighted := range []bool{false, true} {
+		edges := randomEdges(n, parallelBuildThreshold+3000, weighted, 0xD1)
+		g, err := BuildWith(edges, BuildOptions{NumVertices: n, Weighted: weighted, SortNeighbors: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random permutation.
+		perm := make([]VertexID, n)
+		for i := range perm {
+			perm[i] = VertexID(i)
+		}
+		r := rng.NewStream(5, 5)
+		for i := n - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		want := relabelViaEdgeList(t, g, perm)
+		for _, w := range []int{1, 2, 3, 8} {
+			got, err := g.RelabelWorkers(perm, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			graphsEqual(t, "relabel", want, got)
+		}
+	}
+}
+
+// relabelViaEdgeList is the previous Relabel implementation (materialize
+// the renamed edge list, rebuild sequentially), kept as the reference the
+// direct scatter must match.
+func relabelViaEdgeList(t *testing.T, g *Graph, newID []VertexID) *Graph {
+	t.Helper()
+	edges := make([]Edge, 0, g.m)
+	for v := 0; v < g.n; v++ {
+		nbrs := g.OutNeighbors(VertexID(v))
+		ws := g.OutWeights(VertexID(v))
+		for i, dst := range nbrs {
+			e := Edge{Src: newID[v], Dst: newID[dst]}
+			if ws != nil {
+				e.Weight = ws[i]
+			}
+			edges = append(edges, e)
+		}
+	}
+	ng, err := BuildWith(edges, BuildOptions{
+		NumVertices: g.n, Weighted: g.Weighted(), SortNeighbors: false, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ng
+}
+
+func TestRelabelWorkersRejectsBadPermutation(t *testing.T) {
+	g, err := Build([]Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RelabelWorkers([]VertexID{0, 1}, 2); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := g.RelabelWorkers([]VertexID{0, 0, 1}, 2); err == nil {
+		t.Error("non-bijective permutation accepted")
+	}
+	if _, err := g.RelabelWorkers([]VertexID{0, 1, 3}, 2); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+}

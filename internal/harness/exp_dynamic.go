@@ -84,7 +84,7 @@ func (r *Runner) AblationDynamic() error {
 		d := dynamic.FromGraph(g)
 		perm := reorder.Identity(g.NumVertices()) // original -> view IDs
 		if p.every > 0 {
-			res, err := reorder.Apply(g, reorder.NewDBG(), spec.ReorderDegree)
+			res, err := reorder.ApplyWorkers(g, reorder.NewDBG(), spec.ReorderDegree, r.rebuildWorkers())
 			if err != nil {
 				return err
 			}
@@ -108,7 +108,7 @@ func (r *Runner) AblationDynamic() error {
 			}
 			sinceRefresh++
 			if p.every > 0 && sinceRefresh >= p.every {
-				res, err := reorder.Apply(snap, reorder.NewDBG(), spec.ReorderDegree)
+				res, err := reorder.ApplyWorkers(snap, reorder.NewDBG(), spec.ReorderDegree, r.rebuildWorkers())
 				if err != nil {
 					return err
 				}
@@ -119,7 +119,7 @@ func (r *Runner) AblationDynamic() error {
 				sinceRefresh = 0
 			}
 			qs := time.Now()
-			if _, err := spec.Run(apps.Input{Graph: snap, MaxIters: r.opts.MaxIters}); err != nil {
+			if _, err := spec.Run(apps.Input{Graph: snap, MaxIters: r.opts.MaxIters, Workers: r.opts.Workers}); err != nil {
 				return err
 			}
 			queryTime += time.Since(qs)

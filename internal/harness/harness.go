@@ -43,6 +43,12 @@ type Options struct {
 	// dominates the wall-clock budget, and the paper itself treats its
 	// cost as prohibitive.
 	SkipGorder bool
+	// Workers is the number of goroutines application runs may use:
+	// 0 or 1 runs the deterministic sequential engine (the default, so
+	// timings and trace-driven experiments are reproducible), -1 means
+	// GOMAXPROCS, and any other positive value is used as-is. Trace-driven
+	// experiments always run sequentially regardless.
+	Workers int
 	// Seed drives root selection.
 	Seed uint64
 	// Out receives the rendered tables (default io.Discard if nil).
@@ -64,6 +70,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 0xD0D0
+	}
+	if o.Workers < 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -93,6 +102,16 @@ func NewRunner(opts Options) *Runner {
 
 // Options returns the runner's normalized options.
 func (r *Runner) Options() Options { return r.opts }
+
+// rebuildWorkers pins CSR rebuilds to the configured engine: sequential
+// unless Options.Workers asked for parallelism, so RebuildTime (Table XI /
+// Fig. 10 cost accounting) does not vary with the host's core count.
+func (r *Runner) rebuildWorkers() int {
+	if r.opts.Workers > 1 {
+		return r.opts.Workers
+	}
+	return 1
+}
 
 func (r *Runner) out() io.Writer {
 	if r.opts.Out == nil {
@@ -129,7 +148,7 @@ func (r *Runner) Reorder(name string, tech reorder.Technique, kind graph.DegreeK
 	if err != nil {
 		return nil, err
 	}
-	res, err := reorder.Apply(g, tech, kind)
+	res, err := reorder.ApplyWorkers(g, tech, kind, r.rebuildWorkers())
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +243,7 @@ func (r *Runner) MeasureApp(spec apps.Spec, g *graph.Graph, roots []graph.Vertex
 				n = 1
 			}
 			for i := 0; i < n; i++ {
-				in := apps.Input{Graph: g, MaxIters: r.opts.MaxIters}
+				in := apps.Input{Graph: g, MaxIters: r.opts.MaxIters, Workers: r.opts.Workers}
 				if spec.NumRoots > 0 {
 					in.Roots = roots[i%len(roots) : i%len(roots)+1]
 				}
@@ -233,7 +252,7 @@ func (r *Runner) MeasureApp(spec apps.Spec, g *graph.Graph, roots []graph.Vertex
 				}
 			}
 		} else {
-			if _, err := spec.Run(apps.Input{Graph: g, Roots: roots, MaxIters: r.opts.MaxIters}); err != nil {
+			if _, err := spec.Run(apps.Input{Graph: g, Roots: roots, MaxIters: r.opts.MaxIters, Workers: r.opts.Workers}); err != nil {
 				return 0, err
 			}
 		}

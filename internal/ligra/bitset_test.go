@@ -1,0 +1,96 @@
+package ligra
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"graphreorder/internal/graph"
+	"graphreorder/internal/rng"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if len(b) != 3 {
+		t.Fatalf("130 bits want 3 words, got %d", len(b))
+	}
+	for _, v := range []graph.VertexID{0, 63, 64, 129} {
+		if b.Has(v) {
+			t.Errorf("fresh bitset has %d", v)
+		}
+		b.Set(v)
+		if !b.Has(v) {
+			t.Errorf("Set(%d) not visible", v)
+		}
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d, want 4", b.Count())
+	}
+	got := b.AppendMembers(nil)
+	want := []graph.VertexID{0, 63, 64, 129}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AppendMembers = %v, want %v", got, want)
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Error("Clear left bits set")
+	}
+}
+
+func TestBitsetFillUpTo(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		b := NewBitset(n)
+		b.FillUpTo(n)
+		if b.Count() != n {
+			t.Errorf("FillUpTo(%d): Count = %d", n, b.Count())
+		}
+		if b.Has(graph.VertexID(n-1)) == false {
+			t.Errorf("FillUpTo(%d): last bit clear", n)
+		}
+	}
+}
+
+func TestBitsetBoolRoundTrip(t *testing.T) {
+	r := rng.NewStream(7, 7)
+	bools := make([]bool, 333)
+	for i := range bools {
+		bools[i] = r.Intn(3) == 0
+	}
+	b := NewBitset(len(bools))
+	b.FromBools(bools)
+	if !reflect.DeepEqual(b.ToBools(len(bools)), bools) {
+		t.Error("FromBools/ToBools round trip mismatch")
+	}
+}
+
+// TestBitsetTrySetAtomic hammers a word with concurrent claimers: each bit
+// must be claimed exactly once.
+func TestBitsetTrySetAtomic(t *testing.T) {
+	const n = 256
+	const claimers = 8
+	b := NewBitset(n)
+	wins := make([][]graph.VertexID, claimers)
+	var wg sync.WaitGroup
+	for c := 0; c < claimers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for v := 0; v < n; v++ {
+				if b.TrySetAtomic(graph.VertexID(v)) {
+					wins[c] = append(wins[c], graph.VertexID(v))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += len(w)
+	}
+	if total != n {
+		t.Errorf("claimed %d bits total, want exactly %d", total, n)
+	}
+	if b.Count() != n {
+		t.Errorf("Count = %d, want %d", b.Count(), n)
+	}
+}

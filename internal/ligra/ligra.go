@@ -4,24 +4,86 @@
 // push- and pull-based traversal and automatic direction switching, and
 // VertexMap.
 //
-// The implementation is deliberately sequential and deterministic: the
-// reproduction host is single-core, the paper's locality phenomena are
-// visible single-threaded, and multi-core cache behaviour is studied in
-// the trace-driven simulator (internal/cachesim) where core count is a
-// model parameter rather than a host property.
+// The engine runs sequentially by default and goes multicore when
+// EdgeMapOpts.Workers > 1, matching the original Ligra (a parallel
+// framework) and the paper's fully-parallelized skew-aware
+// implementations (§V-C). The two modes differ in mechanism:
+//
+//   - Pull mode partitions the destination-vertex range into contiguous
+//     chunks aligned to 64 vertices. Every destination is owned by exactly
+//     one worker, so update functions that only write dst state need no
+//     atomics and the output frontier is bit-identical to the sequential
+//     one.
+//   - Push mode partitions the sparse frontier across workers; output
+//     slots are claimed with compare-and-swap on a word-level bitset, so
+//     the output is deduplicated but its member order depends on the
+//     interleaving ("frontier-order-independent": the same set, any
+//     order). Update functions must be safe for concurrent invocation.
+//
+// Tracing (EdgeMapOpts.Trace != nil) always falls back to the sequential
+// path so cache-simulator traces stay deterministic.
 package ligra
 
-import "graphreorder/internal/graph"
+import (
+	"math/bits"
+
+	"graphreorder/internal/graph"
+	"graphreorder/internal/par"
+)
+
+// sparseHasThreshold is the sparse-set size above which Has builds a
+// lazily-cached membership bitmap instead of scanning linearly.
+const sparseHasThreshold = 8
 
 // VertexSet is a frontier: a subset of vertices, stored sparse (ID list)
-// or dense (bitmap) depending on size, as in Ligra.
+// or dense (word-packed Bitset) depending on size, as in Ligra.
+//
+// Sets returned by EdgeMap/VertexMap come from an internal pool; call
+// Release when a set is no longer referenced to make steady-state
+// iterations allocation-free. Releasing is optional — unreleased sets are
+// ordinary garbage.
 type VertexSet struct {
-	n        int
-	sparse   []graph.VertexID
-	dense    []bool
-	isDense  bool
-	count    int
-	outEdges uint64 // sum of out-degrees of members; drives direction switching
+	n       int
+	sparse  []graph.VertexID
+	dense   Bitset
+	isDense bool
+	count   int
+
+	// outEdges is the cached sum of member out-degrees driving direction
+	// switching; outEdgesValid distinguishes "not computed" from a genuine
+	// zero (a frontier of sinks must not recompute forever).
+	outEdges      uint64
+	outEdgesValid bool
+
+	// lookup is a lazily-built membership bitmap for sparse sets, so Has
+	// is O(1) instead of a linear scan (quadratic when applications probe
+	// membership per edge).
+	lookup      Bitset
+	lookupValid bool
+}
+
+// reset re-initializes a (possibly pooled) set for a universe of n
+// vertices, retaining slice capacity.
+func (s *VertexSet) reset(n int) {
+	s.n = n
+	s.sparse = s.sparse[:0]
+	s.isDense = false
+	s.count = 0
+	s.outEdges = 0
+	s.outEdgesValid = false
+	s.lookupValid = false
+}
+
+// ensureDense sizes and zeroes the dense bitset, retaining capacity.
+func (s *VertexSet) ensureDense() {
+	words := bitsetWords(s.n)
+	if cap(s.dense) >= words {
+		s.dense = s.dense[:words]
+		s.dense.Clear()
+	} else {
+		s.dense = NewBitset(s.n)
+	}
+	s.isDense = true
 }
 
 // NewVertexSet returns a sparse frontier over n vertices containing the
@@ -31,25 +93,28 @@ func NewVertexSet(n int, members ...graph.VertexID) *VertexSet {
 	return s
 }
 
-// NewDenseVertexSet returns a dense frontier from a membership bitmap (the
-// slice is retained, not copied).
+// NewDenseVertexSet returns a dense frontier from a membership bitmap
+// (converted to the packed representation; the argument is not retained).
 func NewDenseVertexSet(bitmap []bool) *VertexSet {
-	s := &VertexSet{n: len(bitmap), dense: bitmap, isDense: true}
-	for _, b := range bitmap {
-		if b {
-			s.count++
-		}
-	}
+	s := &VertexSet{n: len(bitmap)}
+	s.ensureDense()
+	s.dense.FromBools(bitmap)
+	s.count = s.dense.Count()
 	return s
 }
 
-// FullVertexSet returns a frontier containing every vertex of g.
+// newBitsetVertexSet wraps an existing packed bitmap (retained, not
+// copied) whose popcount is count.
+func newBitsetVertexSet(n int, bits Bitset, count int) *VertexSet {
+	return &VertexSet{n: n, dense: bits, isDense: true, count: count}
+}
+
+// FullVertexSet returns a frontier containing every vertex of g. The
+// word-filled bitset makes this O(n/64).
 func FullVertexSet(n int) *VertexSet {
-	bitmap := make([]bool, n)
-	for i := range bitmap {
-		bitmap[i] = true
-	}
-	return NewDenseVertexSet(bitmap)
+	b := NewBitset(n)
+	b.FillUpTo(n)
+	return newBitsetVertexSet(n, b, n)
 }
 
 // Len returns the number of member vertices.
@@ -61,17 +126,45 @@ func (s *VertexSet) Empty() bool { return s.count == 0 }
 // NumVertices returns the size of the universe the set ranges over.
 func (s *VertexSet) NumVertices() int { return s.n }
 
-// Has reports membership of v.
+// Has reports membership of v. For sparse sets beyond a few members it
+// answers from a lazily-built bitmap; the first such call on a set is not
+// safe to race with others.
 func (s *VertexSet) Has(v graph.VertexID) bool {
 	if s.isDense {
-		return s.dense[v]
+		return s.dense.Has(v)
 	}
-	for _, u := range s.sparse {
-		if u == v {
-			return true
+	if len(s.sparse) <= sparseHasThreshold {
+		for _, u := range s.sparse {
+			if u == v {
+				return true
+			}
 		}
+		return false
 	}
-	return false
+	return s.bits().Has(v)
+}
+
+// bits returns a packed membership bitmap: the dense representation
+// itself, or the cached lookup bitmap of a sparse set (built on first
+// use). The result is shared; treat as read-only.
+func (s *VertexSet) bits() Bitset {
+	if s.isDense {
+		return s.dense
+	}
+	if !s.lookupValid {
+		words := bitsetWords(s.n)
+		if cap(s.lookup) >= words {
+			s.lookup = s.lookup[:words]
+			s.lookup.Clear()
+		} else {
+			s.lookup = NewBitset(s.n)
+		}
+		for _, v := range s.sparse {
+			s.lookup.Set(v)
+		}
+		s.lookupValid = true
+	}
+	return s.lookup
 }
 
 // Members returns the member IDs in ascending order for dense sets, or
@@ -81,20 +174,13 @@ func (s *VertexSet) Members() []graph.VertexID {
 	if !s.isDense {
 		return s.sparse
 	}
-	out := make([]graph.VertexID, 0, s.count)
-	for v, in := range s.dense {
-		if in {
-			out = append(out, graph.VertexID(v))
-		}
-	}
-	return out
+	return s.dense.AppendMembers(make([]graph.VertexID, 0, s.count))
 }
 
-// Bitmap returns a dense membership bitmap (freshly allocated for sparse
-// sets, shared for dense ones); treat as read-only.
+// Bitmap returns a dense []bool membership bitmap, freshly allocated.
 func (s *VertexSet) Bitmap() []bool {
 	if s.isDense {
-		return s.dense
+		return s.dense.ToBools(s.n)
 	}
 	b := make([]bool, s.n)
 	for _, v := range s.sparse {
@@ -103,17 +189,36 @@ func (s *VertexSet) Bitmap() []bool {
 	return b
 }
 
+// Bits returns the packed membership bitmap (shared, read-only).
+func (s *VertexSet) Bits() Bitset { return s.bits() }
+
+// OutEdgeSum returns the sum of member out-degrees — the quantity the
+// Auto direction heuristic uses — computed on up to workers goroutines
+// and cached on the set, so callers that account traversed edges per
+// round don't rescan the degree array.
+func (s *VertexSet) OutEdgeSum(g *graph.Graph, workers int) uint64 {
+	return s.computeOutEdges(g, workers)
+}
+
 // computeOutEdges fills the member out-degree sum used by the direction
-// heuristic; cached after first use.
-func (s *VertexSet) computeOutEdges(g *graph.Graph) uint64 {
-	if s.outEdges != 0 || s.count == 0 {
+// heuristic; cached after first use (including a genuinely zero sum).
+func (s *VertexSet) computeOutEdges(g *graph.Graph, workers int) uint64 {
+	if s.outEdgesValid {
 		return s.outEdges
 	}
 	var sum uint64
 	if s.isDense {
-		for v, in := range s.dense {
-			if in {
-				sum += uint64(g.OutDegree(graph.VertexID(v)))
+		if workers > 1 {
+			sum = parallelOutEdgeSum(g, s.dense, workers)
+		} else {
+			// Decode set bits word by word: no member-slice allocation.
+			for wi, w := range s.dense {
+				base := graph.VertexID(wi << 6)
+				for w != 0 {
+					v := base + graph.VertexID(bits.TrailingZeros64(w))
+					w &= w - 1
+					sum += uint64(g.OutDegree(v))
+				}
 			}
 		}
 	} else {
@@ -122,6 +227,7 @@ func (s *VertexSet) computeOutEdges(g *graph.Graph) uint64 {
 		}
 	}
 	s.outEdges = sum
+	s.outEdgesValid = true
 	return sum
 }
 
@@ -130,19 +236,25 @@ type EdgeMapFns struct {
 	// Update processes edge src->dst in push mode (src in frontier) and is
 	// expected to return true when dst becomes a member of the output
 	// frontier. Must be idempotent-safe: dst may be offered multiple times
-	// but is added at most once.
+	// but is added at most once. When the EdgeMap runs with Workers > 1 in
+	// push mode, Update is invoked concurrently and must synchronize its
+	// own writes (atomics).
 	Update func(src, dst graph.VertexID) bool
 	// UpdatePull, if non-nil, is used in pull (dense) mode instead of
 	// Update; same contract with the same argument order (src, dst). Ligra
-	// distinguishes these because pull-mode updates need no atomics.
+	// distinguishes these because pull-mode updates need no atomics: each
+	// destination is processed by exactly one worker, so updates that only
+	// write dst state are parallel-safe as written.
 	UpdatePull func(src, dst graph.VertexID) bool
 	// UpdateWeighted, if non-nil, replaces Update/UpdatePull and
-	// additionally receives the edge weight (0 on unweighted graphs).
+	// additionally receives the edge weight (0 on unweighted graphs). The
+	// same concurrency contract as Update applies in parallel push mode.
 	UpdateWeighted func(src, dst graph.VertexID, w uint32) bool
 	// Cond gates destinations: edges into dst with Cond(dst) == false are
 	// skipped. In pull mode Cond is rechecked as the in-edges of dst are
 	// scanned, enabling early exit once dst saturates (e.g. BFS parent
-	// found). Nil means always true.
+	// found). Nil means always true. In parallel push mode Cond may be
+	// invoked concurrently.
 	Cond func(dst graph.VertexID) bool
 }
 
@@ -166,6 +278,10 @@ type EdgeMapOpts struct {
 	// DenseThresholdDiv is the divisor d in the switching rule
 	// "go dense when frontier out-edges + size > M/d"; 0 means 20.
 	DenseThresholdDiv int
+	// Workers is the number of worker goroutines the traversal may use;
+	// values <= 1 run sequentially. Ignored (sequential) while Trace is
+	// set, so simulator traces stay deterministic.
+	Workers int
 	// Trace, when non-nil, observes every edge examination and property
 	// access; used by the trace engine to feed the cache simulator.
 	Trace Tracer
@@ -205,8 +321,13 @@ func WriteTracer(tr Tracer) PropertyWriteTracer {
 // EdgeMap applies fns over the edges leaving the frontier, returning the
 // next frontier, per the Ligra model. Push mode scans out-edges of
 // frontier members; pull mode scans in-edges of all vertices passing Cond
-// and checks membership of the source.
+// and checks membership of the source. The returned set is pooled; the
+// caller may Release it once done.
 func EdgeMap(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, opts EdgeMapOpts) *VertexSet {
+	workers := opts.Workers
+	if workers <= 1 || opts.Trace != nil {
+		workers = 1
+	}
 	dir := opts.Dir
 	if dir == Auto {
 		div := opts.DenseThresholdDiv
@@ -214,23 +335,31 @@ func EdgeMap(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, opts EdgeMapOp
 			div = 20
 		}
 		threshold := uint64(g.NumEdges() / div)
-		if frontier.computeOutEdges(g)+uint64(frontier.Len()) > threshold {
+		if frontier.computeOutEdges(g, workers)+uint64(frontier.Len()) > threshold {
 			dir = Pull
 		} else {
 			dir = Push
 		}
 	}
 	if dir == Pull {
+		if workers > 1 {
+			return edgeMapDensePar(g, frontier, fns, workers)
+		}
 		return edgeMapDense(g, frontier, fns, opts.Trace)
+	}
+	if workers > 1 {
+		return edgeMapSparsePar(g, frontier, fns, workers)
 	}
 	return edgeMapSparse(g, frontier, fns, opts.Trace)
 }
 
 func edgeMapSparse(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, tr Tracer) *VertexSet {
 	cond := fns.Cond
-	next := make([]graph.VertexID, 0, frontier.Len())
-	inNext := make([]bool, g.NumVertices())
-	for _, u := range frontier.Members() {
+	out := newPooledSparse(g.NumVertices())
+	claimedBox := getScratchBitset(g.NumVertices())
+	claimed := *claimedBox
+	members, mbuf := frontierMembers(frontier)
+	for _, u := range members {
 		if tr != nil {
 			tr.VertexVisited(u, false)
 		}
@@ -253,13 +382,16 @@ func edgeMapSparse(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, tr Trace
 			} else {
 				hit = fns.Update(u, dst)
 			}
-			if hit && !inNext[dst] {
-				inNext[dst] = true
-				next = append(next, dst)
+			if hit && !claimed.Has(dst) {
+				claimed.Set(dst)
+				out.sparse = append(out.sparse, dst)
 			}
 		}
 	}
-	return NewVertexSet(g.NumVertices(), next...)
+	putScratchBitset(claimedBox)
+	putIDBuf(mbuf)
+	out.count = len(out.sparse)
+	return out
 }
 
 func edgeMapDense(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, tr Tracer) *VertexSet {
@@ -268,8 +400,9 @@ func edgeMapDense(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, tr Tracer
 		update = fns.Update
 	}
 	cond := fns.Cond
-	inFrontier := frontier.Bitmap()
-	nextDense := make([]bool, g.NumVertices())
+	inFrontier := frontier.bits()
+	out := newPooledDense(g.NumVertices())
+	next := out.dense
 	for v := 0; v < g.NumVertices(); v++ {
 		dst := graph.VertexID(v)
 		if cond != nil && !cond(dst) {
@@ -284,7 +417,7 @@ func edgeMapDense(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, tr Tracer
 			if tr != nil {
 				tr.EdgeExamined(src, dst, true)
 			}
-			if !inFrontier[src] {
+			if !inFrontier.Has(src) {
 				continue
 			}
 			var hit bool
@@ -298,7 +431,7 @@ func edgeMapDense(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, tr Tracer
 				hit = update(src, dst)
 			}
 			if hit {
-				nextDense[v] = true
+				next.Set(dst)
 			}
 			// Early exit: once dst stops satisfying Cond (e.g. it has been
 			// claimed), the rest of its in-edges are skipped, as in Ligra.
@@ -307,26 +440,56 @@ func edgeMapDense(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, tr Tracer
 			}
 		}
 	}
-	return NewDenseVertexSet(nextDense)
+	out.count = next.Count()
+	return out
 }
 
 // VertexMap applies f to every member of the frontier and returns the set
-// of members for which f returned true.
+// of members for which f returned true. The returned set is pooled.
 func VertexMap(s *VertexSet, f func(v graph.VertexID) bool) *VertexSet {
+	return VertexMapPar(s, f, 1)
+}
+
+// VertexMapPar is VertexMap with a worker count. Both representations
+// produce output identical to the sequential VertexMap: dense chunks are
+// disjoint and 64-aligned, and sparse per-chunk outputs are concatenated
+// in chunk order, preserving input order. f may be invoked concurrently
+// when workers > 1.
+func VertexMapPar(s *VertexSet, f func(v graph.VertexID) bool, workers int) *VertexSet {
 	if s.isDense {
-		next := make([]bool, s.n)
-		for v, in := range s.dense {
-			if in && f(graph.VertexID(v)) {
-				next[v] = true
+		// The dense path scans the whole universe bitmap, so parallelism is
+		// bounded by n, not by how many members the scan will find.
+		out := newPooledDense(s.n)
+		par.For(s.n, workers, 64, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if s.dense.Has(graph.VertexID(v)) && f(graph.VertexID(v)) {
+					out.dense.Set(graph.VertexID(v))
+				}
+			}
+		})
+		out.count = out.dense.Count()
+		return out
+	}
+	if workers > s.count {
+		workers = s.count
+	}
+	out := newPooledSparse(s.n)
+	if workers <= 1 {
+		for _, v := range s.sparse {
+			if f(v) {
+				out.sparse = append(out.sparse, v)
 			}
 		}
-		return NewDenseVertexSet(next)
+	} else {
+		out.sparse = gatherIDs(len(s.sparse), workers, out.sparse, func(lo, hi int, local []graph.VertexID) []graph.VertexID {
+			for _, v := range s.sparse[lo:hi] {
+				if f(v) {
+					local = append(local, v)
+				}
+			}
+			return local
+		})
 	}
-	var next []graph.VertexID
-	for _, v := range s.sparse {
-		if f(v) {
-			next = append(next, v)
-		}
-	}
-	return NewVertexSet(s.n, next...)
+	out.count = len(out.sparse)
+	return out
 }

@@ -1,0 +1,199 @@
+// Package par provides the minimal chunked-parallelism primitive shared by
+// the graph builder, the Ligra engine and the applications: split an index
+// range into contiguous chunks and run them on a fixed set of workers.
+//
+// Contiguous chunks are the whole design. Every parallel path in this
+// repository (DBG binning, CSR build, EdgeMap pull) derives its
+// determinism from processing disjoint contiguous ranges whose relative
+// order is fixed, so the only primitive needed is "for over chunks".
+package par
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// oversubscribe is how many chunks each worker gets on average; >1 smooths
+// load imbalance (power-law degree skew) without dynamic work stealing.
+const oversubscribe = 4
+
+// Resolve normalizes a worker count: values <= 0 mean GOMAXPROCS.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// For runs body over contiguous disjoint chunks covering [0, n) using the
+// given number of worker goroutines. Chunk boundaries are multiples of
+// align (pass 64 when workers write adjacent bits of a shared bitset so no
+// two workers touch the same word; pass 1 otherwise). workers <= 1 runs
+// body(0, n) on the calling goroutine.
+//
+// body must not assume which worker runs which chunk, but may assume
+// chunks never overlap.
+func For(n, workers, align int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if align < 1 {
+		align = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	ForChunks(n, workers, align, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForChunks is For with the chunk index exposed, for callers that
+// accumulate into per-chunk buffers and then concatenate in chunk order to
+// preserve a deterministic global order. It returns the number of chunks
+// it would use for the given parameters; bodies receive chunk indices in
+// [0, NumChunks(n, workers, align)).
+func ForChunks(n, workers, align int, body func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if align < 1 {
+		align = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, 0, n)
+		return
+	}
+	size := chunkSize(n, workers, align)
+	numChunks := (n + size - 1) / size
+	if numChunks < workers {
+		workers = numChunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				lo := c * size
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				body(c, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NumChunks reports how many chunks ForChunks will produce, so callers can
+// pre-size per-chunk buffer tables.
+func NumChunks(n, workers, align int) int {
+	if n <= 0 {
+		return 0
+	}
+	if align < 1 {
+		align = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return 1
+	}
+	size := chunkSize(n, workers, align)
+	return (n + size - 1) / size
+}
+
+func chunkSize(n, workers, align int) int {
+	size := (n + workers*oversubscribe - 1) / (workers * oversubscribe)
+	return (size + align - 1) / align * align
+}
+
+// BalancedBounds splits the index range [0, n) into at most parts
+// contiguous chunks holding roughly equal numbers of items per the
+// monotonic cumulative-size array index (e.g. a CSR offset array: chunks
+// of vertices with balanced edge counts, so skewed degree distributions
+// don't serialize on the chunk holding the hubs). Boundaries are rounded
+// up to multiples of align (pass 64 when chunk owners write adjacent bits
+// of a shared bitset; 1 otherwise). The result is a sorted boundary list
+// from 0 to n, deterministic in (index, parts, align).
+func BalancedBounds(index []uint64, n, parts, align int) []int {
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if align < 1 {
+		align = 1
+	}
+	bounds := make([]int, 1, parts+1)
+	total := index[n]
+	last := 0
+	for i := 1; i < parts; i++ {
+		target := total * uint64(i) / uint64(parts)
+		v := sort.Search(n, func(v int) bool { return index[v] >= target })
+		v = (v + align - 1) / align * align
+		if v > n {
+			v = n
+		}
+		if v > last {
+			bounds = append(bounds, v)
+			last = v
+		}
+	}
+	if last < n {
+		bounds = append(bounds, n)
+	}
+	return bounds
+}
+
+// ForBounds runs body over the ranges described by a boundary list
+// (bounds[i] to bounds[i+1], as produced by BalancedBounds) on up to
+// workers goroutines, dispatching chunk indices via an atomic counter.
+// workers <= 1 runs every range on the calling goroutine.
+func ForBounds(bounds []int, workers int, body func(lo, hi int)) {
+	numChunks := len(bounds) - 1
+	if numChunks <= 0 {
+		return
+	}
+	if workers > numChunks {
+		workers = numChunks
+	}
+	if workers <= 1 {
+		for c := 0; c < numChunks; c++ {
+			body(bounds[c], bounds[c+1])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				body(bounds[c], bounds[c+1])
+			}
+		}()
+	}
+	wg.Wait()
+}

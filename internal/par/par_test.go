@@ -1,0 +1,113 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+// coverage runs a For-family call and asserts the chunks tile [0, n)
+// exactly once, returning the observed boundaries.
+func assertTiles(t *testing.T, n int, visit func(mark func(lo, hi int))) {
+	t.Helper()
+	var mu sync.Mutex
+	covered := make([]int, n)
+	visit(func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("chunk [%d,%d) out of range [0,%d)", lo, hi, n)
+			return
+		}
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			covered[i]++
+		}
+		mu.Unlock()
+	})
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestForTilesRange(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		for _, workers := range []int{0, 1, 2, 7, 100} {
+			for _, align := range []int{1, 64} {
+				assertTiles(t, n, func(mark func(lo, hi int)) {
+					For(n, workers, align, mark)
+				})
+			}
+		}
+	}
+}
+
+func TestForAlignment(t *testing.T) {
+	For(1000, 4, 64, func(lo, hi int) {
+		if lo%64 != 0 {
+			t.Errorf("chunk start %d not 64-aligned", lo)
+		}
+		if hi != 1000 && hi%64 != 0 {
+			t.Errorf("interior chunk end %d not 64-aligned", hi)
+		}
+	})
+}
+
+func TestForChunksIndicesDistinct(t *testing.T) {
+	const n = 500
+	seen := make(map[int]bool)
+	var mu sync.Mutex
+	ForChunks(n, 3, 1, func(chunk, lo, hi int) {
+		mu.Lock()
+		if seen[chunk] {
+			t.Errorf("chunk index %d delivered twice", chunk)
+		}
+		seen[chunk] = true
+		mu.Unlock()
+	})
+	if len(seen) != NumChunks(n, 3, 1) {
+		t.Errorf("saw %d chunks, NumChunks says %d", len(seen), NumChunks(n, 3, 1))
+	}
+}
+
+func TestBalancedBounds(t *testing.T) {
+	// A skewed "CSR": vertex 0 owns half of all edges.
+	n := 100
+	index := make([]uint64, n+1)
+	index[1] = 1000
+	for v := 2; v <= n; v++ {
+		index[v] = index[v-1] + 10
+	}
+	bounds := BalancedBounds(index, n, 8, 1)
+	if bounds[0] != 0 || bounds[len(bounds)-1] != n {
+		t.Fatalf("bounds %v do not span [0,%d]", bounds, n)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds %v not strictly increasing", bounds)
+		}
+	}
+	// Determinism: same inputs, same boundaries.
+	again := BalancedBounds(index, n, 8, 1)
+	for i := range bounds {
+		if bounds[i] != again[i] {
+			t.Fatal("BalancedBounds not deterministic")
+		}
+	}
+	// Alignment honored away from n.
+	aligned := BalancedBounds(index, n, 4, 64)
+	for _, b := range aligned[1 : len(aligned)-1] {
+		if b%64 != 0 {
+			t.Errorf("aligned boundary %d not a multiple of 64", b)
+		}
+	}
+}
+
+func TestForBoundsTiles(t *testing.T) {
+	bounds := []int{0, 10, 64, 200}
+	for _, workers := range []int{1, 2, 8} {
+		assertTiles(t, 200, func(mark func(lo, hi int)) {
+			ForBounds(bounds, workers, mark)
+		})
+	}
+	ForBounds([]int{0}, 4, func(lo, hi int) { t.Error("empty bounds invoked body") })
+}

@@ -109,8 +109,19 @@ type Result struct {
 }
 
 // Apply computes the permutation for g under t and relabels the graph,
-// measuring both phases.
+// measuring both phases. The rebuild runs sequentially so the measured
+// RebuildTime does not depend on the host's core count; ApplyWorkers opts
+// into the multicore rebuild.
 func Apply(g *graph.Graph, t Technique, kind graph.DegreeKind) (Result, error) {
+	return ApplyWorkers(g, t, kind, 1)
+}
+
+// ApplyWorkers is Apply with an explicit worker count for the CSR rebuild
+// (0 or 1 pins the sequential rebuild so measured RebuildTime is
+// host-independent; negative means GOMAXPROCS; parallel rebuilds are
+// capped at 16 workers — see graph.BuildOptions.Workers). The rebuilt
+// graph is bit-identical at every worker count.
+func ApplyWorkers(g *graph.Graph, t Technique, kind graph.DegreeKind, workers int) (Result, error) {
 	start := time.Now()
 	perm, err := t.Permute(g, kind)
 	reorderTime := time.Since(start)
@@ -118,7 +129,7 @@ func Apply(g *graph.Graph, t Technique, kind graph.DegreeKind) (Result, error) {
 		return Result{}, fmt.Errorf("reorder: %s: %w", t.Name(), err)
 	}
 	start = time.Now()
-	relabeled, err := g.Relabel(perm)
+	relabeled, err := g.RelabelWorkers(perm, workers)
 	rebuildTime := time.Since(start)
 	if err != nil {
 		return Result{}, fmt.Errorf("reorder: %s: relabel: %w", t.Name(), err)
