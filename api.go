@@ -55,6 +55,22 @@ func ReadEdgeList(r io.Reader) ([]Edge, error) { return graph.ReadEdgeList(r) }
 // WriteEdgeList writes g as a text edge list.
 func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
 
+// GraphFormat identifies the on-disk encoding of a graph file.
+type GraphFormat = graph.Format
+
+// Graph file formats detected by ReadGraphAuto.
+const (
+	// TextFormat is the "src dst [weight]" edge-list encoding.
+	TextFormat = graph.FormatText
+	// BinaryFormat is the compact CSR encoding of WriteGraphBinary.
+	BinaryFormat = graph.FormatBinary
+)
+
+// ReadGraphAuto loads a graph from r in either supported format, sniffing
+// the binary magic from the first bytes, and reports which format it
+// found so callers can mirror the encoding on output.
+func ReadGraphAuto(r io.Reader) (*Graph, GraphFormat, error) { return graph.ReadAuto(r) }
+
 // ReadGraphBinary loads a graph written by WriteGraphBinary.
 func ReadGraphBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
 

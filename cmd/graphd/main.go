@@ -1,0 +1,232 @@
+// Command graphd serves graph-analytics queries over HTTP from named,
+// immutable, hot-swappable snapshots. Each snapshot is a graph loaded or
+// generated once, reordered once (DBG by default — the paper's
+// lightweight technique), and precomputed once; the reordering cost is
+// then amortized over every query served.
+//
+// Usage:
+//
+//	graphd -dataset sd -scale small -technique dbg -addr :8090
+//	graphd -i graph.gr -name web -technique hubsort
+//	graphd -dataset sd -scale small -selftest
+//
+// Endpoints: see the graphd section of README.md, or `curl
+// localhost:8090/v1/snapshots` once running. -selftest starts the server
+// on an ephemeral port, drives it with the in-process load generator,
+// hot-swaps a differently-ordered snapshot mid-run, and exits non-zero
+// if any request was lost.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphreorder/internal/server"
+	"graphreorder/internal/server/loadtest"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		dataset  = flag.String("dataset", "", "built-in dataset name (alternative to -i)")
+		scale    = flag.String("scale", "small", "tiny|small|medium|large (with -dataset)")
+		in       = flag.String("i", "", "graph file (text edge list or binary, auto-detected)")
+		name     = flag.String("name", "", "snapshot name (default: dataset or file base name)")
+		tech     = flag.String("technique", "dbg", "reordering technique for the initial snapshot (original = none)")
+		degree   = flag.String("degree", "out", "degree used for reordering: in|out")
+		workers  = flag.Int("workers", 0, "engine workers per traversal (0 = all cores)")
+		cacheMB  = flag.Int("cache-mb", 256, "result-cache budget in MiB")
+		maxConc  = flag.Int("max-concurrent", 0, "concurrent heavy queries (0 = 2*GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 15*time.Second, "heavy-query timeout")
+		allowFS  = flag.Bool("allow-path-loads", false, "allow POST /v1/snapshots specs that read server-side files")
+		selftest = flag.Bool("selftest", false, "run the in-process load test with a mid-run hot swap, then exit")
+		clients  = flag.Int("clients", 8, "selftest: concurrent clients")
+		duration = flag.Duration("duration", 3*time.Second, "selftest: load duration")
+	)
+	flag.Parse()
+
+	snapName := *name
+	switch {
+	case snapName != "":
+	case *dataset != "":
+		snapName = *dataset
+	case *in != "":
+		snapName = strings.TrimSuffix(filepath.Base(*in), filepath.Ext(*in))
+	default:
+		fmt.Fprintln(os.Stderr, "graphd: need -dataset or -i")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// The initial -i load below goes through Store().Build directly and
+	// is not gated: AllowPathLoads only controls what network clients may
+	// request, so it stays an explicit opt-in.
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		MaxConcurrent:  *maxConc,
+		QueryTimeout:   *timeout,
+		CacheBytes:     int64(*cacheMB) << 20,
+		AllowPathLoads: *allowFS,
+	})
+
+	spec := server.BuildSpec{
+		Name:      snapName,
+		Dataset:   *dataset,
+		Scale:     *scale,
+		Path:      *in,
+		Technique: *tech,
+		Degree:    *degree,
+		Activate:  true,
+	}
+	if *dataset == "" {
+		spec.Scale = ""
+	}
+	start := time.Now()
+	if _, err := srv.Store().Build(spec); err != nil {
+		fatal(err)
+	}
+	info, _ := srv.Store().Info(snapName)
+	fmt.Fprintf(os.Stderr,
+		"graphd: snapshot %q ready in %v (%d vertices, %d edges, technique %s; load %.0fms reorder %.0fms rebuild %.0fms precompute %.0fms)\n",
+		snapName, time.Since(start).Round(time.Millisecond), info.Vertices, info.Edges,
+		info.Technique, info.LoadMs, info.ReorderMs, info.RebuildMs, info.PrecomputeMs)
+
+	if *selftest {
+		os.Exit(runSelftest(srv, spec, *clients, *duration))
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "graphd: serving on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "graphd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "graphd: listener drain:", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "graphd: background builds:", err)
+	}
+}
+
+// runSelftest serves on an ephemeral port, drives the load generator,
+// and hot-swaps a differently-ordered snapshot halfway through. Returns
+// the process exit code: non-zero iff any request failed.
+func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duration time.Duration) int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "graphd: selftest serving on %s (%d clients, %v)\n", baseURL, clients, duration)
+
+	// Swap to a differently-ordered snapshot of the same graph at half
+	// time, through the public admin API. The goroutine reports when the
+	// swap actually completed, so we can prove it landed while the load
+	// was still running.
+	type swapReport struct {
+		completed time.Time
+		err       error
+	}
+	swapDone := make(chan swapReport, 1)
+	swapName := base.Name + "-swap"
+	go func() {
+		time.Sleep(duration / 2)
+		swap := base
+		swap.Name = swapName
+		if swap.Technique == "sort" {
+			swap.Technique = "dbg"
+		} else {
+			swap.Technique = "sort"
+		}
+		swap.Activate = true
+		body, _ := json.Marshal(swap)
+		resp, err := http.Post(baseURL+"/v1/snapshots", "application/json", bytes.NewReader(body))
+		if err != nil {
+			swapDone <- swapReport{err: err}
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			swapDone <- swapReport{err: fmt.Errorf("swap build rejected: %d", resp.StatusCode)}
+			return
+		}
+		srv.Store().WaitBuilds()
+		if cur := srv.Store().Current(); cur == nil || cur.Name() != swapName {
+			swapDone <- swapReport{err: fmt.Errorf("swap snapshot did not become current")}
+			return
+		}
+		swapDone <- swapReport{completed: time.Now()}
+	}()
+
+	loadEnd := time.Now().Add(duration)
+	res, err := loadtest.Run(loadtest.Options{
+		BaseURL:  baseURL,
+		Clients:  clients,
+		Duration: duration,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	swap := <-swapDone
+	if swap.err != nil {
+		fmt.Fprintln(os.Stderr, "graphd: selftest swap failed:", swap.err)
+		return 1
+	}
+	if swap.completed.After(loadEnd) {
+		fmt.Fprintf(os.Stderr,
+			"graphd: SELFTEST FAILED: hot swap completed %v after the load ended — swap-under-load was not exercised; increase -duration\n",
+			swap.completed.Sub(loadEnd).Round(time.Millisecond))
+		return 1
+	}
+
+	fmt.Print(res.String())
+	var metrics server.MetricsReport
+	if resp, err := http.Get(baseURL + "/metrics"); err == nil {
+		json.NewDecoder(resp.Body).Decode(&metrics)
+		resp.Body.Close()
+		fmt.Printf("cache: %d hits / %d misses, %d coalesced; snapshots: %d published, %d swaps, %d draining\n",
+			metrics.Cache.Hits, metrics.Cache.Misses, metrics.Cache.Coalesced,
+			metrics.Snapshots.Published, metrics.Snapshots.Swaps, metrics.Snapshots.Draining)
+	}
+	if res.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "graphd: SELFTEST FAILED: %d/%d requests lost across the hot swap\n",
+			res.Failures, res.Requests)
+		return 1
+	}
+	if metrics.Snapshots.Swaps < 2 {
+		fmt.Fprintln(os.Stderr, "graphd: SELFTEST FAILED: hot swap did not happen during the run")
+		return 1
+	}
+	fmt.Printf("selftest OK: %d requests, %d hot-swaps, zero requests lost\n",
+		res.Requests, metrics.Snapshots.Swaps)
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphd:", err)
+	os.Exit(1)
+}

@@ -5,6 +5,10 @@
 //
 //	graphinfo -dataset sd -scale small
 //	graphinfo -i mygraph.txt
+//	graphinfo -i mygraph.gr
+//
+// Input files may be text edge lists or binary graphs; the format is
+// detected from content.
 package main
 
 import (
@@ -19,7 +23,7 @@ func main() {
 	var (
 		dataset = flag.String("dataset", "", "built-in dataset name (alternative to -i)")
 		scale   = flag.String("scale", "small", "tiny|small|medium|large (with -dataset)")
-		in      = flag.String("i", "", "graph file (text edge list)")
+		in      = flag.String("i", "", "graph file (text edge list or binary, auto-detected)")
 	)
 	flag.Parse()
 
@@ -34,10 +38,7 @@ func main() {
 		var f *os.File
 		if f, err = os.Open(*in); err == nil {
 			defer f.Close()
-			var edges []graphreorder.Edge
-			if edges, err = graphreorder.ReadEdgeList(f); err == nil {
-				g, err = graphreorder.BuildGraph(edges)
-			}
+			g, _, err = graphreorder.ReadGraphAuto(f)
 		}
 	default:
 		flag.Usage()

@@ -11,8 +11,6 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -53,7 +51,7 @@ func main() {
 		defer f.Close()
 		rd = f
 	}
-	g, binary, err := readGraph(rd)
+	g, format, err := graphreorder.ReadGraphAuto(rd)
 	if err != nil {
 		fatal(err)
 	}
@@ -74,7 +72,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if binary {
+	if format == graphreorder.BinaryFormat {
 		err = graphreorder.WriteGraphBinary(w, res.Graph)
 	} else {
 		err = graphreorder.WriteEdgeList(w, res.Graph)
@@ -82,23 +80,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-}
-
-// readGraph sniffs the input format: the binary header starts with the
-// magic 'GRPR' little-endian; anything else parses as a text edge list.
-func readGraph(r io.Reader) (*graphreorder.Graph, bool, error) {
-	br := bufio.NewReader(r)
-	head, _ := br.Peek(4)
-	if bytes.Equal(head, []byte{0x52, 0x50, 0x52, 0x47}) { // "GRPR" LE
-		g, err := graphreorder.ReadGraphBinary(br)
-		return g, true, err
-	}
-	edges, err := graphreorder.ReadEdgeList(br)
-	if err != nil {
-		return nil, false, err
-	}
-	g, err := graphreorder.BuildGraph(edges)
-	return g, false, err
 }
 
 func fatal(err error) {

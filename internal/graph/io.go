@@ -13,11 +13,65 @@ import (
 // Text edge-list format: one edge per line, "src dst" or "src dst weight",
 // '#' or '%' comment lines ignored. Binary format (".gr"): a fixed header
 // followed by the out-CSR and weights; the in-CSR is rebuilt on load.
+//
+// The binary codec encodes and decodes slices through a fixed scratch
+// buffer with explicit little-endian put/get calls. The previous
+// implementation went through binary.Read/binary.Write, which allocate a
+// staging buffer as large as the slice being transferred and copy every
+// element twice; snapshot load time is a serving-path cost for graphd, so
+// the loader also reconstructs the dual CSR directly instead of
+// materializing an edge list and re-running the builder.
 
 const (
 	binaryMagic   = 0x47525052 // "GRPR"
 	binaryVersion = 1
+
+	// ioChunkBytes is the scratch-buffer size for binary slice transfer.
+	ioChunkBytes = 1 << 16
 )
+
+// Format identifies the on-disk encoding of a graph file.
+type Format int
+
+const (
+	// FormatText is the "src dst [weight]" edge-list encoding.
+	FormatText Format = iota
+	// FormatBinary is the compact CSR encoding written by WriteBinary.
+	FormatBinary
+)
+
+// String returns the lowercase name of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatText:
+		return "text"
+	case FormatBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ReadAuto loads a graph from r in either supported format, sniffing the
+// binary magic from the first bytes of the stream. It reports which format
+// it found so writers can mirror the input encoding.
+func ReadAuto(r io.Reader) (*Graph, Format, error) {
+	br := bufio.NewReaderSize(r, ioChunkBytes)
+	head, err := br.Peek(8)
+	if len(head) == 8 && binary.LittleEndian.Uint64(head) == binaryMagic {
+		g, err := ReadBinary(br)
+		return g, FormatBinary, err
+	}
+	if err != nil && err != io.EOF {
+		return nil, FormatText, fmt.Errorf("graph: sniffing format: %w", err)
+	}
+	edges, err := ReadEdgeList(br)
+	if err != nil {
+		return nil, FormatText, err
+	}
+	g, err := Build(edges)
+	return g, FormatText, err
+}
 
 // ReadEdgeList parses a text edge list from r.
 func ReadEdgeList(r io.Reader) ([]Edge, error) {
@@ -83,97 +137,176 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 
 // WriteBinary writes g in the compact binary format.
 func WriteBinary(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
-	hdr := []uint64{binaryMagic, binaryVersion, uint64(g.n), uint64(g.m)}
+	bw := bufio.NewWriterSize(w, ioChunkBytes)
+	var hdr [40]byte
+	binary.LittleEndian.PutUint64(hdr[0:], binaryMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], binaryVersion)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(g.n))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(g.m))
 	flags := uint64(0)
 	if g.Weighted() {
 		flags = 1
 	}
-	hdr = append(hdr, flags)
-	for _, h := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
-			return err
-		}
-	}
-	if err := binary.Write(bw, binary.LittleEndian, g.outIndex); err != nil {
+	binary.LittleEndian.PutUint64(hdr[32:], flags)
+	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.outEdges); err != nil {
+	if err := writeUint64s(bw, g.outIndex); err != nil {
+		return err
+	}
+	if err := writeUint32s(bw, g.outEdges); err != nil {
 		return err
 	}
 	if g.Weighted() {
-		if err := binary.Write(bw, binary.LittleEndian, g.outWeights); err != nil {
+		if err := writeUint32s(bw, g.outWeights); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadBinary loads a Graph written by WriteBinary, rebuilding the in-CSR
-// and validating the result.
+// ReadBinary loads a Graph written by WriteBinary. The out-CSR is taken
+// from the file after validation; the in-CSR is rebuilt with a counting
+// sort directly from it (scanning sources in ascending order, so
+// in-neighbor lists come out source-sorted without an explicit sort).
 func ReadBinary(r io.Reader) (*Graph, error) {
-	br := bufio.NewReader(r)
-	var hdr [5]uint64
-	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, fmt.Errorf("graph: reading header: %w", err)
-		}
+	br := bufio.NewReaderSize(r, ioChunkBytes)
+	var hdr [40]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
 	}
-	if hdr[0] != binaryMagic {
+	if binary.LittleEndian.Uint64(hdr[0:]) != binaryMagic {
 		return nil, errors.New("graph: bad magic; not a graph binary")
 	}
-	if hdr[1] != binaryVersion {
-		return nil, fmt.Errorf("graph: unsupported version %d", hdr[1])
+	if v := binary.LittleEndian.Uint64(hdr[8:]); v != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", v)
 	}
-	n, m, flags := int(hdr[2]), int(hdr[3]), hdr[4]
+	n := int(binary.LittleEndian.Uint64(hdr[16:]))
+	m := int(binary.LittleEndian.Uint64(hdr[24:]))
+	flags := binary.LittleEndian.Uint64(hdr[32:])
 	if n < 0 || m < 0 || n > 1<<31 || m > 1<<38 {
 		return nil, fmt.Errorf("graph: implausible dimensions n=%d m=%d", n, m)
 	}
+
 	outIndex := make([]uint64, n+1)
-	if err := binary.Read(br, binary.LittleEndian, outIndex); err != nil {
+	if err := readUint64s(br, outIndex); err != nil {
 		return nil, fmt.Errorf("graph: reading index: %w", err)
 	}
+	if err := validateIndex(outIndex, m, "out"); err != nil {
+		return nil, err
+	}
 	outEdges := make([]VertexID, m)
-	if err := binary.Read(br, binary.LittleEndian, outEdges); err != nil {
+	if err := readUint32s(br, outEdges); err != nil {
 		return nil, fmt.Errorf("graph: reading edges: %w", err)
+	}
+	for _, d := range outEdges {
+		if int(d) >= n {
+			return nil, fmt.Errorf("graph: edge destination %d out of range", d)
+		}
 	}
 	var outWeights []uint32
 	if flags&1 != 0 {
 		outWeights = make([]uint32, m)
-		if err := binary.Read(br, binary.LittleEndian, outWeights); err != nil {
+		if err := readUint32s(br, outWeights); err != nil {
 			return nil, fmt.Errorf("graph: reading weights: %w", err)
 		}
 	}
 
-	// Reconstruct the edge list and rebuild both CSRs so the in-CSR and all
-	// invariants come from one code path.
-	edges := make([]Edge, m)
-	v := 0
-	for i := 0; i < m; i++ {
-		for uint64(i) >= outIndex[v+1] {
-			v++
-			if v >= n {
-				return nil, errors.New("graph: corrupt index array")
-			}
-		}
-		if int(outEdges[i]) >= n {
-			return nil, fmt.Errorf("graph: edge destination %d out of range", outEdges[i])
-		}
-		edges[i] = Edge{Src: VertexID(v), Dst: outEdges[i]}
-		if outWeights != nil {
-			edges[i].Weight = outWeights[i]
-		}
+	g := &Graph{
+		n:          n,
+		m:          m,
+		outIndex:   outIndex,
+		outEdges:   outEdges,
+		outWeights: outWeights,
 	}
-	g, err := BuildWith(edges, BuildOptions{
-		NumVertices:   n,
-		Weighted:      outWeights != nil,
-		SortNeighbors: true,
-	})
-	if err != nil {
-		return nil, err
-	}
+	g.inIndex, g.inEdges, g.inWeights = buildInCSRFromOut(n, outIndex, outEdges, outWeights)
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	return g, nil
+}
+
+// buildInCSRFromOut derives the in-CSR from a validated out-CSR with a
+// counting sort: count in-degrees, prefix-sum, then scatter sources in
+// ascending order so each in-neighbor list is sorted by source.
+func buildInCSRFromOut(n int, outIndex []uint64, outEdges []VertexID, outWeights []uint32) ([]uint64, []VertexID, []uint32) {
+	inIndex := make([]uint64, n+1)
+	for _, dst := range outEdges {
+		inIndex[dst+1]++
+	}
+	for i := 1; i <= n; i++ {
+		inIndex[i] += inIndex[i-1]
+	}
+	inEdges := make([]VertexID, len(outEdges))
+	var inWeights []uint32
+	if outWeights != nil {
+		inWeights = make([]uint32, len(outWeights))
+	}
+	cursor := make([]uint64, n)
+	copy(cursor, inIndex[:n])
+	for v := 0; v < n; v++ {
+		lo, hi := outIndex[v], outIndex[v+1]
+		for i := lo; i < hi; i++ {
+			dst := outEdges[i]
+			pos := cursor[dst]
+			cursor[dst]++
+			inEdges[pos] = VertexID(v)
+			if inWeights != nil {
+				inWeights[pos] = outWeights[i]
+			}
+		}
+	}
+	return inIndex, inEdges, inWeights
+}
+
+// writeSlice streams vals through a fixed scratch buffer, size bytes per
+// element encoded with put.
+func writeSlice[T uint32 | uint64](w io.Writer, vals []T, size int, put func([]byte, T)) error {
+	var buf [ioChunkBytes]byte
+	perChunk := ioChunkBytes / size
+	for len(vals) > 0 {
+		chunk := min(len(vals), perChunk)
+		for i, v := range vals[:chunk] {
+			put(buf[i*size:], v)
+		}
+		if _, err := w.Write(buf[:chunk*size]); err != nil {
+			return err
+		}
+		vals = vals[chunk:]
+	}
+	return nil
+}
+
+// readSlice fills dst by streaming through a fixed scratch buffer, size
+// bytes per element decoded with get.
+func readSlice[T uint32 | uint64](r io.Reader, dst []T, size int, get func([]byte) T) error {
+	var buf [ioChunkBytes]byte
+	perChunk := ioChunkBytes / size
+	for len(dst) > 0 {
+		chunk := min(len(dst), perChunk)
+		if _, err := io.ReadFull(r, buf[:chunk*size]); err != nil {
+			return err
+		}
+		for i := range dst[:chunk] {
+			dst[i] = get(buf[i*size:])
+		}
+		dst = dst[chunk:]
+	}
+	return nil
+}
+
+func writeUint64s(w io.Writer, vals []uint64) error {
+	return writeSlice(w, vals, 8, binary.LittleEndian.PutUint64)
+}
+
+func writeUint32s(w io.Writer, vals []uint32) error {
+	return writeSlice(w, vals, 4, binary.LittleEndian.PutUint32)
+}
+
+func readUint64s(r io.Reader, dst []uint64) error {
+	return readSlice(r, dst, 8, binary.LittleEndian.Uint64)
+}
+
+func readUint32s(r io.Reader, dst []uint32) error {
+	return readSlice(r, dst, 4, binary.LittleEndian.Uint32)
 }

@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+
+	"graphreorder/internal/rng"
+)
+
+// randomEdges generates a reproducible multigraph edge list with self
+// loops and duplicates, weighted or not.
+func randomIOEdges(t *testing.T, seed uint64, n, m int, weighted bool) []Edge {
+	t.Helper()
+	r := rng.New(seed)
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{Src: VertexID(r.Intn(n)), Dst: VertexID(r.Intn(n))}
+		if weighted {
+			edges[i].Weight = uint32(1 + r.Intn(63))
+		}
+	}
+	return edges
+}
+
+func buildRandom(t *testing.T, seed uint64, n, m int, weighted bool) *Graph {
+	t.Helper()
+	g, err := BuildWith(randomIOEdges(t, seed, n, m, weighted), BuildOptions{
+		NumVertices: n, Weighted: weighted, SortNeighbors: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// requireSameGraph asserts h is byte-for-byte the same CSR as g.
+func requireSameGraph(t *testing.T, g, h *Graph, what string) {
+	t.Helper()
+	if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("%s: dimensions changed: %d/%d -> %d/%d",
+			what, g.NumVertices(), g.NumEdges(), h.NumVertices(), h.NumEdges())
+	}
+	if !reflect.DeepEqual(g.OutIndex(), h.OutIndex()) ||
+		!reflect.DeepEqual(g.OutEdgeArray(), h.OutEdgeArray()) {
+		t.Fatalf("%s: out-CSR changed", what)
+	}
+	if !reflect.DeepEqual(g.InIndex(), h.InIndex()) ||
+		!reflect.DeepEqual(g.InEdgeArray(), h.InEdgeArray()) {
+		t.Fatalf("%s: in-CSR changed", what)
+	}
+	if !reflect.DeepEqual(g.Edges(), h.Edges()) {
+		t.Fatalf("%s: edge list (with weights) changed", what)
+	}
+}
+
+func TestBinaryRoundTripExact(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := buildRandom(t, 7, 64, 400, weighted)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameGraph(t, g, h, "binary round trip")
+		if err := h.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTextToBinaryToTextRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		// Duplicate edges are removed: with parallel weighted edges the
+		// neighbor sort's tie order is input-order dependent, so exact
+		// round-tripping is only well-defined on simple adjacency lists.
+		g, err := BuildWith(randomIOEdges(t, 11, 40, 200, weighted), BuildOptions{
+			NumVertices: 40, Weighted: weighted, SortNeighbors: true, RemoveDuplicates: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// text -> graph -> binary -> graph -> text: both text forms equal.
+		var text1 bytes.Buffer
+		if err := WriteEdgeList(&text1, g); err != nil {
+			t.Fatal(err)
+		}
+		edges, err := ReadEdgeList(bytes.NewReader(text1.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromText, err := BuildWith(edges, BuildOptions{
+			NumVertices: g.NumVertices(), Weighted: weighted, SortNeighbors: true, RemoveDuplicates: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameGraph(t, g, fromText, "text round trip")
+
+		var bin bytes.Buffer
+		if err := WriteBinary(&bin, fromText); err != nil {
+			t.Fatal(err)
+		}
+		fromBin, err := ReadBinary(&bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text2 bytes.Buffer
+		if err := WriteEdgeList(&text2, fromBin); err != nil {
+			t.Fatal(err)
+		}
+		if text1.String() != text2.String() {
+			t.Fatal("text -> binary -> text round trip changed the edge list")
+		}
+	}
+}
+
+func TestReadAutoSniffsFormats(t *testing.T) {
+	g := buildRandom(t, 3, 32, 100, true)
+
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	h, format, err := ReadAuto(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != FormatBinary {
+		t.Fatalf("binary input detected as %v", format)
+	}
+	requireSameGraph(t, g, h, "ReadAuto binary")
+
+	var text bytes.Buffer
+	if err := WriteEdgeList(&text, g); err != nil {
+		t.Fatal(err)
+	}
+	h, format, err = ReadAuto(bytes.NewReader(text.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != FormatText {
+		t.Fatalf("text input detected as %v", format)
+	}
+	requireSameGraph(t, g, h, "ReadAuto text")
+}
+
+func TestReadAutoShortAndEmptyInputs(t *testing.T) {
+	// Inputs shorter than the 8-byte magic must fall through to the text
+	// parser, not error out of the sniffer.
+	g, format, err := ReadAuto(strings.NewReader("1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != FormatText || g.NumEdges() != 1 {
+		t.Fatalf("short text input: format=%v edges=%d", format, g.NumEdges())
+	}
+	g, format, err = ReadAuto(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != FormatText || g.NumVertices() != 0 {
+		t.Fatalf("empty input: format=%v n=%d", format, g.NumVertices())
+	}
+}
+
+func TestReadBinaryCorruptHeader(t *testing.T) {
+	g := buildRandom(t, 5, 16, 40, false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := bytes.Clone(good)
+		mutate(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"bad magic":   corrupt(func(b []byte) { b[0] ^= 0xff }),
+		"bad version": corrupt(func(b []byte) { b[8] = 0x7f }),
+		"giant n": corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[16:], 1<<40)
+		}),
+		"giant m": corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[24:], 1<<40)
+		}),
+		"non-monotonic index": corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[40+8:], ^uint64(0)>>1)
+		}),
+		"edge out of range": corrupt(func(b []byte) {
+			idxBytes := (g.NumVertices() + 1) * 8
+			binary.LittleEndian.PutUint32(b[40+idxBytes:], uint32(g.NumVertices()+5))
+		}),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	g := buildRandom(t, 9, 32, 200, true)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Cut in the header, in the index array, in the edge array, and in the
+	// weight array.
+	idxEnd := 40 + (g.NumVertices()+1)*8
+	edgeEnd := idxEnd + g.NumEdges()*4
+	for _, cut := range []int{0, 7, 39, idxEnd - 3, edgeEnd - 3, len(good) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncated at %d/%d bytes: accepted", cut, len(good))
+		}
+	}
+}
+
+func TestReadBinaryPreservesAdjacencyOrder(t *testing.T) {
+	// Relabel does not re-sort adjacency lists; the loader must round-trip
+	// that layout untouched rather than sorting it back.
+	g := buildRandom(t, 13, 48, 300, true)
+	perm := make([]VertexID, g.NumVertices())
+	for i := range perm {
+		perm[i] = VertexID(g.NumVertices() - 1 - i)
+	}
+	rel, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The out-CSR (the bytes on the wire) must round-trip exactly. The
+	// in-CSR is derived on load in canonical source-ascending order, which
+	// may differ from Relabel's scatter order, so compare it per vertex as
+	// a sorted multiset.
+	if !reflect.DeepEqual(rel.OutIndex(), h.OutIndex()) ||
+		!reflect.DeepEqual(rel.OutEdgeArray(), h.OutEdgeArray()) ||
+		!reflect.DeepEqual(rel.Edges(), h.Edges()) {
+		t.Fatal("relabeled round trip changed the out-CSR")
+	}
+	if !reflect.DeepEqual(rel.InIndex(), h.InIndex()) {
+		t.Fatal("relabeled round trip changed the in-index")
+	}
+	for v := 0; v < rel.NumVertices(); v++ {
+		want := slices.Sorted(slices.Values(rel.InNeighbors(VertexID(v))))
+		got := slices.Sorted(slices.Values(h.InNeighbors(VertexID(v))))
+		if !slices.Equal(want, got) {
+			t.Fatalf("vertex %d: in-neighbor multiset changed", v)
+		}
+	}
+}

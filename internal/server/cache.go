@@ -1,0 +1,92 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// resultCache is a mutex-guarded LRU over fully-materialized query
+// results, bounded by an approximate byte budget — entries carry their
+// own cost, so a handful of O(n) SSSP distance vectors cannot grow the
+// cache without bound the way an entry-count limit would. Keys embed
+// the snapshot epoch, so entries for a replaced snapshot simply age
+// out — a hot-swap never serves stale answers and needs no
+// invalidation pass.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	key  string
+	val  any
+	cost int64
+}
+
+func newResultCache(maxBytes int64) *resultCache {
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	return &resultCache{maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// add inserts val at the given approximate cost in bytes. Values larger
+// than the whole budget are not cached at all.
+func (c *resultCache) add(key string, val any, cost int64) {
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		entry := el.Value.(*cacheEntry)
+		c.curBytes += cost - entry.cost
+		entry.val, entry.cost = val, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, cost: cost})
+		c.curBytes += cost
+	}
+	for c.curBytes > c.maxBytes {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		entry := oldest.Value.(*cacheEntry)
+		delete(c.items, entry.key)
+		c.curBytes -= entry.cost
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *resultCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}

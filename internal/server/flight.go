@@ -1,0 +1,51 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces duplicate in-flight work: callers of do with the
+// same key while a computation is running all wait on the one leader
+// call instead of launching their own traversal (singleflight). The
+// leader runs on its own goroutine so a caller whose context expires can
+// abandon the wait while the result still lands in the cache.
+type flightGroup struct {
+	mu        sync.Mutex
+	m         map[string]*flightCall
+	coalesced atomic.Uint64
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do returns the in-flight call for key, starting fn on a new goroutine
+// if none is running, and reports whether this caller became the leader
+// (i.e. whether fn will run). Callers wait on call.done (typically in a
+// select with their request context).
+func (g *flightGroup) do(key string, fn func() (any, error)) (*flightCall, bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		g.coalesced.Add(1)
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+	go func() {
+		c.val, c.err = fn()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	return c, true
+}

@@ -1,0 +1,271 @@
+// Package loadtest drives a running graphd instance with N concurrent
+// clients issuing a mixed query workload over real HTTP, and reports
+// throughput and latency quantiles. It is the repository's serving
+// benchmark: cmd/graphd -selftest uses it to prove a hot-swap under load
+// loses zero requests.
+package loadtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphreorder/internal/rng"
+	"graphreorder/internal/stats"
+)
+
+// Options configures a load-test run.
+type Options struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8090".
+	BaseURL string
+	// Clients is the number of concurrent client goroutines (default 8).
+	Clients int
+	// Duration is how long to run (default 3s).
+	Duration time.Duration
+	// Seed makes the workload reproducible (default 1).
+	Seed uint64
+	// SSSPSources is how many distinct SSSP sources the workload cycles
+	// through (default 4). Small values model "hot" queries: after one
+	// traversal per source, the rest are cache hits or coalesced.
+	SSSPSources int
+	// Mix weights the query kinds (default 70/15/10/5
+	// neighbors/rank/topk/sssp).
+	Mix Mix
+}
+
+// Mix holds relative weights for the query kinds.
+type Mix struct {
+	Neighbors, Rank, TopK, SSSP int
+}
+
+func (m Mix) orDefault() Mix {
+	if m.Neighbors+m.Rank+m.TopK+m.SSSP == 0 {
+		return Mix{Neighbors: 70, Rank: 15, TopK: 10, SSSP: 5}
+	}
+	return m
+}
+
+// KindStats aggregates one query kind.
+type KindStats struct {
+	Requests uint64
+	Failures uint64
+	Mean     time.Duration
+	P50      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+// Result summarizes a run.
+type Result struct {
+	Duration   time.Duration
+	Requests   uint64
+	Failures   uint64
+	Throughput float64 // requests per second
+	Mean       time.Duration
+	P50        time.Duration
+	P90        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+	ByKind     map[string]KindStats
+	// FirstErrors holds up to a handful of failure descriptions.
+	FirstErrors []string
+}
+
+// String renders the result as a small report.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d requests in %v (%.0f req/s), %d failures\n",
+		r.Requests, r.Duration.Round(time.Millisecond), r.Throughput, r.Failures)
+	fmt.Fprintf(&b, "overall latency: mean %v  p50 %v  p90 %v  p99 %v  max %v\n",
+		r.Mean, r.P50, r.P90, r.P99, r.Max)
+	kinds := make([]string, 0, len(r.ByKind))
+	for k := range r.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		ks := r.ByKind[k]
+		fmt.Fprintf(&b, "%-10s %8d reqs  %3d fail  mean %10v  p50 %10v  p99 %10v\n",
+			k, ks.Requests, ks.Failures, ks.Mean, ks.P50, ks.P99)
+	}
+	for _, e := range r.FirstErrors {
+		fmt.Fprintf(&b, "error: %s\n", e)
+	}
+	return b.String()
+}
+
+type kindTracker struct {
+	requests atomic.Uint64
+	failures atomic.Uint64
+	lat      stats.LatencyHist
+}
+
+// Run executes the load test and blocks until it finishes.
+func Run(opts Options) (Result, error) {
+	if opts.BaseURL == "" {
+		return Result{}, fmt.Errorf("loadtest: BaseURL required")
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 8
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 3 * time.Second
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.SSSPSources <= 0 {
+		opts.SSSPSources = 4
+	}
+	mix := opts.Mix.orDefault()
+
+	// The vertex universe is the smallest published snapshot, so queries
+	// stay valid even if a hot-swap lands on a differently-sized graph.
+	n, err := minVertices(opts.BaseURL)
+	if err != nil {
+		return Result{}, err
+	}
+	if n == 0 {
+		return Result{}, fmt.Errorf("loadtest: server has no non-empty snapshot")
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.Clients * 2,
+			MaxIdleConnsPerHost: opts.Clients * 2,
+		},
+	}
+
+	kinds := map[string]*kindTracker{
+		"neighbors": {}, "rank": {}, "topk": {}, "sssp": {},
+	}
+	var overall stats.LatencyHist
+	var requests, failures atomic.Uint64
+	errCh := make(chan string, 8)
+
+	weightTotal := mix.Neighbors + mix.Rank + mix.TopK + mix.SSSP
+	deadline := time.Now().Add(opts.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.NewStream(opts.Seed, uint64(c))
+			for time.Now().Before(deadline) {
+				// Zipf-distributed vertices model hot-vertex traffic.
+				v := r.Zipf(n, 1.1)
+				var kind, url string
+				switch pick := r.Intn(weightTotal); {
+				case pick < mix.Neighbors:
+					kind = "neighbors"
+					url = fmt.Sprintf("%s/v1/query/neighbors?v=%d&limit=32", opts.BaseURL, v)
+				case pick < mix.Neighbors+mix.Rank:
+					kind = "rank"
+					url = fmt.Sprintf("%s/v1/query/rank?v=%d", opts.BaseURL, v)
+				case pick < mix.Neighbors+mix.Rank+mix.TopK:
+					kind = "topk"
+					url = fmt.Sprintf("%s/v1/query/topk?k=10", opts.BaseURL)
+				default:
+					kind = "sssp"
+					url = fmt.Sprintf("%s/v1/query/sssp?src=%d", opts.BaseURL, r.Intn(opts.SSSPSources))
+				}
+				tracker := kinds[kind]
+				start := time.Now()
+				ok, desc := fetch(client, url)
+				elapsed := time.Since(start)
+				requests.Add(1)
+				tracker.requests.Add(1)
+				overall.Observe(elapsed)
+				tracker.lat.Observe(elapsed)
+				if !ok {
+					failures.Add(1)
+					tracker.failures.Add(1)
+					select {
+					case errCh <- desc:
+					default:
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	res := Result{
+		Duration: opts.Duration,
+		Requests: requests.Load(),
+		Failures: failures.Load(),
+		Mean:     overall.Mean(),
+		P50:      overall.Quantile(0.50),
+		P90:      overall.Quantile(0.90),
+		P99:      overall.Quantile(0.99),
+		Max:      overall.Max(),
+		ByKind:   make(map[string]KindStats, len(kinds)),
+	}
+	res.Throughput = float64(res.Requests) / opts.Duration.Seconds()
+	for name, tr := range kinds {
+		snap := tr.lat.Snapshot()
+		res.ByKind[name] = KindStats{
+			Requests: tr.requests.Load(),
+			Failures: tr.failures.Load(),
+			Mean:     snap.Mean,
+			P50:      snap.P50,
+			P99:      snap.P99,
+			Max:      snap.Max,
+		}
+	}
+	for {
+		select {
+		case e := <-errCh:
+			res.FirstErrors = append(res.FirstErrors, e)
+		default:
+			return res, nil
+		}
+	}
+}
+
+func fetch(client *http.Client, url string) (bool, string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false, fmt.Sprintf("GET %s: %v", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Sprintf("GET %s: %d %s", url, resp.StatusCode, string(body))
+	}
+	return true, ""
+}
+
+// minVertices asks the server for its published snapshots and returns
+// the smallest vertex count.
+func minVertices(baseURL string) (int, error) {
+	resp, err := http.Get(baseURL + "/v1/snapshots")
+	if err != nil {
+		return 0, fmt.Errorf("loadtest: listing snapshots: %w", err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Snapshots []struct {
+			Vertices int `json:"vertices"`
+		} `json:"snapshots"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return 0, fmt.Errorf("loadtest: decoding snapshot list: %w", err)
+	}
+	if len(list.Snapshots) == 0 {
+		return 0, fmt.Errorf("loadtest: server has no snapshots")
+	}
+	n := list.Snapshots[0].Vertices
+	for _, s := range list.Snapshots[1:] {
+		if s.Vertices < n {
+			n = s.Vertices
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,62 @@
+package loadtest
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"graphreorder/internal/server"
+)
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	s := server.New(server.Config{Workers: 1})
+	if _, err := s.Store().Build(server.BuildSpec{
+		Name: "main", Dataset: "uni", Scale: "tiny", Technique: "dbg",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := Run(Options{
+		BaseURL:  ts.URL,
+		Clients:  4,
+		Duration: 300 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if res.Failures != 0 {
+		t.Fatalf("%d failures: %v", res.Failures, res.FirstErrors)
+	}
+	if res.P99 < res.P50 || res.Max < res.P99 {
+		t.Errorf("implausible quantiles: %+v", res)
+	}
+	total := uint64(0)
+	for _, ks := range res.ByKind {
+		total += ks.Requests
+	}
+	if total != res.Requests {
+		t.Errorf("per-kind requests %d != total %d", total, res.Requests)
+	}
+	if res.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	// Server with no snapshots.
+	s := server.New(server.Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, err := Run(Options{BaseURL: ts.URL, Duration: 50 * time.Millisecond}); err == nil {
+		t.Error("empty server accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphreorder/internal/stats"
+)
+
+// routeMetrics aggregates one route's request count, error count and
+// latency distribution (stats.LatencyHist, lock-free on the hot path).
+type routeMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	lat      stats.LatencyHist
+}
+
+type metricsSet struct {
+	mu     sync.RWMutex
+	routes map[string]*routeMetrics
+}
+
+func newMetricsSet() *metricsSet {
+	return &metricsSet{routes: make(map[string]*routeMetrics)}
+}
+
+func (m *metricsSet) route(name string) *routeMetrics {
+	m.mu.RLock()
+	rm, ok := m.routes[name]
+	m.mu.RUnlock()
+	if ok {
+		return rm
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rm, ok = m.routes[name]; ok {
+		return rm
+	}
+	rm = &routeMetrics{}
+	m.routes[name] = rm
+	return rm
+}
+
+// RouteStats is the JSON view of one route's metrics.
+type RouteStats struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	MeanUs   float64 `json:"mean_us"`
+	P50Us    float64 `json:"p50_us"`
+	P90Us    float64 `json:"p90_us"`
+	P99Us    float64 `json:"p99_us"`
+	MaxUs    float64 `json:"max_us"`
+}
+
+// MetricsReport is the /metrics payload.
+type MetricsReport struct {
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Routes        map[string]RouteStats `json:"routes"`
+	Cache         CacheStats            `json:"cache"`
+	Pool          PoolStats             `json:"pool"`
+	Snapshots     SnapshotStats         `json:"snapshots"`
+}
+
+// CacheStats reports result-cache and coalescing effectiveness.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// PoolStats reports heavy-query pool pressure.
+type PoolStats struct {
+	Capacity int    `json:"capacity"`
+	InUse    int    `json:"in_use"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// SnapshotStats reports snapshot lifecycle counters.
+type SnapshotStats struct {
+	Published int    `json:"published"`
+	Draining  int    `json:"draining"`
+	Swaps     uint64 `json:"swaps"`
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+
+func (m *metricsSet) report() map[string]RouteStats {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+	out := make(map[string]RouteStats, len(names))
+	for _, name := range names {
+		rm := m.route(name)
+		snap := rm.lat.Snapshot()
+		out[name] = RouteStats{
+			Requests: rm.requests.Load(),
+			Errors:   rm.errors.Load(),
+			MeanUs:   us(snap.Mean),
+			P50Us:    us(snap.P50),
+			P90Us:    us(snap.P90),
+			P99Us:    us(snap.P99),
+			MaxUs:    us(snap.Max),
+		}
+	}
+	return out
+}
+
+// statusWriter captures the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route metrics collection.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rm := s.metrics.route(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		rm.requests.Add(1)
+		if sw.status >= 400 {
+			rm.errors.Add(1)
+		}
+		rm.lat.Observe(time.Since(start))
+	}
+}

@@ -1,0 +1,37 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// workPool bounds the number of traversal-heavy queries (SSSP, Radii,
+// top-k) executing at once, so point lookups stay responsive and a flood
+// of expensive requests degrades into queueing instead of thrashing
+// every core. Acquisition respects a context deadline.
+type workPool struct {
+	sem      chan struct{}
+	rejected atomic.Uint64
+}
+
+func newWorkPool(n int) *workPool {
+	if n < 1 {
+		n = 1
+	}
+	return &workPool{sem: make(chan struct{}, n)}
+}
+
+func (p *workPool) acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		p.rejected.Add(1)
+		return ctx.Err()
+	}
+}
+
+func (p *workPool) release() { <-p.sem }
+
+func (p *workPool) capacity() int { return cap(p.sem) }
+func (p *workPool) inUse() int    { return len(p.sem) }

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"fmt"
+
+	"graphreorder/internal/apps"
+	"graphreorder/internal/graph"
+	"graphreorder/internal/rng"
+)
+
+// infDistance marks unreachable vertices in SSSP distance vectors.
+const infDistance = apps.InfDistance
+
+// Query results. Every response embeds queryMeta so a client (and the
+// race test) can tell exactly which snapshot produced it.
+
+type queryMeta struct {
+	Snapshot string `json:"snapshot"`
+	Epoch    uint64 `json:"epoch"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Cached   bool   `json:"cached,omitempty"`
+}
+
+func metaFor(s *Snapshot) queryMeta {
+	return queryMeta{
+		Snapshot: s.name,
+		Epoch:    s.epoch,
+		Vertices: s.graph.NumVertices(),
+		Edges:    s.graph.NumEdges(),
+	}
+}
+
+type neighborsResult struct {
+	queryMeta
+	Vertex    graph.VertexID   `json:"vertex"`
+	Dir       string           `json:"dir"`
+	Degree    int              `json:"degree"`
+	Truncated bool             `json:"truncated,omitempty"`
+	Neighbors []graph.VertexID `json:"neighbors"`
+}
+
+func queryNeighbors(s *Snapshot, v graph.VertexID, dir string, limit int) (neighborsResult, error) {
+	var nbrs []graph.VertexID
+	switch dir {
+	case "", "out":
+		dir = "out"
+		nbrs = s.graph.OutNeighbors(v)
+	case "in":
+		nbrs = s.graph.InNeighbors(v)
+	default:
+		return neighborsResult{}, fmt.Errorf("bad dir %q (want in|out)", dir)
+	}
+	res := neighborsResult{
+		queryMeta: metaFor(s),
+		Vertex:    v,
+		Dir:       dir,
+		Degree:    len(nbrs),
+	}
+	if limit > 0 && len(nbrs) > limit {
+		nbrs = nbrs[:limit]
+		res.Truncated = true
+	}
+	// Copy out of the shared CSR so the JSON encoder never aliases
+	// snapshot memory after release.
+	res.Neighbors = append([]graph.VertexID{}, nbrs...)
+	return res, nil
+}
+
+type degreeResult struct {
+	queryMeta
+	Vertex graph.VertexID `json:"vertex"`
+	Kind   string         `json:"kind"`
+	Degree int            `json:"degree"`
+}
+
+func queryDegree(s *Snapshot, v graph.VertexID, kind string) (degreeResult, error) {
+	res := degreeResult{queryMeta: metaFor(s), Vertex: v, Kind: kind}
+	switch kind {
+	case "", "out":
+		res.Kind = "out"
+		res.Degree = s.graph.OutDegree(v)
+	case "in":
+		res.Degree = s.graph.InDegree(v)
+	case "total":
+		res.Degree = s.graph.InDegree(v) + s.graph.OutDegree(v)
+	default:
+		return degreeResult{}, fmt.Errorf("bad kind %q (want in|out|total)", kind)
+	}
+	return res, nil
+}
+
+type rankResult struct {
+	queryMeta
+	Vertex graph.VertexID `json:"vertex"`
+	Rank   float64        `json:"rank"`
+	Iters  int            `json:"iters"`
+}
+
+func queryRank(s *Snapshot, v graph.VertexID) rankResult {
+	return rankResult{
+		queryMeta: metaFor(s),
+		Vertex:    v,
+		Rank:      s.ranks[v],
+		Iters:     s.rankIters,
+	}
+}
+
+type rankedVertex struct {
+	Vertex graph.VertexID `json:"vertex"`
+	Rank   float64        `json:"rank"`
+}
+
+type topKResult struct {
+	queryMeta
+	K   int            `json:"k"`
+	Top []rankedVertex `json:"top"`
+}
+
+// topKRanks selects the k highest-ranked vertices with a size-k min-heap
+// (O(n log k)); ties break toward the lower vertex ID so results are
+// deterministic.
+func topKRanks(ranks []float64, k int) []rankedVertex {
+	if k > len(ranks) {
+		k = len(ranks)
+	}
+	if k <= 0 {
+		return []rankedVertex{}
+	}
+	// less reports whether a is strictly worse than b (belongs below it in
+	// the min-heap at the top of which sits the worst kept vertex).
+	less := func(a, b rankedVertex) bool {
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Vertex > b.Vertex
+	}
+	heap := make([]rankedVertex, 0, k)
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && less(heap[l], heap[small]) {
+				small = l
+			}
+			if r < len(heap) && less(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	up := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				return
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	for v, r := range ranks {
+		cand := rankedVertex{Vertex: graph.VertexID(v), Rank: r}
+		if len(heap) < k {
+			heap = append(heap, cand)
+			up(len(heap) - 1)
+			continue
+		}
+		if less(heap[0], cand) {
+			heap[0] = cand
+			down(0)
+		}
+	}
+	// Pop into descending order.
+	out := make([]rankedVertex, len(heap))
+	for i := len(heap) - 1; i >= 0; i-- {
+		out[i] = heap[0]
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		down(0)
+	}
+	return out
+}
+
+type ssspResult struct {
+	queryMeta
+	Source      graph.VertexID `json:"source"`
+	Rounds      int            `json:"rounds"`
+	Reached     int            `json:"reached"`
+	Unreachable int            `json:"unreachable"`
+	MaxDistance int64          `json:"max_distance"`
+}
+
+// ssspDistances is the cached payload: the full distance vector plus the
+// summary, computed once per (epoch, source) — cache hits serve the
+// summary without rescanning the O(n) vector.
+type ssspDistances struct {
+	dist        []int64
+	rounds      int
+	reached     int
+	unreachable int
+	maxDistance int64
+}
+
+func computeSSSP(s *Snapshot, src graph.VertexID, workers int) (ssspDistances, error) {
+	dist, rounds, _, err := apps.SSSP(s.graph, src, workers, nil)
+	if err != nil {
+		return ssspDistances{}, err
+	}
+	d := ssspDistances{dist: dist, rounds: rounds}
+	for _, dv := range dist {
+		if dv == apps.InfDistance {
+			d.unreachable++
+		} else {
+			d.reached++
+			if dv > d.maxDistance {
+				d.maxDistance = dv
+			}
+		}
+	}
+	return d, nil
+}
+
+func (d ssspDistances) result(s *Snapshot, src graph.VertexID) ssspResult {
+	return ssspResult{
+		queryMeta:   metaFor(s),
+		Source:      src,
+		Rounds:      d.rounds,
+		Reached:     d.reached,
+		Unreachable: d.unreachable,
+		MaxDistance: d.maxDistance,
+	}
+}
+
+type ssspTargetResult struct {
+	ssspResult
+	Target    graph.VertexID `json:"target"`
+	Reachable bool           `json:"reachable"`
+	// Distance is meaningful only when Reachable; note src==target
+	// legitimately yields 0, so no omitempty.
+	Distance int64 `json:"distance"`
+}
+
+type radiiResult struct {
+	queryMeta
+	Samples    int     `json:"samples"`
+	Seed       uint64  `json:"seed"`
+	MaxRadius  int32   `json:"max_radius"`
+	MeanRadius float64 `json:"mean_radius"`
+	Unreached  int     `json:"unreached"`
+}
+
+func computeRadii(s *Snapshot, samples int, seed uint64, workers int) radiiResult {
+	n := s.graph.NumVertices()
+	if samples > 64 {
+		samples = 64
+	}
+	if samples > n {
+		samples = n
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	r := rng.New(seed)
+	sources := make([]graph.VertexID, samples)
+	for i := range sources {
+		sources[i] = graph.VertexID(r.Intn(n))
+	}
+	radii, _, _ := apps.Radii(s.graph, sources, workers, nil)
+	res := radiiResult{
+		queryMeta: metaFor(s),
+		Samples:   samples,
+		Seed:      seed,
+	}
+	sum, counted := 0.0, 0
+	for _, rad := range radii {
+		if rad < 0 {
+			res.Unreached++
+			continue
+		}
+		counted++
+		sum += float64(rad)
+		if rad > res.MaxRadius {
+			res.MaxRadius = rad
+		}
+	}
+	if counted > 0 {
+		res.MeanRadius = sum / float64(counted)
+	}
+	return res
+}

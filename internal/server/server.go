@@ -1,0 +1,556 @@
+// Package server implements graphd: an HTTP/JSON graph-analytics query
+// service on top of the repository's reordering library and multicore
+// execution engine.
+//
+// The serving model follows the paper's economics: reordering a graph is
+// a one-time cost paid at snapshot-build time (DBG by default — cheap,
+// skew-aware), and the locality win is then amortized over every query
+// served from that snapshot. Snapshots are immutable and hot-swappable:
+// the store publishes a fresh table behind an atomic pointer, queries
+// acquire their snapshot once at entry, and replaced snapshots drain
+// naturally as in-flight queries finish — a swap never blocks or drops a
+// request.
+//
+// Traversal queries (SSSP, Radii, top-k) run on a bounded worker pool
+// under context deadlines, with duplicate in-flight requests coalesced
+// (singleflight) and results kept in an LRU keyed by
+// (snapshot epoch, app, params).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"graphreorder/internal/graph"
+)
+
+// Config tunes a Server. The zero value serves with GOMAXPROCS engine
+// workers, 2*GOMAXPROCS heavy-query slots, a 15s query timeout and a
+// 1024-entry result cache.
+type Config struct {
+	// Workers is the engine worker count used by traversals and snapshot
+	// builds (<= 0 means GOMAXPROCS).
+	Workers int
+	// MaxConcurrent bounds traversal-heavy queries in flight (<= 0 means
+	// 2*GOMAXPROCS).
+	MaxConcurrent int
+	// QueryTimeout bounds how long a request waits for a heavy-query
+	// result (queue time included); 0 means 15s. The traversal itself is
+	// not cancelled — it finishes on the pool and lands in the cache for
+	// the next request.
+	QueryTimeout time.Duration
+	// CacheBytes is the approximate byte budget of the LRU result cache
+	// (SSSP distance vectors dominate at 8 bytes/vertex); 0 means 256 MiB.
+	CacheBytes int64
+	// AllowPathLoads permits POST /v1/snapshots specs that read graph
+	// files from the server's filesystem.
+	AllowPathLoads bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 15 * time.Second
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	return c
+}
+
+// Server is the graphd HTTP service. Create with New, expose via
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	store   *Store
+	cache   *resultCache
+	flight  *flightGroup
+	pool    *workPool
+	metrics *metricsSet
+	started time.Time
+}
+
+// New creates a Server with an empty snapshot store.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		store:   NewStore(cfg.Workers),
+		cache:   newResultCache(cfg.CacheBytes),
+		flight:  newFlightGroup(),
+		pool:    newWorkPool(cfg.MaxConcurrent),
+		metrics: newMetricsSet(),
+		started: time.Now(),
+	}
+}
+
+// Store exposes the snapshot store (for bootstrapping and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Shutdown waits for background snapshot builds to finish, up to the
+// context deadline. The HTTP listener itself is the caller's to drain
+// (http.Server.Shutdown); this covers the server's own goroutines.
+func (s *Server) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.store.WaitBuilds()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler returns the routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(name, h))
+	}
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /metrics", "metrics", s.handleMetrics)
+	route("GET /v1/snapshots", "snapshots.list", s.handleSnapshotList)
+	route("POST /v1/snapshots", "snapshots.build", s.handleSnapshotBuild)
+	route("GET /v1/snapshots/builds", "snapshots.builds", s.handleSnapshotBuilds)
+	route("GET /v1/snapshots/{name}", "snapshots.get", s.handleSnapshotGet)
+	route("GET /v1/snapshots/{name}/resolve", "snapshots.resolve", s.handleSnapshotResolve)
+	route("POST /v1/snapshots/{name}/activate", "snapshots.activate", s.handleSnapshotActivate)
+	route("DELETE /v1/snapshots/{name}", "snapshots.drop", s.handleSnapshotDrop)
+	route("GET /v1/query/neighbors", "query.neighbors", s.handleNeighbors)
+	route("GET /v1/query/degree", "query.degree", s.handleDegree)
+	route("GET /v1/query/rank", "query.rank", s.handleRank)
+	route("GET /v1/query/topk", "query.topk", s.handleTopK)
+	route("GET /v1/query/sssp", "query.sssp", s.handleSSSP)
+	route("GET /v1/query/radii", "query.radii", s.handleRadii)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// snapshotFor resolves the snapshot a query runs on: ?snapshot=name pins
+// one, otherwise the current snapshot is used. The returned release
+// function is non-nil iff the snapshot is.
+func (s *Server) snapshotFor(w http.ResponseWriter, r *http.Request) (*Snapshot, func()) {
+	var snap *Snapshot
+	var release func()
+	if name := r.URL.Query().Get("snapshot"); name != "" {
+		snap, release = s.store.AcquireNamed(name)
+		if snap == nil {
+			writeError(w, http.StatusNotFound, "unknown snapshot %q", name)
+			return nil, nil
+		}
+	} else {
+		snap, release = s.store.Acquire()
+		if snap == nil {
+			writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+			return nil, nil
+		}
+	}
+	return snap, release
+}
+
+// vertexParam parses and range-checks a vertex-ID query parameter.
+func vertexParam(r *http.Request, snap *Snapshot, key string) (graph.VertexID, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing required parameter %q", key)
+	}
+	v, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", key, err)
+	}
+	if int(v) >= snap.graph.NumVertices() {
+		return 0, fmt.Errorf("%s=%d out of range [0,%d)", key, v, snap.graph.NumVertices())
+	}
+	return graph.VertexID(v), nil
+}
+
+func intParam(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", key, err)
+	}
+	return v, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap, release := s.store.Acquire()
+	ready := snap != nil
+	if release != nil {
+		release()
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ok": ready})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	tab := s.store.tab.Load()
+	writeJSON(w, http.StatusOK, MetricsReport{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Routes:        s.metrics.report(),
+		Cache: CacheStats{
+			Entries:   s.cache.len(),
+			Bytes:     s.cache.bytes(),
+			Hits:      s.cache.hits.Load(),
+			Misses:    s.cache.misses.Load(),
+			Coalesced: s.flight.coalesced.Load(),
+		},
+		Pool: PoolStats{
+			Capacity: s.pool.capacity(),
+			InUse:    s.pool.inUse(),
+			Rejected: s.pool.rejected.Load(),
+		},
+		Snapshots: SnapshotStats{
+			Published: len(tab.byName),
+			Draining:  s.store.DrainingCount(),
+			Swaps:     s.store.Swaps(),
+		},
+	})
+}
+
+func (s *Server) handleSnapshotList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"snapshots": s.store.List()})
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, ok := s.store.Info(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown snapshot %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleSnapshotResolve translates a vertex ID from the graph's
+// original (as-loaded) order to the snapshot's serving order. Vertex IDs
+// in query responses are snapshot-relative — reordering is physical
+// relabeling — so a client holding pre-reorder IDs resolves them here
+// before querying.
+func (s *Server) handleSnapshotResolve(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	snap, release := s.store.AcquireNamed(name)
+	if snap == nil {
+		writeError(w, http.StatusNotFound, "unknown snapshot %q", name)
+		return
+	}
+	defer release()
+	v, err := vertexParam(r, snap, "v")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	current := v
+	if snap.perm != nil {
+		current = snap.perm[v]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot": snap.name,
+		"epoch":    snap.epoch,
+		"original": v,
+		"current":  current,
+	})
+}
+
+func (s *Server) handleSnapshotBuild(w http.ResponseWriter, r *http.Request) {
+	var spec BuildSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad build spec: %v", err)
+		return
+	}
+	if spec.Path != "" && !s.cfg.AllowPathLoads {
+		writeError(w, http.StatusForbidden, "path loads are disabled on this server")
+		return
+	}
+	if spec.Name == "" {
+		writeError(w, http.StatusBadRequest, "build spec needs a name")
+		return
+	}
+	s.store.BuildAsync(spec)
+	writeJSON(w, http.StatusAccepted, map[string]any{"name": spec.Name, "status": "building"})
+}
+
+func (s *Server) handleSnapshotBuilds(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"builds": s.store.Builds()})
+}
+
+func (s *Server) handleSnapshotActivate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.store.Activate(name); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"current": name})
+}
+
+func (s *Server) handleSnapshotDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.store.Drop(name); err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, errDropCurrent) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	snap, release := s.snapshotFor(w, r)
+	if snap == nil {
+		return
+	}
+	defer release()
+	v, err := vertexParam(r, snap, "v")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit, err := intParam(r, "limit", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := queryNeighbors(snap, v, r.URL.Query().Get("dir"), limit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleDegree(w http.ResponseWriter, r *http.Request) {
+	snap, release := s.snapshotFor(w, r)
+	if snap == nil {
+		return
+	}
+	defer release()
+	v, err := vertexParam(r, snap, "v")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := queryDegree(snap, v, r.URL.Query().Get("kind"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	snap, release := s.snapshotFor(w, r)
+	if snap == nil {
+		return
+	}
+	defer release()
+	v, err := vertexParam(r, snap, "v")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryRank(snap, v))
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	snap, release := s.snapshotFor(w, r)
+	if snap == nil {
+		return
+	}
+	defer release()
+	k, err := intParam(r, "k", 10)
+	if err != nil || k < 1 || k > 10000 {
+		writeError(w, http.StatusBadRequest, "bad k (want 1..10000)")
+		return
+	}
+	key := fmt.Sprintf("%d|topk|%d", snap.epoch, k)
+	val, cached, err := s.runHeavy(r.Context(), snap, key, func() (any, int64, error) {
+		top := topKRanks(snap.ranks, k)
+		return top, int64(len(top)) * 16, nil
+	})
+	if err != nil {
+		writeError(w, heavyStatus(err), "%v", err)
+		return
+	}
+	res := topKResult{queryMeta: metaFor(snap), K: k, Top: val.([]rankedVertex)}
+	res.Cached = cached
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	snap, release := s.snapshotFor(w, r)
+	if snap == nil {
+		return
+	}
+	defer release()
+	if !snap.graph.Weighted() {
+		writeError(w, http.StatusBadRequest, "snapshot %q is unweighted; SSSP needs edge weights", snap.name)
+		return
+	}
+	src, err := vertexParam(r, snap, "src")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var target graph.VertexID
+	hasTarget := r.URL.Query().Get("target") != ""
+	if hasTarget {
+		if target, err = vertexParam(r, snap, "target"); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	key := fmt.Sprintf("%d|sssp|%d", snap.epoch, src)
+	val, cached, err := s.runHeavy(r.Context(), snap, key, func() (any, int64, error) {
+		d, err := computeSSSP(snap, src, s.cfg.Workers)
+		if err != nil {
+			return nil, 0, err
+		}
+		return d, int64(len(d.dist)) * 8, nil
+	})
+	if err != nil {
+		writeError(w, heavyStatus(err), "%v", err)
+		return
+	}
+	d := val.(ssspDistances)
+	summary := d.result(snap, src)
+	summary.Cached = cached
+	if !hasTarget {
+		writeJSON(w, http.StatusOK, summary)
+		return
+	}
+	res := ssspTargetResult{ssspResult: summary, Target: target}
+	if dv := d.dist[target]; dv != infDistance {
+		res.Reachable = true
+		res.Distance = dv
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleRadii(w http.ResponseWriter, r *http.Request) {
+	snap, release := s.snapshotFor(w, r)
+	if snap == nil {
+		return
+	}
+	defer release()
+	if snap.graph.NumVertices() == 0 {
+		writeError(w, http.StatusBadRequest, "snapshot %q is empty", snap.name)
+		return
+	}
+	samples, err := intParam(r, "samples", 64)
+	if err != nil || samples < 1 || samples > 64 {
+		writeError(w, http.StatusBadRequest, "bad samples (want 1..64)")
+		return
+	}
+	seed, err := intParam(r, "seed", 1)
+	if err != nil || seed < 0 {
+		writeError(w, http.StatusBadRequest, "bad seed")
+		return
+	}
+	key := fmt.Sprintf("%d|radii|%d|%d", snap.epoch, samples, seed)
+	val, cached, err := s.runHeavy(r.Context(), snap, key, func() (any, int64, error) {
+		return computeRadii(snap, samples, uint64(seed), s.cfg.Workers), 128, nil
+	})
+	if err != nil {
+		writeError(w, heavyStatus(err), "%v", err)
+		return
+	}
+	res := val.(radiiResult)
+	res.Cached = cached
+	writeJSON(w, http.StatusOK, res)
+}
+
+// runHeavy is the serving path for traversal queries: result cache, then
+// singleflight coalescing, then the bounded pool. fn returns the result
+// and its approximate size in bytes (the cache charge). The computation
+// runs detached from the request context — if the client gives up, the
+// traversal still finishes, holding its own snapshot reference, and the
+// result lands in the cache for the next request. The request waits at
+// most QueryTimeout even when its own context carries no deadline. The
+// returned bool reports whether the result came from the cache.
+func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, key string, fn func() (any, int64, error)) (any, bool, error) {
+	if v, ok := s.cache.get(key); ok {
+		return v, true, nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.QueryTimeout)
+	defer cancel()
+	// The leader computation outlives any one waiter, so it holds its own
+	// snapshot reference: the drain accounting stays truthful even if
+	// every requester times out mid-traversal. The reference is taken
+	// before do() so it provably overlaps the caller's own, and released
+	// immediately if this caller lost the leader race (fn never runs).
+	releaseSnap := snap.retain()
+	call, leader := s.flight.do(key, func() (any, error) {
+		defer releaseSnap()
+		// The pool wait is bounded by the server's own timeout, not the
+		// (possibly already expired) request context, because this result
+		// is shared by every coalesced waiter.
+		poolCtx, poolCancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
+		defer poolCancel()
+		if err := s.pool.acquire(poolCtx); err != nil {
+			return nil, errPoolSaturated
+		}
+		defer s.pool.release()
+		v, cost, err := fn()
+		if err == nil {
+			s.cache.add(key, v, cost)
+		}
+		return v, err
+	})
+	if !leader {
+		releaseSnap()
+	}
+	select {
+	case <-call.done:
+		return call.val, false, call.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+var (
+	errPoolSaturated = errors.New("server overloaded: heavy-query pool saturated")
+	errDropCurrent   = errors.New("server: cannot drop the current snapshot; activate another first")
+)
+
+func heavyStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errPoolSaturated):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}

@@ -1,0 +1,404 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{Workers: 1, QueryTimeout: 30 * time.Second})
+	if _, err := s.store.Build(BuildSpec{Name: "main", Dataset: "uni", Scale: "tiny", Technique: "dbg"}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// get hits the handler directly (no sockets) and decodes the JSON body.
+func get(t *testing.T, h http.Handler, url string, out any) int {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+func do(t *testing.T, h http.Handler, method, url, body string) (int, string) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, url, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestQueryEndpoints(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	snap := s.store.Current()
+	n := snap.graph.NumVertices()
+
+	var nb struct {
+		Snapshot  string   `json:"snapshot"`
+		Epoch     uint64   `json:"epoch"`
+		Vertex    uint32   `json:"vertex"`
+		Dir       string   `json:"dir"`
+		Degree    int      `json:"degree"`
+		Neighbors []uint32 `json:"neighbors"`
+	}
+	if code := get(t, h, "/v1/query/neighbors?v=0", &nb); code != 200 {
+		t.Fatalf("neighbors: %d", code)
+	}
+	if nb.Snapshot != "main" || nb.Epoch != snap.epoch || len(nb.Neighbors) != nb.Degree {
+		t.Errorf("neighbors response: %+v", nb)
+	}
+	if got := snap.graph.OutDegree(0); nb.Degree != got {
+		t.Errorf("degree %d, want %d", nb.Degree, got)
+	}
+	// in-direction and limit
+	if code := get(t, h, "/v1/query/neighbors?v=0&dir=in&limit=1", &nb); code != 200 {
+		t.Fatalf("neighbors in: %d", code)
+	}
+	if len(nb.Neighbors) > 1 {
+		t.Errorf("limit ignored: %d neighbors", len(nb.Neighbors))
+	}
+
+	var deg struct {
+		Kind   string `json:"kind"`
+		Degree int    `json:"degree"`
+	}
+	if code := get(t, h, "/v1/query/degree?v=1&kind=total", &deg); code != 200 {
+		t.Fatalf("degree: %d", code)
+	}
+	if want := snap.graph.InDegree(1) + snap.graph.OutDegree(1); deg.Degree != want {
+		t.Errorf("total degree %d, want %d", deg.Degree, want)
+	}
+
+	var rank struct {
+		Rank  float64 `json:"rank"`
+		Iters int     `json:"iters"`
+	}
+	if code := get(t, h, "/v1/query/rank?v=2", &rank); code != 200 {
+		t.Fatalf("rank: %d", code)
+	}
+	if rank.Rank != snap.ranks[2] || rank.Iters != snap.rankIters {
+		t.Errorf("rank response %+v, want rank %v iters %d", rank, snap.ranks[2], snap.rankIters)
+	}
+
+	var topk struct {
+		K   int `json:"k"`
+		Top []struct {
+			Vertex uint32  `json:"vertex"`
+			Rank   float64 `json:"rank"`
+		} `json:"top"`
+	}
+	if code := get(t, h, "/v1/query/topk?k=5", &topk); code != 200 {
+		t.Fatalf("topk: %d", code)
+	}
+	if len(topk.Top) != 5 {
+		t.Fatalf("topk returned %d", len(topk.Top))
+	}
+	for i := 1; i < len(topk.Top); i++ {
+		if topk.Top[i].Rank > topk.Top[i-1].Rank {
+			t.Errorf("topk not descending: %+v", topk.Top)
+		}
+	}
+
+	var sssp struct {
+		Source      uint32 `json:"source"`
+		Reached     int    `json:"reached"`
+		Unreachable int    `json:"unreachable"`
+		MaxDistance int64  `json:"max_distance"`
+		Cached      bool   `json:"cached"`
+	}
+	if code := get(t, h, "/v1/query/sssp?src=0", &sssp); code != 200 {
+		t.Fatalf("sssp: %d", code)
+	}
+	if sssp.Reached+sssp.Unreachable != n || sssp.Cached {
+		t.Errorf("sssp response: %+v (n=%d)", sssp, n)
+	}
+	// Second identical query must be served from the cache.
+	if code := get(t, h, "/v1/query/sssp?src=0", &sssp); code != 200 || !sssp.Cached {
+		t.Errorf("repeat sssp not cached: %+v", sssp)
+	}
+
+	var tgt struct {
+		Reachable bool  `json:"reachable"`
+		Distance  int64 `json:"distance"`
+	}
+	if code := get(t, h, "/v1/query/sssp?src=0&target=0", &tgt); code != 200 {
+		t.Fatalf("sssp target: %d", code)
+	}
+	if !tgt.Reachable || tgt.Distance != 0 {
+		t.Errorf("distance to self: %+v", tgt)
+	}
+
+	var radii struct {
+		Samples   int   `json:"samples"`
+		MaxRadius int32 `json:"max_radius"`
+	}
+	if code := get(t, h, "/v1/query/radii?samples=8&seed=3", &radii); code != 200 {
+		t.Fatalf("radii: %d", code)
+	}
+	if radii.Samples != 8 {
+		t.Errorf("radii response: %+v", radii)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	n := s.store.Current().graph.NumVertices()
+	for _, url := range []string{
+		"/v1/query/neighbors",                                // missing v
+		fmt.Sprintf("/v1/query/neighbors?v=%d", n),           // out of range
+		"/v1/query/neighbors?v=0&dir=sideways",               // bad dir
+		"/v1/query/neighbors?v=0&limit=x",                    // bad limit
+		"/v1/query/degree?v=0&kind=magnitude",                // bad kind
+		"/v1/query/rank?v=notanumber",                        // bad v
+		"/v1/query/topk?k=0",                                 // bad k
+		"/v1/query/topk?k=999999",                            // k too large
+		"/v1/query/sssp",                                     // missing src
+		fmt.Sprintf("/v1/query/sssp?src=0&target=%d", 1<<31), // bad target
+		"/v1/query/radii?samples=65",                         // too many samples
+		"/v1/query/radii?seed=-1",                            // bad seed
+	} {
+		if code := get(t, h, url, nil); code != 400 {
+			t.Errorf("GET %s: code %d, want 400", url, code)
+		}
+	}
+	if code := get(t, h, "/v1/query/rank?v=0&snapshot=ghost", nil); code != 404 {
+		t.Error("unknown snapshot param not 404")
+	}
+}
+
+func TestNoSnapshotYet(t *testing.T) {
+	s := New(Config{Workers: 1})
+	h := s.Handler()
+	if code := get(t, h, "/v1/query/rank?v=0", nil); code != 503 {
+		t.Errorf("query with no snapshot: %d, want 503", code)
+	}
+	if code := get(t, h, "/healthz", nil); code != 503 {
+		t.Errorf("healthz with no snapshot: %d, want 503", code)
+	}
+}
+
+func TestSnapshotAdminEndpoints(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+
+	// Async build through the API, then poll the build list.
+	code, body := do(t, h, "POST", "/v1/snapshots",
+		`{"name":"alt","dataset":"uni","scale":"tiny","technique":"sort"}`)
+	if code != 202 {
+		t.Fatalf("build: %d %s", code, body)
+	}
+	s.store.WaitBuilds()
+	var builds struct {
+		Builds []BuildStatusInfo `json:"builds"`
+	}
+	if code := get(t, h, "/v1/snapshots/builds", &builds); code != 200 {
+		t.Fatal("builds list failed")
+	}
+	ready := false
+	for _, b := range builds.Builds {
+		if b.Name == "alt" && b.Stage == "ready" {
+			ready = true
+		}
+	}
+	if !ready {
+		t.Fatalf("alt build not ready: %+v", builds.Builds)
+	}
+
+	var list struct {
+		Snapshots []SnapshotInfo `json:"snapshots"`
+	}
+	if code := get(t, h, "/v1/snapshots", &list); code != 200 || len(list.Snapshots) != 2 {
+		t.Fatalf("list: %d %+v", code, list)
+	}
+
+	var info SnapshotInfo
+	if code := get(t, h, "/v1/snapshots/alt", &info); code != 200 {
+		t.Fatal("get alt failed")
+	}
+	if info.Technique != "sort" || info.Current {
+		t.Errorf("alt info: %+v", info)
+	}
+
+	if code, _ := do(t, h, "POST", "/v1/snapshots/alt/activate", ""); code != 200 {
+		t.Fatal("activate failed")
+	}
+	if s.store.Current().name != "alt" {
+		t.Fatal("activate did not swap")
+	}
+	// Old current is droppable now; current is not.
+	if code, _ := do(t, h, "DELETE", "/v1/snapshots/alt", ""); code != 409 {
+		t.Error("dropping current snapshot not 409")
+	}
+	if code, _ := do(t, h, "DELETE", "/v1/snapshots/main", ""); code != 200 {
+		t.Error("dropping main failed")
+	}
+	if code, _ := do(t, h, "DELETE", "/v1/snapshots/ghost", ""); code != 404 {
+		t.Error("dropping unknown snapshot not 404")
+	}
+
+	// Path loads are rejected unless enabled.
+	code, _ = do(t, h, "POST", "/v1/snapshots", `{"name":"f","path":"/etc/passwd"}`)
+	if code != 403 {
+		t.Errorf("path load: %d, want 403", code)
+	}
+
+	// Invalid JSON body.
+	code, _ = do(t, h, "POST", "/v1/snapshots", `{broken`)
+	if code != 400 {
+		t.Errorf("bad JSON: %d, want 400", code)
+	}
+}
+
+func TestSnapshotResolve(t *testing.T) {
+	s := testServer(t) // "main" is dbg-reordered, so perm is non-trivial
+	h := s.Handler()
+	snap := s.store.Current()
+
+	var res struct {
+		Snapshot string `json:"snapshot"`
+		Original uint32 `json:"original"`
+		Current  uint32 `json:"current"`
+	}
+	if code := get(t, h, "/v1/snapshots/main/resolve?v=5", &res); code != 200 {
+		t.Fatalf("resolve: %d", code)
+	}
+	if res.Original != 5 || res.Current != snap.perm[5] {
+		t.Errorf("resolve: %+v, want current %d", res, snap.perm[5])
+	}
+	// An original-order snapshot resolves to the identity.
+	if _, err := s.store.Build(BuildSpec{Name: "orig", Dataset: "uni", Scale: "tiny", Technique: "original"}); err != nil {
+		t.Fatal(err)
+	}
+	if code := get(t, h, "/v1/snapshots/orig/resolve?v=5", &res); code != 200 || res.Current != 5 {
+		t.Fatalf("identity resolve: %d %+v", code, res)
+	}
+	if code := get(t, h, "/v1/snapshots/ghost/resolve?v=5", nil); code != 404 {
+		t.Error("resolve on unknown snapshot not 404")
+	}
+	if code := get(t, h, "/v1/snapshots/main/resolve?v=999999999", nil); code != 400 {
+		t.Error("out-of-range resolve not 400")
+	}
+}
+
+func TestHeavyQueryTimeoutWithoutClientDeadline(t *testing.T) {
+	// A request whose own context has no deadline must still be bounded
+	// by Config.QueryTimeout. Saturate the 1-slot pool with a held
+	// acquisition so the heavy query cannot start.
+	s := New(Config{Workers: 1, MaxConcurrent: 1, QueryTimeout: 100 * time.Millisecond})
+	if _, err := s.store.Build(BuildSpec{Name: "main", Dataset: "uni", Scale: "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.pool.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.release()
+
+	start := time.Now()
+	code := get(t, s.Handler(), "/v1/query/sssp?src=0", nil)
+	elapsed := time.Since(start)
+	if code != 504 && code != 503 {
+		t.Fatalf("saturated heavy query: code %d, want 503/504", code)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("request took %v despite 100ms QueryTimeout", elapsed)
+	}
+	// The snapshot must not be left over-referenced by the abandoned
+	// leader once its pool wait expires.
+	s.store.WaitBuilds()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.store.Current().refs.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot refs stuck at %d", s.store.Current().refs.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	get(t, h, "/v1/query/rank?v=0", nil)
+	get(t, h, "/v1/query/sssp?src=0", nil)
+	get(t, h, "/v1/query/sssp?src=0", nil) // cache hit
+
+	var m MetricsReport
+	if code := get(t, h, "/metrics", &m); code != 200 {
+		t.Fatal("metrics failed")
+	}
+	if m.Routes["query.rank"].Requests != 1 {
+		t.Errorf("rank route metrics: %+v", m.Routes["query.rank"])
+	}
+	if m.Routes["query.sssp"].Requests != 2 {
+		t.Errorf("sssp route metrics: %+v", m.Routes["query.sssp"])
+	}
+	if m.Cache.Hits != 1 || m.Cache.Entries == 0 {
+		t.Errorf("cache metrics: %+v", m.Cache)
+	}
+	if m.Snapshots.Published != 1 || m.Snapshots.Swaps != 1 {
+		t.Errorf("snapshot metrics: %+v", m.Snapshots)
+	}
+	if m.Pool.Capacity < 1 {
+		t.Errorf("pool metrics: %+v", m.Pool)
+	}
+	if m.Routes["query.sssp"].P99Us <= 0 {
+		t.Errorf("latency quantiles missing: %+v", m.Routes["query.sssp"])
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	var body struct {
+		OK bool `json:"ok"`
+	}
+	if code := get(t, s.Handler(), "/healthz", &body); code != 200 || !body.OK {
+		t.Fatalf("healthz: %d %+v", code, body)
+	}
+}
+
+func TestUnweightedSnapshotRejectsSSSP(t *testing.T) {
+	s := New(Config{Workers: 1})
+	// Build a snapshot from an unweighted text file.
+	dir := t.TempDir()
+	path := dir + "/g.txt"
+	if err := writeFile(path, "0 1\n1 2\n2 0\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.store.Build(BuildSpec{Name: "file", Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, s.Handler(), "GET", "/v1/query/sssp?src=0", "")
+	if code != 400 || !strings.Contains(body, "unweighted") {
+		t.Errorf("sssp on unweighted: %d %s", code, body)
+	}
+	// Point queries still work.
+	if code := get(t, s.Handler(), "/v1/query/neighbors?v=0", nil); code != 200 {
+		t.Error("neighbors on file snapshot failed")
+	}
+}

@@ -1,0 +1,551 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphreorder/internal/apps"
+	"graphreorder/internal/gen"
+	"graphreorder/internal/graph"
+	"graphreorder/internal/reorder"
+)
+
+// Snapshot is one immutable, named serving unit: a graph in a particular
+// vertex order together with results precomputed at build time. Queries
+// acquire a snapshot once, at entry, and use only that snapshot for the
+// whole request, so a concurrent hot-swap can never hand a request half
+// of one graph and half of another.
+type Snapshot struct {
+	epoch     uint64
+	name      string
+	graph     *graph.Graph
+	technique string
+	degree    graph.DegreeKind
+	perm      reorder.Permutation // nil when serving the original order
+	source    string
+
+	// Precomputed at build time, immutable afterwards.
+	ranks     []float64
+	rankIters int
+	rankSum   float64 // ordering-invariant checksum of ranks
+
+	built          time.Time
+	loadTime       time.Duration
+	reorderTime    time.Duration
+	rebuildTime    time.Duration
+	precomputeTime time.Duration
+
+	refs    atomic.Int64 // queries currently using this snapshot
+	retired atomic.Bool  // removed from the table; draining until refs hit 0
+}
+
+// Epoch returns the snapshot's unique, monotonically increasing ID.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Name returns the snapshot's name.
+func (s *Snapshot) Name() string { return s.name }
+
+// Graph returns the snapshot's (immutable) graph.
+func (s *Snapshot) Graph() *graph.Graph { return s.graph }
+
+// SnapshotInfo is the JSON description of a snapshot for admin endpoints.
+type SnapshotInfo struct {
+	Name         string  `json:"name"`
+	Epoch        uint64  `json:"epoch"`
+	Current      bool    `json:"current"`
+	Vertices     int     `json:"vertices"`
+	Edges        int     `json:"edges"`
+	Weighted     bool    `json:"weighted"`
+	Technique    string  `json:"technique"`
+	Degree       string  `json:"degree"`
+	Source       string  `json:"source"`
+	Built        string  `json:"built"`
+	LoadMs       float64 `json:"load_ms"`
+	ReorderMs    float64 `json:"reorder_ms"`
+	RebuildMs    float64 `json:"rebuild_ms"`
+	PrecomputeMs float64 `json:"precompute_ms"`
+	RankIters    int     `json:"rank_iters"`
+	// RankChecksum is the ordering-invariant sum of all PageRank values:
+	// snapshots of the same graph under different orderings must agree on
+	// it (up to float summation order), which makes torn or mismatched
+	// snapshots visible from the outside.
+	RankChecksum  float64 `json:"rank_checksum"`
+	ActiveQueries int64   `json:"active_queries"`
+}
+
+func (s *Snapshot) info(current bool) SnapshotInfo {
+	return SnapshotInfo{
+		Name:          s.name,
+		Epoch:         s.epoch,
+		Current:       current,
+		Vertices:      s.graph.NumVertices(),
+		Edges:         s.graph.NumEdges(),
+		Weighted:      s.graph.Weighted(),
+		Technique:     s.technique,
+		Degree:        s.degree.String(),
+		Source:        s.source,
+		Built:         s.built.UTC().Format(time.RFC3339),
+		LoadMs:        float64(s.loadTime.Microseconds()) / 1000,
+		ReorderMs:     float64(s.reorderTime.Microseconds()) / 1000,
+		RebuildMs:     float64(s.rebuildTime.Microseconds()) / 1000,
+		PrecomputeMs:  float64(s.precomputeTime.Microseconds()) / 1000,
+		RankIters:     s.rankIters,
+		RankChecksum:  s.rankSum,
+		ActiveQueries: s.refs.Load(),
+	}
+}
+
+// snapTable is the immutable value behind the store's atomic pointer.
+// Hot-swapping publishes a fresh table; readers load the pointer once and
+// see a consistent view with no locks on the query path.
+type snapTable struct {
+	current *Snapshot
+	byName  map[string]*Snapshot
+}
+
+// Store holds named snapshots and the designated current one. Reads are a
+// single atomic pointer load; all mutation happens under mu and publishes
+// a copied table.
+type Store struct {
+	workers int
+
+	tab    atomic.Pointer[snapTable]
+	mu     sync.Mutex // serializes writers (publish/activate/drop)
+	nextID atomic.Uint64
+	swaps  atomic.Uint64
+
+	draining []*Snapshot // retired with queries still in flight; mu-guarded
+
+	buildMu sync.Mutex
+	builds  map[string]*BuildStatus
+	buildWG sync.WaitGroup
+}
+
+// NewStore creates an empty store whose build pipelines use the given
+// engine worker count (<= 0 means GOMAXPROCS).
+func NewStore(workers int) *Store {
+	st := &Store{workers: workers, builds: make(map[string]*BuildStatus)}
+	st.tab.Store(&snapTable{byName: map[string]*Snapshot{}})
+	return st
+}
+
+// Acquire returns the current snapshot with its refcount taken, plus the
+// release function, or (nil, nil) when nothing is published yet. It never
+// blocks: a concurrent swap just means this query finishes on the
+// snapshot it started with.
+func (st *Store) Acquire() (*Snapshot, func()) {
+	return st.acquire(st.tab.Load().current)
+}
+
+// AcquireNamed is Acquire for an explicitly named snapshot.
+func (st *Store) AcquireNamed(name string) (*Snapshot, func()) {
+	return st.acquire(st.tab.Load().byName[name])
+}
+
+func (st *Store) acquire(s *Snapshot) (*Snapshot, func()) {
+	if s == nil {
+		return nil, nil
+	}
+	release := s.retain()
+	// Close the retire/acquire race: if a Drop or replace retired s after
+	// we loaded the table but before the retain, the retirer may have
+	// seen refs==0 and skipped the draining list — register ourselves.
+	// (If the retain preceded the retire, the retirer saw refs>0 and
+	// registered s; registerDraining deduplicates either way.)
+	if s.retired.Load() {
+		st.registerDraining(s)
+	}
+	return s, release
+}
+
+// registerDraining adds a retired-but-referenced snapshot to the
+// draining list if it is not already tracked.
+func (st *Store) registerDraining(s *Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, d := range st.draining {
+		if d == s {
+			return
+		}
+	}
+	st.draining = append(st.draining, s)
+}
+
+// retain takes an additional reference on the snapshot, for computations
+// that outlive the acquiring request (e.g. a singleflight leader whose
+// waiters have all timed out). The returned release is idempotent.
+func (s *Snapshot) retain() func() {
+	s.refs.Add(1)
+	var once sync.Once
+	return func() { once.Do(func() { s.refs.Add(-1) }) }
+}
+
+// Current returns the current snapshot without taking a reference (for
+// introspection only; queries must use Acquire).
+func (st *Store) Current() *Snapshot { return st.tab.Load().current }
+
+// List describes all published snapshots, current first.
+func (st *Store) List() []SnapshotInfo {
+	tab := st.tab.Load()
+	out := make([]SnapshotInfo, 0, len(tab.byName))
+	if tab.current != nil {
+		out = append(out, tab.current.info(true))
+	}
+	for _, s := range tab.byName {
+		if s != tab.current {
+			out = append(out, s.info(false))
+		}
+	}
+	return out
+}
+
+// Info returns the description of one named snapshot.
+func (st *Store) Info(name string) (SnapshotInfo, bool) {
+	tab := st.tab.Load()
+	s, ok := tab.byName[name]
+	if !ok {
+		return SnapshotInfo{}, false
+	}
+	return s.info(s == tab.current), true
+}
+
+// Activate hot-swaps the current snapshot to the named one. Queries in
+// flight on the previous snapshot drain naturally; new queries see the
+// new table from their very next atomic load.
+func (st *Store) Activate(name string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old := st.tab.Load()
+	s, ok := old.byName[name]
+	if !ok {
+		return fmt.Errorf("server: unknown snapshot %q", name)
+	}
+	if old.current == s {
+		return nil
+	}
+	st.tab.Store(&snapTable{current: s, byName: old.byName})
+	st.swaps.Add(1)
+	return nil
+}
+
+// Drop removes a named snapshot from the table. The current snapshot
+// cannot be dropped. If queries are still running on it, the snapshot
+// moves to the draining list until the last one releases it.
+func (st *Store) Drop(name string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old := st.tab.Load()
+	s, ok := old.byName[name]
+	if !ok {
+		return fmt.Errorf("server: unknown snapshot %q", name)
+	}
+	if s == old.current {
+		return errDropCurrent
+	}
+	byName := make(map[string]*Snapshot, len(old.byName))
+	for k, v := range old.byName {
+		if k != name {
+			byName[k] = v
+		}
+	}
+	st.tab.Store(&snapTable{current: old.current, byName: byName})
+	s.retired.Store(true)
+	if s.refs.Load() > 0 {
+		st.draining = append(st.draining, s)
+	}
+	st.sweepDrainedLocked()
+	return nil
+}
+
+// DrainingCount reports how many retired snapshots still have queries in
+// flight.
+func (st *Store) DrainingCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepDrainedLocked()
+	return len(st.draining)
+}
+
+func (st *Store) sweepDrainedLocked() {
+	kept := st.draining[:0]
+	for _, s := range st.draining {
+		if s.refs.Load() > 0 {
+			kept = append(kept, s)
+		}
+	}
+	st.draining = kept
+}
+
+// Swaps reports how many hot-swaps have been performed.
+func (st *Store) Swaps() uint64 { return st.swaps.Load() }
+
+// BuildSpec describes one snapshot build request. Exactly one of Dataset
+// (a built-in generator name, with Scale) or Path (a graph file in either
+// supported format) must be set.
+type BuildSpec struct {
+	// Name keys the snapshot in the store; rebuilding an existing name
+	// publishes a replacement (under a fresh epoch).
+	Name string `json:"name"`
+	// Dataset/Scale select a built-in synthetic dataset.
+	Dataset string `json:"dataset,omitempty"`
+	Scale   string `json:"scale,omitempty"`
+	// Path loads a graph file (text edge list or binary, sniffed).
+	Path string `json:"path,omitempty"`
+	// Technique is a reordering technique name ("dbg", "sort", ...);
+	// empty or "original" serves the graph as loaded.
+	Technique string `json:"technique,omitempty"`
+	// Degree is the degree kind used for reordering: "in" or "out"
+	// (default "out", the paper's choice for pull-dominated apps).
+	Degree string `json:"degree,omitempty"`
+	// MaxIters bounds the PageRank precompute (0 = default).
+	MaxIters int `json:"max_iters,omitempty"`
+	// Activate makes the snapshot current as soon as it is published.
+	Activate bool `json:"activate,omitempty"`
+}
+
+// BuildStatus tracks one build pipeline for the admin API.
+type BuildStatus struct {
+	mu       sync.Mutex
+	Name     string
+	Stage    string // loading | reordering | precomputing | ready | failed
+	Err      string
+	Started  time.Time
+	Finished time.Time
+	Epoch    uint64
+}
+
+// BuildStatusInfo is the JSON view of a BuildStatus.
+type BuildStatusInfo struct {
+	Name     string  `json:"name"`
+	Stage    string  `json:"stage"`
+	Err      string  `json:"error,omitempty"`
+	Epoch    uint64  `json:"epoch,omitempty"`
+	Seconds  float64 `json:"seconds"`
+	Running  bool    `json:"running"`
+	Finished string  `json:"finished,omitempty"`
+}
+
+func (b *BuildStatus) setStage(stage string) {
+	b.mu.Lock()
+	b.Stage = stage
+	b.mu.Unlock()
+}
+
+func (b *BuildStatus) finish(epoch uint64, err error) {
+	b.mu.Lock()
+	b.Finished = time.Now()
+	if err != nil {
+		b.Stage = "failed"
+		b.Err = err.Error()
+	} else {
+		b.Stage = "ready"
+		b.Epoch = epoch
+	}
+	b.mu.Unlock()
+}
+
+func (b *BuildStatus) infoView() BuildStatusInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v := BuildStatusInfo{
+		Name:    b.Name,
+		Stage:   b.Stage,
+		Err:     b.Err,
+		Epoch:   b.Epoch,
+		Running: b.Finished.IsZero(),
+	}
+	if b.Finished.IsZero() {
+		v.Seconds = time.Since(b.Started).Seconds()
+	} else {
+		v.Seconds = b.Finished.Sub(b.Started).Seconds()
+		v.Finished = b.Finished.UTC().Format(time.RFC3339)
+	}
+	return v
+}
+
+// Builds lists the status of all build pipelines ever started.
+func (st *Store) Builds() []BuildStatusInfo {
+	st.buildMu.Lock()
+	defer st.buildMu.Unlock()
+	out := make([]BuildStatusInfo, 0, len(st.builds))
+	for _, b := range st.builds {
+		out = append(out, b.infoView())
+	}
+	return out
+}
+
+// Build runs the full pipeline synchronously: load/generate, reorder,
+// precompute, publish. It returns the published snapshot.
+func (st *Store) Build(spec BuildSpec) (*Snapshot, error) {
+	status := &BuildStatus{Name: spec.Name, Stage: "loading", Started: time.Now()}
+	st.buildMu.Lock()
+	st.builds[spec.Name] = status
+	st.buildMu.Unlock()
+	snap, err := st.build(spec, status)
+	if err != nil {
+		status.finish(0, err)
+		return nil, err
+	}
+	status.finish(snap.epoch, nil)
+	return snap, nil
+}
+
+// BuildAsync starts Build on a background goroutine; progress is visible
+// via Builds(). WaitBuilds blocks until all background builds finish.
+func (st *Store) BuildAsync(spec BuildSpec) {
+	st.buildWG.Add(1)
+	go func() {
+		defer st.buildWG.Done()
+		st.Build(spec)
+	}()
+}
+
+// WaitBuilds blocks until every background build has finished.
+func (st *Store) WaitBuilds() { st.buildWG.Wait() }
+
+func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
+	if spec.Name == "" {
+		return nil, errors.New("server: build spec needs a name")
+	}
+	kind := graph.OutDegree
+	switch spec.Degree {
+	case "", "out":
+	case "in":
+		kind = graph.InDegree
+	default:
+		return nil, fmt.Errorf("server: bad degree %q (want in|out)", spec.Degree)
+	}
+
+	// Stage 1: load or generate.
+	start := time.Now()
+	var (
+		g      *graph.Graph
+		source string
+		err    error
+	)
+	switch {
+	case spec.Dataset != "" && spec.Path != "":
+		return nil, errors.New("server: build spec sets both dataset and path")
+	case spec.Dataset != "":
+		scale := spec.Scale
+		if scale == "" {
+			scale = "small"
+		}
+		var s gen.Scale
+		if s, err = gen.ParseScale(scale); err != nil {
+			return nil, err
+		}
+		var cfg gen.Config
+		if cfg, err = gen.Dataset(spec.Dataset, s); err != nil {
+			return nil, err
+		}
+		if g, err = gen.Generate(cfg); err != nil {
+			return nil, err
+		}
+		source = "dataset:" + spec.Dataset + "/" + scale
+	case spec.Path != "":
+		var f *os.File
+		if f, err = os.Open(spec.Path); err != nil {
+			return nil, err
+		}
+		g, _, err = graph.ReadAuto(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		source = "file:" + spec.Path
+	default:
+		return nil, errors.New("server: build spec needs dataset or path")
+	}
+	loadTime := time.Since(start)
+
+	// Stage 2: reorder.
+	techName := spec.Technique
+	if techName == "" {
+		techName = "original"
+	}
+	var (
+		perm        reorder.Permutation
+		reorderTime time.Duration
+		rebuildTime time.Duration
+	)
+	if techName != "original" {
+		status.setStage("reordering")
+		tech, err := reorder.ByName(techName)
+		if err != nil {
+			return nil, err
+		}
+		res, err := reorder.ApplyWorkers(g, tech, kind, st.workers)
+		if err != nil {
+			return nil, err
+		}
+		g = res.Graph
+		perm = res.Perm
+		reorderTime = res.ReorderTime
+		rebuildTime = res.RebuildTime
+	}
+
+	// Stage 3: precompute PageRank once; point rank lookups and top-k
+	// queries are then O(1)/O(n log k) with no traversal at all.
+	status.setStage("precomputing")
+	start = time.Now()
+	ranks, iters, _ := apps.PageRank(g, spec.MaxIters, st.workers, nil)
+	precomputeTime := time.Since(start)
+	rankSum := 0.0
+	for _, r := range ranks {
+		rankSum += r
+	}
+
+	snap := &Snapshot{
+		epoch:          st.nextID.Add(1),
+		name:           spec.Name,
+		graph:          g,
+		technique:      techName,
+		degree:         kind,
+		perm:           perm,
+		source:         source,
+		ranks:          ranks,
+		rankIters:      iters,
+		rankSum:        rankSum,
+		built:          time.Now(),
+		loadTime:       loadTime,
+		reorderTime:    reorderTime,
+		rebuildTime:    rebuildTime,
+		precomputeTime: precomputeTime,
+	}
+	st.publish(snap, spec.Activate)
+	return snap, nil
+}
+
+// publish inserts snap into the table, optionally making it current. A
+// replaced same-name snapshot drains if it still has queries in flight.
+func (st *Store) publish(snap *Snapshot, activate bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old := st.tab.Load()
+	byName := make(map[string]*Snapshot, len(old.byName)+1)
+	for k, v := range old.byName {
+		byName[k] = v
+	}
+	replaced := byName[snap.name]
+	byName[snap.name] = snap
+	current := old.current
+	if activate || current == nil || current == replaced {
+		if current != snap {
+			st.swaps.Add(1)
+		}
+		current = snap
+	}
+	st.tab.Store(&snapTable{current: current, byName: byName})
+	if replaced != nil && replaced != snap {
+		replaced.retired.Store(true)
+		if replaced.refs.Load() > 0 {
+			st.draining = append(st.draining, replaced)
+		}
+	}
+	st.sweepDrainedLocked()
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2) // byte budget of 2; unit-cost entries below
+	c.add("a", 1, 1)
+	c.add("b", 2, 1)
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatal("a missing")
+	}
+	c.add("c", 3, 1) // evicts b (a was just touched)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.len() != 2 || c.bytes() != 2 {
+		t.Fatalf("len = %d bytes = %d, want 2/2", c.len(), c.bytes())
+	}
+	c.add("a", 10, 1) // update in place
+	if v, _ := c.get("a"); v != 10 {
+		t.Fatal("update lost")
+	}
+	if got := c.hits.Load(); got != 4 {
+		t.Errorf("hits = %d, want 4", got)
+	}
+	if got := c.misses.Load(); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+}
+
+func TestResultCacheByteBudget(t *testing.T) {
+	c := newResultCache(100)
+	c.add("big", "x", 60)
+	c.add("mid", "y", 50) // 110 > 100: evicts big
+	if _, ok := c.get("big"); ok {
+		t.Fatal("budget not enforced")
+	}
+	if c.bytes() != 50 {
+		t.Fatalf("bytes = %d, want 50", c.bytes())
+	}
+	// An entry larger than the whole budget is refused outright.
+	c.add("huge", "z", 1000)
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("over-budget entry cached")
+	}
+	if _, ok := c.get("mid"); !ok {
+		t.Fatal("mid evicted by refused entry")
+	}
+	// Updating an entry re-charges its cost.
+	c.add("mid", "y2", 90)
+	if c.bytes() != 90 {
+		t.Fatalf("bytes after recharge = %d, want 90", c.bytes())
+	}
+}
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, _ := g.do("key", func() (any, error) {
+				calls.Add(1)
+				<-gate
+				return "value", nil
+			})
+			<-c.done
+			results[i] = c.val
+		}(i)
+	}
+	// Wait until the leader is registered, then let everyone pile in.
+	for {
+		g.mu.Lock()
+		registered := len(g.m) == 1
+		g.mu.Unlock()
+		if registered {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	for i, r := range results {
+		if r != "value" {
+			t.Fatalf("waiter %d got %v", i, r)
+		}
+	}
+	if g.coalesced.Load() == 0 {
+		t.Error("no coalesced waiters recorded")
+	}
+	// A later call with the same key runs fresh, as the leader.
+	c, leader := g.do("key", func() (any, error) { calls.Add(1); return "again", nil })
+	<-c.done
+	if calls.Load() != 2 || !leader {
+		t.Error("second round did not run as leader")
+	}
+}
+
+func TestWorkPoolBoundsAndTimesOut(t *testing.T) {
+	p := newWorkPool(2)
+	ctx := context.Background()
+	if err := p.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := p.acquire(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("saturated acquire: err = %v", err)
+	}
+	if p.rejected.Load() != 1 {
+		t.Errorf("rejected = %d, want 1", p.rejected.Load())
+	}
+	p.release()
+	if err := p.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p.inUse() != 2 || p.capacity() != 2 {
+		t.Errorf("inUse=%d capacity=%d", p.inUse(), p.capacity())
+	}
+}
+
+func TestTopKRanks(t *testing.T) {
+	ranks := []float64{0.1, 0.5, 0.3, 0.5, 0.2}
+	got := topKRanks(ranks, 3)
+	// 0.5 appears twice; the lower vertex ID (1) wins the tie for first.
+	want := []rankedVertex{{1, 0.5}, {3, 0.5}, {2, 0.3}}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if got := topKRanks(ranks, 100); len(got) != len(ranks) {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+	if got := topKRanks(nil, 5); len(got) != 0 {
+		t.Fatalf("empty ranks returned %d", len(got))
+	}
+	// Must be fully sorted descending.
+	all := topKRanks(ranks, 5)
+	for i := 1; i < len(all); i++ {
+		if all[i].Rank > all[i-1].Rank {
+			t.Fatalf("not descending at %d: %v", i, all)
+		}
+	}
+}

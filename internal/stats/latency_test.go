@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"graphreorder/internal/rng"
+)
+
+func TestLatencyBucketBoundsConsistent(t *testing.T) {
+	// Every sample must land in a bucket whose upper bound is >= the
+	// sample and within the ~12.5% resolution guarantee.
+	for _, ns := range []uint64{0, 1, 7, 8, 9, 15, 16, 17, 100, 1000, 1 << 20, 1<<30 + 12345, 1 << 45} {
+		b := latencyBucket(ns)
+		up := latencyBucketUpper(b)
+		if b < latencyBuckets-1 && up < ns {
+			t.Errorf("ns=%d: bucket %d upper bound %d below sample", ns, b, up)
+		}
+		if ns >= 8 && b < latencyBuckets-1 {
+			if float64(up) > float64(ns)*1.125+1 {
+				t.Errorf("ns=%d: upper bound %d exceeds 12.5%% resolution", ns, up)
+			}
+		}
+	}
+	// Bucket assignment must be monotonic in the sample value.
+	prev := 0
+	for ns := uint64(0); ns < 1<<16; ns++ {
+		b := latencyBucket(ns)
+		if b < prev {
+			t.Fatalf("bucket index decreased at ns=%d: %d -> %d", ns, prev, b)
+		}
+		prev = b
+	}
+}
+
+func TestLatencyHistQuantilesMatchExact(t *testing.T) {
+	r := rng.New(7)
+	var h LatencyHist
+	samples := make([]float64, 20000)
+	for i := range samples {
+		// Log-normal-ish latencies from ~1µs to ~100ms.
+		ns := math.Exp(r.Float64()*11.5) * 1000
+		samples[i] = ns
+		h.Observe(time.Duration(ns))
+	}
+	sort.Float64s(samples)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		got := float64(h.Quantile(p))
+		exact := samples[int(p*float64(len(samples)))]
+		if got < exact*0.99 || got > exact*1.13 {
+			t.Errorf("p%.0f: got %v, exact %v (ratio %.3f)",
+				p*100, time.Duration(got), time.Duration(exact), got/exact)
+		}
+	}
+	if h.Count() != uint64(len(samples)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(samples))
+	}
+	if got, want := float64(h.Max()), samples[len(samples)-1]; math.Abs(got-want) > 1 {
+		t.Errorf("max = %v, want %v", h.Max(), time.Duration(want))
+	}
+}
+
+func TestLatencyHistEmptyAndSingle(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Error("empty histogram not all-zero")
+	}
+	h.Observe(42 * time.Millisecond)
+	for _, p := range []float64{0, 0.5, 1} {
+		q := h.Quantile(p)
+		if q < 42*time.Millisecond || q > 48*time.Millisecond {
+			t.Errorf("single-sample quantile p=%v: %v", p, q)
+		}
+	}
+	if h.Mean() != 42*time.Millisecond {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestLatencyHistConcurrentObserve(t *testing.T) {
+	var h LatencyHist
+	const workers = 8
+	const each = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w + 1))
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(1000 + r.Intn(1_000_000)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Errorf("count = %d, want %d", h.Count(), workers*each)
+	}
+	snap := h.Snapshot()
+	if snap.P50 == 0 || snap.P99 < snap.P50 || snap.Max < snap.P99 {
+		t.Errorf("implausible snapshot: %+v", snap)
+	}
+}
