@@ -1,6 +1,7 @@
 package graphreorder
 
 import (
+	"context"
 	"io"
 
 	"graphreorder/internal/apps"
@@ -130,8 +131,21 @@ func Reorder(g *Graph, t Technique, kind DegreeKind) (ReorderResult, error) {
 	return reorder.Apply(g, t, kind)
 }
 
+// ReorderContext is Reorder under a context. Cancellation is cooperative
+// and phase-grained: the context is checked before the permutation
+// computation and again before the CSR rebuild, so a deadline or cancel
+// aborts between phases with ctx.Err() but never tears a phase apart.
+func ReorderContext(ctx context.Context, g *Graph, t Technique, kind DegreeKind) (ReorderResult, error) {
+	return reorder.ApplyContext(ctx, g, t, kind, 1)
+}
+
 // Engine bundles execution options for the multicore execution engine.
 // The zero value runs on every core.
+//
+// Deprecated: Engine predates the context-aware Run API. Use Run with
+// WithWorkers, which adds cancellation, per-round progress and a
+// structured Result. Every Engine method is a thin wrapper over Run and
+// produces bit-identical results.
 type Engine struct {
 	// Workers is the number of worker goroutines EdgeMap and the bulk
 	// vertex passes may use: 0 means GOMAXPROCS, 1 forces the sequential
@@ -143,13 +157,29 @@ type Engine struct {
 }
 
 // Parallel returns an Engine using every core (GOMAXPROCS workers).
+//
+// Deprecated: Run defaults to GOMAXPROCS workers.
 func Parallel() Engine { return Engine{} }
 
 // Sequential returns an Engine pinned to the deterministic single-worker
 // path.
+//
+// Deprecated: use Run with WithWorkers(1).
 func Sequential() Engine { return Engine{Workers: 1} }
 
 func (e Engine) workers() int { return par.Resolve(e.Workers) }
+
+// run dispatches an Engine method through the canonical Run path. The
+// wrappers preserve the historical crash-on-misuse behaviour of the
+// positional API (which dereferenced a nil graph) by panicking on the
+// input errors Run reports.
+func (e Engine) run(g *Graph, app App, opts ...RunOption) *Result {
+	res, err := Run(context.Background(), g, app, append(opts, WithWorkers(e.workers()))...)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 // Reorder applies a technique using the engine's worker count for the CSR
 // rebuild (the rebuilt graph is bit-identical at any worker count; only
@@ -160,47 +190,71 @@ func (e Engine) Reorder(g *Graph, t Technique, kind DegreeKind) (ReorderResult, 
 
 // PageRank runs pull-based PageRank (damping 0.85) until convergence or
 // maxIters (0 = default); returns ranks and iterations executed.
+//
+// Deprecated: use Run(ctx, g, AppPR, WithMaxIters(maxIters), ...).
 func (e Engine) PageRank(g *Graph, maxIters int) ([]float64, int) {
-	ranks, iters, _ := apps.PageRank(g, maxIters, e.workers(), nil)
-	return ranks, iters
+	res := e.run(g, AppPR, WithMaxIters(maxIters))
+	return res.Ranks(), res.Iterations
 }
 
 // PageRankDelta runs push-based incremental PageRank; returns ranks and
 // iterations executed.
+//
+// Deprecated: use Run(ctx, g, AppPRD, WithMaxIters(maxIters), ...).
 func (e Engine) PageRankDelta(g *Graph, maxIters int) ([]float64, int) {
-	ranks, iters, _ := apps.PageRankDelta(g, maxIters, e.workers(), nil)
-	return ranks, iters
+	res := e.run(g, AppPRD, WithMaxIters(maxIters))
+	return res.Ranks(), res.Iterations
 }
 
 // ShortestPaths runs frontier-based Bellman-Ford from root on a weighted
 // graph.
+//
+// Deprecated: use Run(ctx, g, AppSSSP, WithRoot(root), ...).
 func (e Engine) ShortestPaths(g *Graph, root VertexID) ([]int64, error) {
-	dist, _, _, err := apps.SSSP(g, root, e.workers(), nil)
-	return dist, err
+	res, err := Run(context.Background(), g, AppSSSP, WithRoot(root), WithWorkers(e.workers()))
+	if err != nil {
+		return nil, err
+	}
+	return res.Distances(), nil
 }
 
 // Betweenness computes single-source betweenness-centrality dependency
 // scores from root (Brandes' algorithm).
+//
+// Deprecated: use Run(ctx, g, AppBC, WithRoot(root), ...).
 func (e Engine) Betweenness(g *Graph, root VertexID) []float64 {
-	dep, _, _ := apps.BC(g, root, e.workers(), nil)
-	return dep
+	return e.run(g, AppBC, WithRoot(root)).Dependencies()
 }
 
 // Radii estimates per-vertex eccentricity with up to 64 simultaneous
 // BFS sources; -1 marks vertices none of the samples reached.
+//
+// Deprecated: use Run(ctx, g, AppRadii, WithSamples(samples), ...).
 func (e Engine) Radii(g *Graph, samples []VertexID) []int32 {
-	radii, _, _ := apps.Radii(g, samples, e.workers(), nil)
-	return radii
+	if len(samples) == 0 {
+		// Preserved degenerate case of the positional API: no samples
+		// means nothing is reached. (Run requires WithSamples instead.)
+		radii := make([]int32, g.NumVertices())
+		for i := range radii {
+			radii[i] = -1
+		}
+		return radii
+	}
+	return e.run(g, AppRadii, WithSamples(samples)).Eccentricities()
 }
 
 // PageRank runs pull-based PageRank on the sequential engine; see
 // Engine.PageRank to use multiple cores.
+//
+// Deprecated: use Run(ctx, g, AppPR, WithWorkers(1), ...).
 func PageRank(g *Graph, maxIters int) ([]float64, int) {
 	return Sequential().PageRank(g, maxIters)
 }
 
 // PageRankDelta runs push-based incremental PageRank on the sequential
 // engine.
+//
+// Deprecated: use Run(ctx, g, AppPRD, WithWorkers(1), ...).
 func PageRankDelta(g *Graph, maxIters int) ([]float64, int) {
 	return Sequential().PageRankDelta(g, maxIters)
 }
@@ -210,12 +264,16 @@ const InfDistance = apps.InfDistance
 
 // ShortestPaths runs frontier-based Bellman-Ford from root on a weighted
 // graph, sequentially.
+//
+// Deprecated: use Run(ctx, g, AppSSSP, WithRoot(root), WithWorkers(1)).
 func ShortestPaths(g *Graph, root VertexID) ([]int64, error) {
 	return Sequential().ShortestPaths(g, root)
 }
 
 // Betweenness computes single-source betweenness-centrality dependency
 // scores from root (Brandes' algorithm), sequentially.
+//
+// Deprecated: use Run(ctx, g, AppBC, WithRoot(root), WithWorkers(1)).
 func Betweenness(g *Graph, root VertexID) []float64 {
 	return Sequential().Betweenness(g, root)
 }
@@ -223,6 +281,8 @@ func Betweenness(g *Graph, root VertexID) []float64 {
 // Radii estimates per-vertex eccentricity with up to 64 simultaneous
 // BFS sources, sequentially; -1 marks vertices none of the samples
 // reached.
+//
+// Deprecated: use Run(ctx, g, AppRadii, WithSamples(samples), WithWorkers(1)).
 func Radii(g *Graph, samples []VertexID) []int32 {
 	return Sequential().Radii(g, samples)
 }

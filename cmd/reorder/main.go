@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	graphreorder "graphreorder"
 )
@@ -25,8 +28,20 @@ func main() {
 		degree   = flag.String("degree", "out", "degree used for binning: in|out")
 		in       = flag.String("i", "", "input graph (text edge list or binary; default stdin)")
 		out      = flag.String("o", "", "output path (default stdout)")
+		timeout  = flag.Duration("timeout", 0, "abort reordering after this long (0 = no limit); checked at phase boundaries (permute/rebuild)")
 	)
 	flag.Parse()
+
+	// -timeout bounds the reordering via the context-aware API; Ctrl-C
+	// cancels the same context. Gorder on a large graph is the case that
+	// makes this matter — its cost is the paper's cautionary tale.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	tech, err := graphreorder.TechniqueByName(*techName)
 	if err != nil {
@@ -56,7 +71,7 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := graphreorder.Reorder(g, tech, kind)
+	res, err := graphreorder.ReorderContext(ctx, g, tech, kind)
 	if err != nil {
 		fatal(err)
 	}

@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"graphreorder/internal/gen"
@@ -31,6 +35,7 @@ func main() {
 		workers    = flag.Int("workers", 1, "EdgeMap worker goroutines (1 = deterministic sequential engine, -1 = GOMAXPROCS)")
 		gorderDiv  = flag.Float64("gorder-scale", 40, "divide Gorder reordering time by this (paper's ÷40 convention)")
 		skipGorder = flag.Bool("skip-gorder", false, "omit Gorder from technique sweeps (recommended at -scale large)")
+		timeout    = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit); in-flight traversals stop within one round")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Usage = func() {
@@ -69,12 +74,27 @@ func main() {
 		SkipGorder:  *skipGorder,
 		Out:         os.Stdout,
 	})
+	// One context covers the whole run: -timeout bounds it, and Ctrl-C
+	// cancels it. Either way the in-flight traversal aborts within one
+	// EdgeMap round via the harness's context-aware app execution.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	fmt.Printf("reprobench: scale=%s trials=%d iters=%d (started %s)\n",
 		scale, *trials, *maxIters, time.Now().Format(time.TimeOnly))
 	for _, id := range flag.Args() {
 		start := time.Now()
-		if err := r.RunByID(id); err != nil {
-			fmt.Fprintf(os.Stderr, "reprobench: %v\n", err)
+		if err := r.RunByIDContext(ctx, id); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "reprobench: aborted after -timeout %v: %v\n", *timeout, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "reprobench: %v\n", err)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("\n[%s done in %s]\n", strings.ToLower(id), time.Since(start).Round(time.Millisecond))

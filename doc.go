@@ -18,7 +18,8 @@
 //
 //	g, _ := graphreorder.GenerateDataset("sd", "small")
 //	res, _ := graphreorder.Reorder(g, graphreorder.DBG(), graphreorder.OutDegree)
-//	ranks, iters, _ := graphreorder.PageRank(res.Graph, 0)
+//	r, _ := graphreorder.Run(ctx, res.Graph, graphreorder.AppPR)
+//	ranks, iters := r.Ranks(), r.Iterations
 //
 // The library also ships every baseline the paper evaluates (Sort,
 // HubSort, HubCluster, Gorder, random reorderings), a Ligra-style
@@ -27,16 +28,41 @@
 // that regenerates every table and figure of the paper. See DESIGN.md for
 // the system inventory and EXPERIMENTS.md for measured results.
 //
+// # The Run API
+//
+// Run(ctx, g, app, opts...) is the single execution entry point: every
+// application (AppPR, AppPRD, AppSSSP, AppBC, AppRadii — or AppByName)
+// runs through it, tuned by functional options (WithWorkers,
+// WithMaxIters, WithTolerance, WithRoot, WithSamples, WithTracer,
+// WithProgress), and returns a structured Result (typed value accessors,
+// iteration count, per-round frontier sizes, edge counts, checksum,
+// wall/compute timings).
+//
+// Cancellation is cooperative and round-grained: the context is polled
+// once per EdgeMap round — never per edge — so it costs nothing on the
+// hot path, and a cancel or deadline aborts the traversal at the next
+// round boundary, releases the pooled frontier, and returns ctx.Err().
+// The same contract holds everywhere a context enters the system:
+// cmd/reorder -timeout and cmd/reprobench -timeout, the harness's
+// RunByIDContext, and graphd's query layer, which passes each request's
+// context straight through to Run.
+//
+// The pre-Run entry points (Engine, PageRank, PageRankDelta,
+// ShortestPaths, Betweenness, Radii) remain as deprecated thin wrappers
+// over Run with bit-identical results and ~0 dispatch overhead
+// (BenchmarkRunVsLegacy); see README.md for the migration table.
+//
 // # Workers and the determinism contract
 //
 // The execution engine is multicore. The Workers knob appears on
-// Engine.Workers here, harness.Options.Workers, apps.Input.Workers and
-// ligra.EdgeMapOpts.Workers, and means the same thing everywhere: how
-// many goroutines a traversal or CSR build may use, with the zero value
-// (and 1) pinning the sequential engine — except Engine.Workers, where 0
-// means GOMAXPROCS because Engine is the explicit "use the cores" entry
-// point. What parallelism does to reproducibility is spelled out per
-// path:
+// Run's WithWorkers option, Engine.Workers, harness.Options.Workers,
+// apps.Input.Workers and ligra.EdgeMapOpts.Workers, and means the same
+// thing everywhere: how many goroutines a traversal or CSR build may
+// use. In the internal layers the zero value (and 1) pins the
+// sequential engine; on the public entry points (Run, Engine) 0 means
+// GOMAXPROCS because they are the explicit "use the cores" surface, and
+// WithWorkers(1) pins the deterministic sequential engine. What
+// parallelism does to reproducibility is spelled out per path:
 //
 //   - CSR construction and Relabel are bit-identical at every worker
 //     count: workers count/prefix/scatter over contiguous input chunks
@@ -58,7 +84,13 @@
 //   - Tracing forces the sequential path: any run with a Tracer attached
 //     is deterministic regardless of Workers, so cache-simulator traces
 //     never depend on scheduling.
+//   - Cancellation does not perturb determinism: the per-round context
+//     poll happens between rounds, so an uncanceled run executes exactly
+//     the rounds it always did, and a canceled run returns ctx.Err()
+//     with no partial result.
 //
 // Frontiers returned by EdgeMap/VertexMap come from an internal pool;
 // Release them when done and steady-state iterations allocate nothing.
+// A canceled run releases its frontier on the way out, so the pool stays
+// reusable across cancellations.
 package graphreorder

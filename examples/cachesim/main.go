@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,16 +17,18 @@ import (
 )
 
 func main() {
-	const scale = "small"
-	g, err := graphreorder.GenerateDataset("sd", scale)
+	scale := flag.String("scale", "small", "dataset scale: tiny|small|medium|large")
+	flag.Parse()
+
+	g, err := graphreorder.GenerateDataset("sd", *scale)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("dataset sd/%s: %d vertices, %d edges\n", scale, g.NumVertices(), g.NumEdges())
+	fmt.Printf("dataset sd/%s: %d vertices, %d edges\n", *scale, g.NumVertices(), g.NumEdges())
 	fmt.Printf("%-12s %8s %8s %8s %9s\n", "ordering", "L1 MPKI", "L2 MPKI", "L3 MPKI", "off-chip%")
 
 	report := func(label string, g *graphreorder.Graph) {
-		st, err := graphreorder.SimulatePageRankCache(g, scale, 2)
+		st, err := graphreorder.SimulatePageRankCache(g, *scale, 2)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"time"
 
 	"graphreorder/internal/server"
 )
@@ -30,8 +31,12 @@ func main() {
 	defer ts.Close()
 	fmt.Printf("graphd serving at %s\n\n", ts.URL)
 
+	// A client-side timeout cancels the request context; graphd passes
+	// that context straight through to the execution engine, so a slow
+	// traversal would be aborted within one round — not orphaned.
+	client := &http.Client{Timeout: 30 * time.Second}
 	show := func(what, path string) {
-		resp, err := http.Get(ts.URL + path)
+		resp, err := client.Get(ts.URL + path)
 		if err != nil {
 			fail(err)
 		}

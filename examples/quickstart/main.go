@@ -1,9 +1,11 @@
 // Quickstart: generate a skewed graph, look at its degree skew, reorder it
 // with DBG and measure the PageRank speed-up — the library's core loop in
-// ~60 lines.
+// ~60 lines, built on the context-aware Run API.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -12,9 +14,12 @@ import (
 )
 
 func main() {
+	scale := flag.String("scale", "medium", "dataset scale: tiny|small|medium|large")
+	flag.Parse()
+
 	// 1. Synthesize a web-crawl-like power-law dataset ("sd" mirrors the
 	// paper's SD hyperlink graph; use "large" for paper-regime sizes).
-	g, err := graphreorder.GenerateDataset("sd", "medium")
+	g, err := graphreorder.GenerateDataset("sd", *scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,26 +42,32 @@ func main() {
 	fmt.Printf("DBG:   permutation in %v, CSR rebuild in %v\n",
 		res.ReorderTime.Round(time.Microsecond), res.RebuildTime.Round(time.Microsecond))
 
-	// 4. Same computation, better layout: time PageRank on both orderings.
-	const iters = 10
-	timeIt := func(g *graphreorder.Graph) time.Duration {
-		graphreorder.PageRank(g, iters) // warm-up
-		start := time.Now()
-		graphreorder.PageRank(g, iters)
-		return time.Since(start)
+	// 4. Same computation, better layout: run PageRank on both orderings
+	// through Run. The context bounds the whole comparison — a deadline
+	// or Ctrl-C would abort the traversal within one round.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	rank := func(g *graphreorder.Graph) *graphreorder.Result {
+		opts := []graphreorder.RunOption{
+			graphreorder.WithMaxIters(10),
+			graphreorder.WithWorkers(1), // sequential: isolate the locality effect
+		}
+		if _, err := graphreorder.Run(ctx, g, graphreorder.AppPR, opts...); err != nil {
+			log.Fatal(err) // warm-up
+		}
+		r, err := graphreorder.Run(ctx, g, graphreorder.AppPR, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
 	}
-	before := timeIt(g)
-	after := timeIt(res.Graph)
-	fmt.Printf("PR:    %v -> %v (%+.1f%%)\n", before.Round(time.Millisecond),
-		after.Round(time.Millisecond), (float64(before)/float64(after)-1)*100)
+	before, after := rank(g), rank(res.Graph)
+	fmt.Printf("PR:    %v -> %v (%+.1f%%) over %d iterations, %d edges each\n",
+		before.Compute.Round(time.Millisecond), after.Compute.Round(time.Millisecond),
+		(float64(before.Compute)/float64(after.Compute)-1)*100,
+		after.Iterations, after.EdgesTraversed)
 
-	// 5. Verify both orderings agree (rank mass is ordering-invariant).
-	r1, _ := graphreorder.PageRank(g, iters)
-	r2, _ := graphreorder.PageRank(res.Graph, iters)
-	var s1, s2 float64
-	for i := range r1 {
-		s1 += r1[i]
-		s2 += r2[i]
-	}
-	fmt.Printf("check: rank mass %.6f vs %.6f\n", s1, s2)
+	// 5. Verify both orderings agree: Result.Checksum is the
+	// ordering-invariant rank mass.
+	fmt.Printf("check: rank mass %.6f vs %.6f\n", before.Checksum, after.Checksum)
 }

@@ -1,0 +1,52 @@
+// Package examples_test smoke-tests every example program: each one is
+// built and executed at tiny scale, and its output is asserted against
+// markers it must print. Examples are documentation that compiles — this
+// test makes them documentation that runs, so an API change can never
+// silently rot them again.
+package examples_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// examplePrograms maps each example package to the flags it runs with in
+// the smoke test and the output markers it must produce.
+var examplePrograms = []struct {
+	dir     string
+	args    []string
+	markers []string
+}{
+	{"quickstart", []string{"-scale", "tiny"}, []string{"graph:", "skew:", "DBG:", "PR:", "check: rank mass"}},
+	{"webrank", []string{"-scale", "tiny"}, []string{"web graph:", "technique", "DBG", "Gorder"}},
+	{"socialradii", []string{"-scale", "tiny"}, []string{"social graph:", "ordering", "original", "DBG"}},
+	{"cachesim", []string{"-scale", "tiny"}, []string{"dataset sd/tiny", "L1 MPKI", "original", "DBG"}},
+	{"graphdquery", nil, []string{"graphd serving at", "query/topk", "snapshots after the hot swap", "social-dbg"}},
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run real binaries; skipped in -short mode")
+	}
+	for _, ex := range examplePrograms {
+		t.Run(ex.dir, func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", "./" + ex.dir}, ex.args...)
+			cmd := exec.Command("go", args...)
+			start := time.Now()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./%s: %v\n%s", ex.dir, err, out)
+			}
+			got := string(out)
+			for _, marker := range ex.markers {
+				if !strings.Contains(got, marker) {
+					t.Errorf("output of %s lacks %q; got:\n%s", ex.dir, marker, got)
+				}
+			}
+			t.Logf("%s ran in %v", ex.dir, time.Since(start).Round(time.Millisecond))
+		})
+	}
+}

@@ -3,13 +3,15 @@
 // Social graphs like Friendster arrive with community-local vertex IDs:
 // friends sit near each other in memory, so traversals enjoy
 // spatio-temporal locality before any reordering. This example runs Radii
-// estimation (multi-source BFS) on such a graph and compares techniques
-// that preserve that structure (DBG, HubCluster) against ones that
-// destroy it (Sort, random reordering) — the tension at the heart of the
-// paper (§III).
+// estimation (multi-source BFS) on such a graph through the Run API and
+// compares techniques that preserve that structure (DBG, HubCluster)
+// against ones that destroy it (Sort, random reordering) — the tension at
+// the heart of the paper (§III).
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -18,14 +20,18 @@ import (
 )
 
 func main() {
-	g, err := graphreorder.GenerateDataset("fr", "medium")
+	scale := flag.String("scale", "medium", "dataset scale: tiny|small|medium|large")
+	flag.Parse()
+
+	g, err := graphreorder.GenerateDataset("fr", *scale)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("social graph: %d members, %d friendships (community-ordered IDs)\n\n",
 		g.NumVertices(), g.NumEdges())
 
-	// Radii samples 64 sources; reuse the same logical sources everywhere.
+	// Radii samples up to 64 sources; reuse the same logical sources
+	// everywhere so every ordering solves the same problem.
 	samples := make([]graphreorder.VertexID, 0, 64)
 	for v := 0; len(samples) < 64 && v < g.NumVertices(); v++ {
 		if g.OutDegree(graphreorder.VertexID(v)) > 0 {
@@ -33,14 +39,21 @@ func main() {
 		}
 	}
 
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
 	measure := func(g *graphreorder.Graph, samples []graphreorder.VertexID) time.Duration {
-		graphreorder.Radii(g, samples) // warm-up
 		best := time.Duration(1<<62 - 1)
-		for t := 0; t < 3; t++ {
-			start := time.Now()
-			graphreorder.Radii(g, samples)
-			if d := time.Since(start); d < best {
-				best = d
+		for t := 0; t < 4; t++ {
+			r, err := graphreorder.Run(ctx, g, graphreorder.AppRadii,
+				graphreorder.WithSamples(samples), graphreorder.WithWorkers(1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if t == 0 {
+				continue // warm-up
+			}
+			if r.Compute < best {
+				best = r.Compute
 			}
 		}
 		return best
@@ -54,7 +67,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := graphreorder.Reorder(g, tech, graphreorder.OutDegree)
+		res, err := graphreorder.ReorderContext(ctx, g, tech, graphreorder.OutDegree)
 		if err != nil {
 			log.Fatal(err)
 		}

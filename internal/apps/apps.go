@@ -9,7 +9,9 @@
 package apps
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"graphreorder/internal/graph"
 	"graphreorder/internal/ligra"
@@ -19,12 +21,22 @@ import (
 // graph positions mapped by the harness through the active permutation, so
 // every ordering computes the same logical problem.
 type Input struct {
+	// Ctx, when non-nil, cancels the run cooperatively: it is polled once
+	// per traversal round (never per edge), and a done context makes the
+	// run stop between rounds, release its frontier back to the pool, and
+	// return Ctx.Err(). Nil means the run cannot be canceled.
+	Ctx   context.Context
 	Graph *graph.Graph
 	// Roots seeds root-dependent applications (SSSP, BC) and supplies the
 	// sample set for Radii. Ignored by PR and PRD.
 	Roots []graph.VertexID
 	// MaxIters bounds iterative applications; 0 means the per-app default.
 	MaxIters int
+	// Tolerance overrides an application's convergence constant: PR's L1
+	// convergence threshold (default 1e-7) and PRD's delta-activation
+	// epsilon (default 0.01). 0 means the per-app default; ignored by
+	// SSSP, BC and Radii, which run to frontier exhaustion.
+	Tolerance float64
 	// Workers is the number of goroutines EdgeMap and the bulk vertex
 	// passes may use; values <= 1 run sequentially. Ignored (sequential)
 	// while Tracer is set, so simulator traces stay deterministic.
@@ -32,6 +44,25 @@ type Input struct {
 	// Tracer, when non-nil, observes every edge examination (wired into
 	// EdgeMap) so the cache simulator can replay the access stream.
 	Tracer ligra.Tracer
+	// Progress, when non-nil, observes every completed traversal round.
+	// It is called from the application goroutine between rounds, so a
+	// slow callback slows the run but never races with it.
+	Progress func(RoundStats)
+}
+
+// RoundStats describes one completed traversal round to a Progress
+// observer.
+type RoundStats struct {
+	// Round counts completed EdgeMap rounds, starting at 1.
+	Round int
+	// Frontier is the number of active vertices the round handed to the
+	// next round (0 when the traversal is exhausted). Frontierless
+	// applications (PR) report the full vertex count.
+	Frontier int
+	// Edges is the number of edge examinations charged to the round.
+	Edges uint64
+	// Elapsed is the time since the run started.
+	Elapsed time.Duration
 }
 
 // Output summarizes a run for validation and reporting.
@@ -44,6 +75,61 @@ type Output struct {
 	// of all vertex values), used to confirm that reordered executions
 	// compute the same answer.
 	Checksum float64
+	// Values is the application's result vector: []float64 ranks (PR,
+	// PRD), []int64 distances (SSSP), []float64 dependency scores (BC) or
+	// []int32 eccentricities (Radii).
+	Values any
+	// Frontiers records the per-round frontier sizes (RoundStats.Frontier,
+	// in round order).
+	Frontiers []int
+}
+
+// canceled reports the input context's error, if it carries one and it is
+// done. Applications poll it once per round.
+func (in Input) canceled() error {
+	if in.Ctx != nil {
+		return in.Ctx.Err()
+	}
+	return nil
+}
+
+// recorder accumulates per-round telemetry for one run; it backs both
+// Output.Frontiers/EdgesTraversed and the Progress callback.
+type recorder struct {
+	start     time.Time
+	progress  func(RoundStats)
+	frontiers []int
+	edges     uint64
+}
+
+func (in Input) newRecorder() recorder {
+	return recorder{start: time.Now(), progress: in.Progress}
+}
+
+// round records one completed EdgeMap round that produced a frontier of
+// the given size and examined the given number of edges.
+func (r *recorder) round(frontier int, edges uint64) {
+	r.frontiers = append(r.frontiers, frontier)
+	r.edges += edges
+	if r.progress != nil {
+		r.progress(RoundStats{
+			Round:    len(r.frontiers),
+			Frontier: frontier,
+			Edges:    edges,
+			Elapsed:  time.Since(r.start),
+		})
+	}
+}
+
+// output assembles the common telemetry fields of an Output.
+func (r *recorder) output(values any, checksum float64) Output {
+	return Output{
+		Iterations:     len(r.frontiers),
+		EdgesTraversed: r.edges,
+		Checksum:       checksum,
+		Values:         values,
+		Frontiers:      r.frontiers,
+	}
 }
 
 // Spec describes one benchmark application to the harness.

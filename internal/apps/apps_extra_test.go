@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"reflect"
 	"testing"
 
 	"graphreorder/internal/gen"
@@ -217,7 +218,7 @@ func TestOutputsAreDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if o1 != o2 {
+		if !reflect.DeepEqual(o1, o2) {
 			t.Errorf("%s: non-deterministic output: %+v vs %+v", spec.Name, o1, o2)
 		}
 	}

@@ -8,23 +8,44 @@ import (
 	"graphreorder/internal/par"
 )
 
-// BC computes betweenness-centrality dependency scores from a single root
-// using Brandes' algorithm in the Ligra formulation (Table VII): a forward
-// BFS with pull-push direction switching accumulates shortest-path counts
-// per level, then a backward sweep over the BFS DAG accumulates
-// dependencies. Returns the dependency scores, the number of BFS rounds,
-// and edges examined.
+// BC computes betweenness-centrality dependency scores from a single
+// root. Returns the dependency scores, the number of BFS rounds, and
+// edges examined.
+//
+// Deprecated: positional convenience wrapper over the Input/Output run
+// path (runBC); prefer building an Input, which additionally carries
+// cancellation and progress observation.
+func BC(g *graph.Graph, root graph.VertexID, workers int, tracer ligra.Tracer) ([]float64, int, uint64) {
+	out, err := runBC(Input{Graph: g, Roots: []graph.VertexID{root}, Workers: workers, Tracer: tracer})
+	if err != nil {
+		panic(err) // nil graph or out-of-range root; the pre-Input API crashed here too
+	}
+	dep, _ := out.Values.([]float64)
+	return dep, out.Iterations, out.EdgesTraversed
+}
+
+// runBC uses Brandes' algorithm in the Ligra formulation (Table VII): a
+// forward BFS with pull-push direction switching accumulates
+// shortest-path counts per level, then a backward sweep over the BFS DAG
+// accumulates dependencies.
 //
 // With workers > 1, push rounds claim levels with CAS and accumulate path
 // counts with atomic float adds (results match the sequential run up to
 // summation order); pull rounds and the backward sweep partition
 // destinations/level members, whose updates are single-owner and need no
 // atomics.
-func BC(g *graph.Graph, root graph.VertexID, workers int, tracer ligra.Tracer) ([]float64, int, uint64) {
-	if tracer != nil {
+func runBC(in Input) (Output, error) {
+	if err := checkInput(in, 1); err != nil {
+		return Output{}, err
+	}
+	g := in.Graph
+	root := in.Roots[0]
+	workers := in.Workers
+	if in.Tracer != nil {
 		workers = 1
 	}
 	n := g.NumVertices()
+	rec := in.newRecorder()
 	numPaths := make([]float64, n)
 	level := make([]int32, n)
 	for v := range level {
@@ -33,12 +54,24 @@ func BC(g *graph.Graph, root graph.VertexID, workers int, tracer ligra.Tracer) (
 	numPaths[root] = 1
 	level[root] = 0
 
-	wt := ligra.WriteTracer(tracer)
+	wt := ligra.WriteTracer(in.Tracer)
 	frontier := ligra.NewVertexSet(n, root)
 	levels := []*ligra.VertexSet{frontier}
-	var edges uint64
+	// The per-level frontiers live until the backward sweep has read
+	// them; release them together on every exit path so the pool stays
+	// warm across runs and cancellations alike. The current frontier is
+	// always the last element of levels while the BFS loop runs.
+	releaseLevels := func() {
+		for _, l := range levels {
+			l.Release()
+		}
+	}
 	depth := int32(0)
 	for !frontier.Empty() {
+		if err := in.canceled(); err != nil {
+			releaseLevels()
+			return Output{}, err
+		}
 		depth++
 		d := depth
 		fns := ligra.EdgeMapFns{
@@ -104,8 +137,12 @@ func BC(g *graph.Graph, root graph.VertexID, workers int, tracer ligra.Tracer) (
 				return l == -1 || l == d
 			}
 		}
-		next := ligra.EdgeMap(g, frontier, fns, ligra.EdgeMapOpts{Trace: tracer, Workers: workers})
-		edges += frontier.OutEdgeSum(g, workers)
+		next := ligra.EdgeMap(g, frontier, fns, ligra.EdgeMapOpts{Trace: in.Tracer, Workers: workers, Ctx: in.Ctx})
+		if next == nil {
+			releaseLevels()
+			return Output{}, in.Ctx.Err()
+		}
+		rec.round(next.Len(), frontier.OutEdgeSum(g, workers))
 		frontier = next
 		if !frontier.Empty() {
 			levels = append(levels, frontier)
@@ -117,9 +154,16 @@ func BC(g *graph.Graph, root graph.VertexID, workers int, tracer ligra.Tracer) (
 	// Members of one level are distinct and only read deeper levels'
 	// results, so the sweep parallelizes over level members without
 	// atomics (edge counting aside).
+	// The BFS loop exited on an empty frontier, which was never appended
+	// to levels; recycle it here and the level sets after the sweep.
+	frontier.Release()
 	dep := make([]float64, n)
 	var swept atomic.Uint64
 	for li := len(levels) - 2; li >= 0; li-- {
+		if err := in.canceled(); err != nil {
+			releaseLevels()
+			return Output{}, err
+		}
 		members := levels[li].Members()
 		par.For(len(members), workers, 1, func(lo, hi int) {
 			var scanned uint64
@@ -136,20 +180,13 @@ func BC(g *graph.Graph, root graph.VertexID, workers int, tracer ligra.Tracer) (
 			swept.Add(scanned)
 		})
 	}
-	edges += swept.Load()
+	rec.edges += swept.Load()
+	releaseLevels()
 	// Brandes' dependency delta_s(v) is defined for v != s only.
 	dep[root] = 0
-	return dep, int(depth), edges
-}
-
-func runBC(in Input) (Output, error) {
-	if err := checkInput(in, 1); err != nil {
-		return Output{}, err
-	}
-	dep, rounds, edges := BC(in.Graph, in.Roots[0], in.Workers, in.Tracer)
 	var sum float64
 	for _, d := range dep {
 		sum += d
 	}
-	return Output{Iterations: rounds, EdgesTraversed: edges, Checksum: sum}, nil
+	return rec.output(dep, sum), nil
 }

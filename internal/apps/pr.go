@@ -19,21 +19,44 @@ const (
 // L1 rank delta falls below tol*N or maxIters is reached. Returns the rank
 // vector and the number of iterations executed.
 //
-// This is the paper's PR workload: each iteration makes one pass to fill
+// Deprecated: positional convenience wrapper over the Input/Output run
+// path (runPR); prefer building an Input, which additionally carries
+// cancellation, tolerance and progress observation.
+func PageRank(g *graph.Graph, maxIters, workers int, tracer ligra.Tracer) ([]float64, int, uint64) {
+	out, err := runPR(Input{Graph: g, MaxIters: maxIters, Workers: workers, Tracer: tracer})
+	if err != nil {
+		panic(err) // nil graph; the pre-Input API crashed here too
+	}
+	ranks, _ := out.Values.([]float64)
+	return ranks, out.Iterations, out.EdgesTraversed
+}
+
+// runPR is the paper's PR workload: each iteration makes one pass to fill
 // the contribution array, then one dense pull pass whose reads of
 // contrib[src] are the irregular Property Array accesses the reordering
 // techniques target (§II-C). workers > 1 parallelizes both passes; the
 // pull pass partitions destinations, so sum[dst] accumulates in CSR order
 // and the rank vector is bit-identical to the sequential run.
-func PageRank(g *graph.Graph, maxIters, workers int, tracer ligra.Tracer) ([]float64, int, uint64) {
-	n := g.NumVertices()
-	if n == 0 {
-		return nil, 0, 0
+func runPR(in Input) (Output, error) {
+	if err := checkInput(in, 0); err != nil {
+		return Output{}, err
 	}
+	g := in.Graph
+	n := g.NumVertices()
+	rec := in.newRecorder()
+	if n == 0 {
+		return rec.output([]float64(nil), 0), nil
+	}
+	maxIters := in.MaxIters
 	if maxIters <= 0 {
 		maxIters = prMaxIters
 	}
-	if tracer != nil {
+	tol := in.Tolerance
+	if tol <= 0 {
+		tol = prTolerance
+	}
+	workers := in.Workers
+	if in.Tracer != nil {
 		workers = 1
 	}
 	rank := make([]float64, n)
@@ -44,14 +67,16 @@ func PageRank(g *graph.Graph, maxIters, workers int, tracer ligra.Tracer) ([]flo
 	}
 	base := (1 - prDamping) / float64(n)
 	full := ligra.FullVertexSet(n)
+	defer full.Release()
 	// Fixed-size L1 reduction chunks (worker-count independent; see the
 	// apply pass below).
 	const l1ChunkSize = 8192
 	numChunks := (n + l1ChunkSize - 1) / l1ChunkSize
 	partial := make([]float64, numChunks)
-	var edges uint64
-	iters := 0
-	for ; iters < maxIters; iters++ {
+	for iters := 0; iters < maxIters; iters++ {
+		if err := in.canceled(); err != nil {
+			return Output{}, err
+		}
 		// Per-vertex contribution pass. Dangling vertices (out-degree 0)
 		// contribute nothing, as in Ligra's PageRank.
 		par.For(n, workers, 1, func(lo, hi int) {
@@ -70,9 +95,11 @@ func PageRank(g *graph.Graph, maxIters, workers int, tracer ligra.Tracer) ([]flo
 				sum[dst] += contrib[src]
 				return false
 			},
-		}, ligra.EdgeMapOpts{Dir: ligra.Pull, Trace: tracer, Workers: workers})
+		}, ligra.EdgeMapOpts{Dir: ligra.Pull, Trace: in.Tracer, Workers: workers, Ctx: in.Ctx})
+		if out == nil {
+			return Output{}, in.Ctx.Err()
+		}
 		out.Release()
-		edges += uint64(g.NumEdges())
 
 		// Apply pass with a fixed-size chunk-ordered L1 reduction: partial
 		// deltas combine in chunk order, and the chunking is independent of
@@ -97,22 +124,15 @@ func PageRank(g *graph.Graph, maxIters, workers int, tracer ligra.Tracer) ([]flo
 		for _, p := range partial {
 			l1 += p
 		}
-		if l1 < prTolerance*float64(n) {
-			iters++
+		// PR is frontierless: every round drives the full vertex set.
+		rec.round(n, uint64(g.NumEdges()))
+		if l1 < tol*float64(n) {
 			break
 		}
 	}
-	return rank, iters, edges
-}
-
-func runPR(in Input) (Output, error) {
-	if err := checkInput(in, 0); err != nil {
-		return Output{}, err
-	}
-	rank, iters, edges := PageRank(in.Graph, in.MaxIters, in.Workers, in.Tracer)
-	var sum float64
+	var mass float64
 	for _, r := range rank {
-		sum += r
+		mass += r
 	}
-	return Output{Iterations: iters, EdgesTraversed: edges, Checksum: sum}, nil
+	return rec.output(rank, mass), nil
 }

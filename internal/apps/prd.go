@@ -17,21 +17,46 @@ const (
 )
 
 // PageRankDelta computes PageRank incrementally: only vertices whose rank
-// changed enough push their delta to out-neighbors. Push-based, so the
-// irregular Property Array accesses are *writes* to nghSum[dst] — the
-// behaviour behind the coherence traffic of Fig. 9. With workers > 1 the
-// push pass runs on multiple cores and the nghSum accumulation becomes an
-// atomic float add; the result matches the sequential run up to
-// floating-point summation order.
+// changed enough push their delta to out-neighbors. Returns the rank
+// vector, iterations executed and edges examined.
+//
+// Deprecated: positional convenience wrapper over the Input/Output run
+// path (runPRD); prefer building an Input, which additionally carries
+// cancellation, tolerance and progress observation.
 func PageRankDelta(g *graph.Graph, maxIters, workers int, tracer ligra.Tracer) ([]float64, int, uint64) {
-	n := g.NumVertices()
-	if n == 0 {
-		return nil, 0, 0
+	out, err := runPRD(Input{Graph: g, MaxIters: maxIters, Workers: workers, Tracer: tracer})
+	if err != nil {
+		panic(err) // nil graph; the pre-Input API crashed here too
 	}
+	ranks, _ := out.Values.([]float64)
+	return ranks, out.Iterations, out.EdgesTraversed
+}
+
+// runPRD is push-based, so the irregular Property Array accesses are
+// *writes* to nghSum[dst] — the behaviour behind the coherence traffic of
+// Fig. 9. With workers > 1 the push pass runs on multiple cores and the
+// nghSum accumulation becomes an atomic float add; the result matches the
+// sequential run up to floating-point summation order.
+func runPRD(in Input) (Output, error) {
+	if err := checkInput(in, 0); err != nil {
+		return Output{}, err
+	}
+	g := in.Graph
+	n := g.NumVertices()
+	rec := in.newRecorder()
+	if n == 0 {
+		return rec.output([]float64(nil), 0), nil
+	}
+	maxIters := in.MaxIters
 	if maxIters <= 0 {
 		maxIters = prdMaxIters
 	}
-	if tracer != nil {
+	epsilon := in.Tolerance
+	if epsilon <= 0 {
+		epsilon = prdEpsilon
+	}
+	workers := in.Workers
+	if in.Tracer != nil {
 		workers = 1
 	}
 	rank := make([]float64, n)
@@ -42,7 +67,7 @@ func PageRankDelta(g *graph.Graph, maxIters, workers int, tracer ligra.Tracer) (
 		delta[v] = oneOverN
 		rank[v] = 0
 	}
-	wt := ligra.WriteTracer(tracer)
+	wt := ligra.WriteTracer(in.Tracer)
 	// Push pass: scatter each active vertex's delta to its out-neighbors.
 	// Irregular writes into nghSum — plain when sequential, CAS adds when
 	// the frontier is partitioned across workers.
@@ -64,17 +89,23 @@ func PageRankDelta(g *graph.Graph, maxIters, workers int, tracer ligra.Tracer) (
 		}
 	}
 	frontier := ligra.FullVertexSet(n)
-	var edges uint64
-	iters := 0
-	for ; iters < maxIters && !frontier.Empty(); iters++ {
+	for iters := 0; iters < maxIters && !frontier.Empty(); iters++ {
+		if err := in.canceled(); err != nil {
+			frontier.Release()
+			return Output{}, err
+		}
 		par.For(n, workers, 1, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				nghSum[v] = 0
 			}
 		})
-		edges += frontier.OutEdgeSum(g, workers)
+		roundEdges := frontier.OutEdgeSum(g, workers)
 		out := ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{Update: update},
-			ligra.EdgeMapOpts{Dir: ligra.Push, Trace: tracer, Workers: workers})
+			ligra.EdgeMapOpts{Dir: ligra.Push, Trace: in.Tracer, Workers: workers, Ctx: in.Ctx})
+		if out == nil {
+			frontier.Release()
+			return Output{}, in.Ctx.Err()
+		}
 		out.Release()
 
 		// Absorb deltas and build the next frontier: vertices whose new
@@ -95,24 +126,18 @@ func PageRankDelta(g *graph.Graph, maxIters, workers int, tracer ligra.Tracer) (
 				rank[v] += nd
 				delta[v] = nd
 			}
-			if math.Abs(delta[v]) > prdEpsilon*rank[v] && delta[v] != 0 {
+			if math.Abs(delta[v]) > epsilon*rank[v] && delta[v] != 0 {
 				next = append(next, graph.VertexID(v))
 			}
 		}
 		frontier.Release()
 		frontier = ligra.NewVertexSet(n, next...)
+		rec.round(frontier.Len(), roundEdges)
 	}
-	return rank, iters, edges
-}
-
-func runPRD(in Input) (Output, error) {
-	if err := checkInput(in, 0); err != nil {
-		return Output{}, err
-	}
-	rank, iters, edges := PageRankDelta(in.Graph, in.MaxIters, in.Workers, in.Tracer)
-	var sum float64
+	frontier.Release()
+	var mass float64
 	for _, r := range rank {
-		sum += r
+		mass += r
 	}
-	return Output{Iterations: iters, EdgesTraversed: edges, Checksum: sum}, nil
+	return rec.output(rank, mass), nil
 }

@@ -12,18 +12,50 @@ import (
 // Ligra implementation the paper evaluates).
 const radiiSamples = 64
 
-// Radii estimates the radius (eccentricity) of every vertex by running
-// radiiSamples parallel BFS's encoded as per-vertex bitmasks (Magnien et
-// al.; Table VII). A vertex's radius estimate is the last round in which
-// its visited mask grew. Pull-push direction switching, out-degree
-// reordering (Table VIII). With workers > 1 mask growth becomes an atomic
-// OR; the radius estimates are identical to the sequential run (mask
-// unions are order-independent).
+// Radii estimates the radius (eccentricity) of every vertex. Returns the
+// per-vertex estimates (-1 marks vertices no sample reached), rounds
+// executed and edges examined.
+//
+// Deprecated: positional convenience wrapper over the Input/Output run
+// path (runRadii); prefer building an Input, which additionally carries
+// cancellation and progress observation.
 func Radii(g *graph.Graph, samples []graph.VertexID, workers int, tracer ligra.Tracer) ([]int32, int, uint64) {
-	if tracer != nil {
+	out, err := radiiCompute(Input{Graph: g, Roots: samples, Workers: workers, Tracer: tracer})
+	if err != nil {
+		panic(err) // nil graph; the pre-Input API crashed here too
+	}
+	radii, _ := out.Values.([]int32)
+	return radii, out.Iterations, out.EdgesTraversed
+}
+
+func runRadii(in Input) (Output, error) {
+	if err := checkInput(in, 1); err != nil {
+		return Output{}, err
+	}
+	return radiiCompute(in)
+}
+
+// radiiCompute runs radiiSamples parallel BFS's encoded as per-vertex
+// bitmasks (Magnien et al.; Table VII). A vertex's radius estimate is the
+// last round in which its visited mask grew. Pull-push direction
+// switching, out-degree reordering (Table VIII). With workers > 1 mask
+// growth becomes an atomic OR; the radius estimates are identical to the
+// sequential run (mask unions are order-independent).
+//
+// Unlike the other apps it tolerates an empty sample set (every radius
+// stays -1), which the deprecated positional wrapper relies on.
+func radiiCompute(in Input) (Output, error) {
+	if in.Graph == nil {
+		return Output{}, checkInput(in, 0)
+	}
+	g := in.Graph
+	samples := in.Roots
+	workers := in.Workers
+	if in.Tracer != nil {
 		workers = 1
 	}
 	n := g.NumVertices()
+	rec := in.newRecorder()
 	radii := make([]int32, n)
 	visited := make([]uint64, n)
 	nextVisited := make([]uint64, n)
@@ -31,7 +63,7 @@ func Radii(g *graph.Graph, samples []graph.VertexID, workers int, tracer ligra.T
 		radii[v] = -1
 	}
 	if n == 0 || len(samples) == 0 {
-		return radii, 0, 0
+		return rec.output(radii, 0), nil
 	}
 	if len(samples) > radiiSamples {
 		samples = samples[:radiiSamples]
@@ -42,11 +74,14 @@ func Radii(g *graph.Graph, samples []graph.VertexID, workers int, tracer ligra.T
 		radii[s] = 0
 		members = append(members, s)
 	}
-	wt := ligra.WriteTracer(tracer)
+	wt := ligra.WriteTracer(in.Tracer)
 	frontier := ligra.NewVertexSet(n, members...)
-	var edges uint64
 	round := int32(0)
 	for !frontier.Empty() {
+		if err := in.canceled(); err != nil {
+			frontier.Release()
+			return Output{}, err
+		}
 		round++
 		r := round
 		copy(nextVisited, visited)
@@ -81,29 +116,23 @@ func Radii(g *graph.Graph, samples []graph.VertexID, workers int, tracer ligra.T
 			}
 		}
 		next := ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{Update: update},
-			ligra.EdgeMapOpts{Trace: tracer, Workers: workers})
-		edges += frontier.OutEdgeSum(g, workers)
+			ligra.EdgeMapOpts{Trace: in.Tracer, Workers: workers, Ctx: in.Ctx})
+		if next == nil {
+			frontier.Release()
+			return Output{}, in.Ctx.Err()
+		}
+		roundEdges := frontier.OutEdgeSum(g, workers)
 		visited, nextVisited = nextVisited, visited
 		frontier.Release()
 		frontier = next
+		rec.round(frontier.Len(), roundEdges)
 	}
-	return radii, int(round), edges
-}
-
-func runRadii(in Input) (Output, error) {
-	if err := checkInput(in, 1); err != nil {
-		return Output{}, err
-	}
-	samples := in.Roots
-	if len(samples) > radiiSamples {
-		samples = samples[:radiiSamples]
-	}
-	radii, rounds, edges := Radii(in.Graph, samples, in.Workers, in.Tracer)
+	frontier.Release()
 	var sum float64
 	for _, r := range radii {
 		if r >= 0 {
 			sum += float64(r)
 		}
 	}
-	return Output{Iterations: rounds, EdgesTraversed: edges, Checksum: sum}, nil
+	return rec.output(radii, sum), nil
 }

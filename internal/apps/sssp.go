@@ -12,10 +12,24 @@ import (
 // InfDistance marks unreachable vertices in SSSP results.
 const InfDistance = math.MaxInt64
 
-// SSSP computes single-source shortest paths with frontier-based
-// Bellman-Ford over out-edges (push-only, Table VIII), as in Ligra's
-// BellmanFord. Weights must be present and non-negative. Returns the
+// SSSP computes single-source shortest paths from root. Returns the
 // distance vector, rounds executed and edges examined.
+//
+// Deprecated: positional convenience wrapper over the Input/Output run
+// path (runSSSP); prefer building an Input, which additionally carries
+// cancellation and progress observation.
+func SSSP(g *graph.Graph, root graph.VertexID, workers int, tracer ligra.Tracer) ([]int64, int, uint64, error) {
+	out, err := runSSSP(Input{Graph: g, Roots: []graph.VertexID{root}, Workers: workers, Tracer: tracer})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	dist, _ := out.Values.([]int64)
+	return dist, out.Iterations, out.EdgesTraversed, nil
+}
+
+// runSSSP is frontier-based Bellman-Ford over out-edges (push-only,
+// Table VIII), as in Ligra's BellmanFord. Weights must be present and
+// non-negative.
 //
 // The irregular Property Array accesses are reads of dist[dst] followed by
 // *conditional* writes — SSSP pushes an update only when it found a
@@ -25,20 +39,27 @@ const InfDistance = math.MaxInt64
 // Ford converges to the unique shortest distances), though round and
 // edge counts may differ because in-round propagation depends on
 // interleaving.
-func SSSP(g *graph.Graph, root graph.VertexID, workers int, tracer ligra.Tracer) ([]int64, int, uint64, error) {
-	if !g.Weighted() {
-		return nil, 0, 0, fmt.Errorf("apps: SSSP requires a weighted graph")
+func runSSSP(in Input) (Output, error) {
+	if err := checkInput(in, 1); err != nil {
+		return Output{}, err
 	}
-	if tracer != nil {
+	g := in.Graph
+	if !g.Weighted() {
+		return Output{}, fmt.Errorf("apps: SSSP requires a weighted graph")
+	}
+	root := in.Roots[0]
+	workers := in.Workers
+	if in.Tracer != nil {
 		workers = 1
 	}
 	n := g.NumVertices()
+	rec := in.newRecorder()
 	dist := make([]int64, n)
 	for v := range dist {
 		dist[v] = InfDistance
 	}
 	dist[root] = 0
-	wt := ligra.WriteTracer(tracer)
+	wt := ligra.WriteTracer(in.Tracer)
 	update := func(src, dst graph.VertexID, w uint32) bool {
 		nd := dist[src] + int64(w)
 		if nd < dist[dst] {
@@ -57,26 +78,23 @@ func SSSP(g *graph.Graph, root graph.VertexID, workers int, tracer ligra.Tracer)
 		}
 	}
 	frontier := ligra.NewVertexSet(n, root)
-	var edges uint64
-	rounds := 0
-	for ; !frontier.Empty() && rounds <= n; rounds++ {
-		edges += frontier.OutEdgeSum(g, workers)
+	for rounds := 0; !frontier.Empty() && rounds <= n; rounds++ {
+		if err := in.canceled(); err != nil {
+			frontier.Release()
+			return Output{}, err
+		}
+		roundEdges := frontier.OutEdgeSum(g, workers)
 		next := ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{UpdateWeighted: update},
-			ligra.EdgeMapOpts{Dir: ligra.Push, Trace: tracer, Workers: workers})
+			ligra.EdgeMapOpts{Dir: ligra.Push, Trace: in.Tracer, Workers: workers, Ctx: in.Ctx})
+		if next == nil {
+			frontier.Release()
+			return Output{}, in.Ctx.Err()
+		}
 		frontier.Release()
 		frontier = next
+		rec.round(frontier.Len(), roundEdges)
 	}
-	return dist, rounds, edges, nil
-}
-
-func runSSSP(in Input) (Output, error) {
-	if err := checkInput(in, 1); err != nil {
-		return Output{}, err
-	}
-	dist, rounds, edges, err := SSSP(in.Graph, in.Roots[0], in.Workers, in.Tracer)
-	if err != nil {
-		return Output{}, err
-	}
+	frontier.Release()
 	var sum float64
 	reached := 0
 	for _, d := range dist {
@@ -85,5 +103,5 @@ func runSSSP(in Input) (Output, error) {
 			reached++
 		}
 	}
-	return Output{Iterations: rounds, EdgesTraversed: edges, Checksum: sum + float64(reached)}, nil
+	return rec.output(dist, sum+float64(reached)), nil
 }

@@ -119,7 +119,7 @@ func (r *Runner) AblationDynamic() error {
 				sinceRefresh = 0
 			}
 			qs := time.Now()
-			if _, err := spec.Run(apps.Input{Graph: snap, MaxIters: r.opts.MaxIters, Workers: r.opts.Workers}); err != nil {
+			if _, err := spec.Run(apps.Input{Ctx: r.ctx, Graph: snap, MaxIters: r.opts.MaxIters, Workers: r.opts.Workers}); err != nil {
 				return err
 			}
 			queryTime += time.Since(qs)

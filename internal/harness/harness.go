@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -81,6 +82,7 @@ func (o Options) withDefaults() Options {
 // a multi-experiment session does not regenerate shared state.
 type Runner struct {
 	opts     Options
+	ctx      context.Context
 	graphs   map[string]*graph.Graph
 	reorders map[reorderKey]*reorder.Result
 }
@@ -95,10 +97,18 @@ type reorderKey struct {
 func NewRunner(opts Options) *Runner {
 	return &Runner{
 		opts:     opts.withDefaults(),
+		ctx:      context.Background(),
 		graphs:   make(map[string]*graph.Graph),
 		reorders: make(map[reorderKey]*reorder.Result),
 	}
 }
+
+// Context returns the context experiment drivers run under: application
+// executions receive it through apps.Input.Ctx, so canceling it aborts
+// the in-flight traversal within one round and fails the experiment with
+// the context's error. It defaults to context.Background; RunByIDContext
+// installs a caller context for the duration of a run.
+func (r *Runner) Context() context.Context { return r.ctx }
 
 // Options returns the runner's normalized options.
 func (r *Runner) Options() Options { return r.opts }
@@ -243,7 +253,7 @@ func (r *Runner) MeasureApp(spec apps.Spec, g *graph.Graph, roots []graph.Vertex
 				n = 1
 			}
 			for i := 0; i < n; i++ {
-				in := apps.Input{Graph: g, MaxIters: r.opts.MaxIters, Workers: r.opts.Workers}
+				in := apps.Input{Ctx: r.ctx, Graph: g, MaxIters: r.opts.MaxIters, Workers: r.opts.Workers}
 				if spec.NumRoots > 0 {
 					in.Roots = roots[i%len(roots) : i%len(roots)+1]
 				}
@@ -252,7 +262,7 @@ func (r *Runner) MeasureApp(spec apps.Spec, g *graph.Graph, roots []graph.Vertex
 				}
 			}
 		} else {
-			if _, err := spec.Run(apps.Input{Graph: g, Roots: roots, MaxIters: r.opts.MaxIters, Workers: r.opts.Workers}); err != nil {
+			if _, err := spec.Run(apps.Input{Ctx: r.ctx, Graph: g, Roots: roots, MaxIters: r.opts.MaxIters, Workers: r.opts.Workers}); err != nil {
 				return 0, err
 			}
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -51,11 +52,29 @@ func ExperimentIDs() []string {
 	return ids
 }
 
-// RunByID runs one experiment ("all" runs every one).
+// RunByID runs one experiment ("all" runs every one) under the runner's
+// current context (context.Background unless RunByIDContext is active).
 func (r *Runner) RunByID(id string) error {
+	return r.RunByIDContext(r.ctx, id)
+}
+
+// RunByIDContext runs one experiment ("all" runs every one) under ctx:
+// application executions abort within one traversal round of the context
+// being done, and the experiment (or sweep) fails with ctx.Err().
+func (r *Runner) RunByIDContext(ctx context.Context, id string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prev := r.ctx
+	r.ctx = ctx
+	defer func() { r.ctx = prev }()
+
 	id = strings.ToLower(strings.TrimSpace(id))
 	if id == "all" {
 		for _, e := range Experiments() {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("harness: %s: %w", e.ID, err)
+			}
 			fmt.Fprintf(r.out(), "\n===== %s (%s) =====\n", e.ID, e.Artifact)
 			if err := e.Run(r); err != nil {
 				return fmt.Errorf("harness: %s: %w", e.ID, err)

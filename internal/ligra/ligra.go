@@ -25,6 +25,7 @@
 package ligra
 
 import (
+	"context"
 	"math/bits"
 
 	"graphreorder/internal/graph"
@@ -275,6 +276,13 @@ const (
 type EdgeMapOpts struct {
 	// Dir forces a direction; Auto by default.
 	Dir Direction
+	// Ctx, when non-nil, makes the traversal cooperatively cancellable:
+	// it is polled exactly once, on entry — i.e. once per traversal
+	// round — and a done context makes EdgeMap return nil without
+	// scanning any edge. The caller owns translating the nil frontier
+	// into Ctx.Err(). One poll per round costs a few nanoseconds, so
+	// cancellation is free on the per-edge hot path.
+	Ctx context.Context
 	// DenseThresholdDiv is the divisor d in the switching rule
 	// "go dense when frontier out-edges + size > M/d"; 0 means 20.
 	DenseThresholdDiv int
@@ -323,7 +331,13 @@ func WriteTracer(tr Tracer) PropertyWriteTracer {
 // frontier members; pull mode scans in-edges of all vertices passing Cond
 // and checks membership of the source. The returned set is pooled; the
 // caller may Release it once done.
+//
+// When opts.Ctx is non-nil and already done, EdgeMap returns nil instead
+// of a frontier (see EdgeMapOpts.Ctx); no other call path returns nil.
 func EdgeMap(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, opts EdgeMapOpts) *VertexSet {
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return nil
+	}
 	workers := opts.Workers
 	if workers <= 1 || opts.Trace != nil {
 		workers = 1

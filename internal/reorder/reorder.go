@@ -17,6 +17,7 @@
 package reorder
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -122,11 +123,26 @@ func Apply(g *graph.Graph, t Technique, kind graph.DegreeKind) (Result, error) {
 // capped at 16 workers — see graph.BuildOptions.Workers). The rebuilt
 // graph is bit-identical at every worker count.
 func ApplyWorkers(g *graph.Graph, t Technique, kind graph.DegreeKind, workers int) (Result, error) {
+	return ApplyContext(context.Background(), g, t, kind, workers)
+}
+
+// ApplyContext is ApplyWorkers under a context. Cancellation is
+// cooperative and phase-grained: the context is checked before the
+// permutation computation and again before the CSR rebuild (the two
+// phases the paper's Fig. 10 cost accounting separates), so a deadline
+// aborts between phases with ctx.Err() but never tears a phase apart.
+func ApplyContext(ctx context.Context, g *graph.Graph, t Technique, kind graph.DegreeKind, workers int) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	perm, err := t.Permute(g, kind)
 	reorderTime := time.Since(start)
 	if err != nil {
 		return Result{}, fmt.Errorf("reorder: %s: %w", t.Name(), err)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	start = time.Now()
 	relabeled, err := g.RelabelWorkers(perm, workers)

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"fmt"
 
+	"graphreorder"
 	"graphreorder/internal/apps"
 	"graphreorder/internal/graph"
 	"graphreorder/internal/rng"
@@ -206,13 +208,17 @@ type ssspDistances struct {
 	maxDistance int64
 }
 
-func computeSSSP(s *Snapshot, src graph.VertexID, workers int) (ssspDistances, error) {
-	dist, rounds, _, err := apps.SSSP(s.graph, src, workers, nil)
+// computeSSSP runs SSSP through the library's context-aware Run API: the
+// request context is passed straight through, so a client disconnect or
+// deadline aborts the traversal cooperatively within one round.
+func computeSSSP(ctx context.Context, s *Snapshot, src graph.VertexID, workers int) (ssspDistances, error) {
+	res, err := graphreorder.Run(ctx, s.graph, graphreorder.AppSSSP,
+		graphreorder.WithRoot(src), graphreorder.WithWorkers(workers))
 	if err != nil {
 		return ssspDistances{}, err
 	}
-	d := ssspDistances{dist: dist, rounds: rounds}
-	for _, dv := range dist {
+	d := ssspDistances{dist: res.Distances(), rounds: res.Iterations}
+	for _, dv := range d.dist {
 		if dv == apps.InfDistance {
 			d.unreachable++
 		} else {
@@ -254,7 +260,10 @@ type radiiResult struct {
 	Unreached  int     `json:"unreached"`
 }
 
-func computeRadii(s *Snapshot, samples int, seed uint64, workers int) radiiResult {
+// computeRadii runs Radii through the context-aware Run API with
+// deterministic seeded sample sources; the request context passes
+// straight through to the traversal.
+func computeRadii(ctx context.Context, s *Snapshot, samples int, seed uint64, workers int) (radiiResult, error) {
 	n := s.graph.NumVertices()
 	if samples > 64 {
 		samples = 64
@@ -270,7 +279,12 @@ func computeRadii(s *Snapshot, samples int, seed uint64, workers int) radiiResul
 	for i := range sources {
 		sources[i] = graph.VertexID(r.Intn(n))
 	}
-	radii, _, _ := apps.Radii(s.graph, sources, workers, nil)
+	run, err := graphreorder.Run(ctx, s.graph, graphreorder.AppRadii,
+		graphreorder.WithSamples(sources), graphreorder.WithWorkers(workers))
+	if err != nil {
+		return radiiResult{}, err
+	}
+	radii := run.Eccentricities()
 	res := radiiResult{
 		queryMeta: metaFor(s),
 		Samples:   samples,
@@ -291,5 +305,5 @@ func computeRadii(s *Snapshot, samples int, seed uint64, workers int) radiiResul
 	if counted > 0 {
 		res.MeanRadius = sum / float64(counted)
 	}
-	return res
+	return res, nil
 }

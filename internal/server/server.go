@@ -40,10 +40,12 @@ type Config struct {
 	// MaxConcurrent bounds traversal-heavy queries in flight (<= 0 means
 	// 2*GOMAXPROCS).
 	MaxConcurrent int
-	// QueryTimeout bounds how long a request waits for a heavy-query
-	// result (queue time included); 0 means 15s. The traversal itself is
-	// not cancelled — it finishes on the pool and lands in the cache for
-	// the next request.
+	// QueryTimeout bounds a heavy query end to end — queue time and the
+	// traversal itself; 0 means 15s. The deadline is derived from the
+	// request's own context and passed straight through to the execution
+	// engine (graphreorder.Run), so expiry or a client disconnect aborts
+	// the traversal cooperatively within one round and frees its pool
+	// slot immediately.
 	QueryTimeout time.Duration
 	// CacheBytes is the approximate byte budget of the LRU result cache
 	// (SSSP distance vectors dominate at 8 bytes/vertex); 0 means 256 MiB.
@@ -395,7 +397,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("%d|topk|%d", snap.epoch, k)
-	val, cached, err := s.runHeavy(r.Context(), snap, key, func() (any, int64, error) {
+	val, cached, err := s.runHeavy(r.Context(), snap, key, func(context.Context) (any, int64, error) {
 		top := topKRanks(snap.ranks, k)
 		return top, int64(len(top)) * 16, nil
 	})
@@ -432,8 +434,8 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	key := fmt.Sprintf("%d|sssp|%d", snap.epoch, src)
-	val, cached, err := s.runHeavy(r.Context(), snap, key, func() (any, int64, error) {
-		d, err := computeSSSP(snap, src, s.cfg.Workers)
+	val, cached, err := s.runHeavy(r.Context(), snap, key, func(ctx context.Context) (any, int64, error) {
+		d, err := computeSSSP(ctx, snap, src, s.cfg.Workers)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -479,8 +481,12 @@ func (s *Server) handleRadii(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("%d|radii|%d|%d", snap.epoch, samples, seed)
-	val, cached, err := s.runHeavy(r.Context(), snap, key, func() (any, int64, error) {
-		return computeRadii(snap, samples, uint64(seed), s.cfg.Workers), 128, nil
+	val, cached, err := s.runHeavy(r.Context(), snap, key, func(ctx context.Context) (any, int64, error) {
+		res, err := computeRadii(ctx, snap, samples, uint64(seed), s.cfg.Workers)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, 128, nil
 	})
 	if err != nil {
 		writeError(w, heavyStatus(err), "%v", err)
@@ -492,51 +498,76 @@ func (s *Server) handleRadii(w http.ResponseWriter, r *http.Request) {
 }
 
 // runHeavy is the serving path for traversal queries: result cache, then
-// singleflight coalescing, then the bounded pool. fn returns the result
-// and its approximate size in bytes (the cache charge). The computation
-// runs detached from the request context — if the client gives up, the
-// traversal still finishes, holding its own snapshot reference, and the
-// result lands in the cache for the next request. The request waits at
-// most QueryTimeout even when its own context carries no deadline. The
-// returned bool reports whether the result came from the cache.
-func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, key string, fn func() (any, int64, error)) (any, bool, error) {
+// singleflight coalescing, then the bounded pool, then the traversal
+// itself — all under the request's own context. fn receives that context
+// (QueryTimeout derived from it, so a tighter client deadline wins) and
+// must pass it straight through to the execution engine: there is no
+// private timeout plumbing around app execution, and a canceled request
+// aborts its traversal cooperatively within one round. Coalesced waiters
+// share the leader's computation and therefore its fate — if the leader's
+// context dies mid-traversal they see its error and the next request
+// recomputes. fn returns the result and its approximate size in bytes
+// (the cache charge). The returned bool reports whether the result came
+// from the cache.
+func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, key string, fn func(ctx context.Context) (any, int64, error)) (any, bool, error) {
 	if v, ok := s.cache.get(key); ok {
 		return v, true, nil
 	}
+	parentDeadline, hasParentDeadline := ctx.Deadline()
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.QueryTimeout)
 	defer cancel()
-	// The leader computation outlives any one waiter, so it holds its own
-	// snapshot reference: the drain accounting stays truthful even if
-	// every requester times out mid-traversal. The reference is taken
-	// before do() so it provably overlaps the caller's own, and released
-	// immediately if this caller lost the leader race (fn never runs).
-	releaseSnap := snap.retain()
-	call, leader := s.flight.do(key, func() (any, error) {
-		defer releaseSnap()
-		// The pool wait is bounded by the server's own timeout, not the
-		// (possibly already expired) request context, because this result
-		// is shared by every coalesced waiter.
-		poolCtx, poolCancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
-		defer poolCancel()
-		if err := s.pool.acquire(poolCtx); err != nil {
-			return nil, errPoolSaturated
+	// A pool wait that exhausts the server's own QueryTimeout is genuine
+	// overload (503, fail fast). A tighter client deadline expiring in
+	// the queue is that client's verdict, not saturation: it propagates
+	// as a context error, so coalesced followers with live contexts
+	// retry below instead of inheriting a 503.
+	effectiveDeadline, _ := ctx.Deadline()
+	serverOwnsDeadline := !hasParentDeadline || parentDeadline.After(effectiveDeadline)
+	// The leader computation runs on its own goroutine (so coalesced
+	// waiters can abandon the wait individually), hence it holds its own
+	// snapshot reference: drain accounting stays truthful for the brief
+	// window a canceled leader needs to notice its context. The reference
+	// is taken before do() so it provably overlaps the caller's own, and
+	// released immediately if this caller lost the leader race (fn never
+	// runs).
+	for {
+		releaseSnap := snap.retain()
+		call, leader := s.flight.do(key, func() (any, error) {
+			defer releaseSnap()
+			if err := s.pool.acquire(ctx); err != nil {
+				if errors.Is(err, context.DeadlineExceeded) && serverOwnsDeadline {
+					return nil, errPoolSaturated
+				}
+				return nil, err
+			}
+			defer s.pool.release()
+			v, cost, err := fn(ctx)
+			if err == nil {
+				s.cache.add(key, v, cost)
+			}
+			return v, err
+		})
+		if !leader {
+			releaseSnap()
 		}
-		defer s.pool.release()
-		v, cost, err := fn()
-		if err == nil {
-			s.cache.add(key, v, cost)
+		select {
+		case <-call.done:
+			// A follower that coalesced onto a leader killed by the
+			// leader's own context retries while its context is live:
+			// the dead leader's cancellation is not this request's
+			// verdict. The loop is bounded by this request's deadline.
+			if !leader && isContextErr(call.err) && ctx.Err() == nil {
+				continue
+			}
+			return call.val, false, call.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
 		}
-		return v, err
-	})
-	if !leader {
-		releaseSnap()
 	}
-	select {
-	case <-call.done:
-		return call.val, false, call.err
-	case <-ctx.Done():
-		return nil, false, ctx.Err()
-	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 var (

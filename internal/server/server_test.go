@@ -341,6 +341,39 @@ func TestHeavyQueryTimeoutWithoutClientDeadline(t *testing.T) {
 	}
 }
 
+func TestRequestContextPassesThroughToTraversal(t *testing.T) {
+	// The query layer has no private timeout plumbing around app
+	// execution: the request's own context flows into graphreorder.Run,
+	// so a request that arrives already canceled must fail with the
+	// context error (504), not run the traversal and serve a result.
+	s := testServer(t)
+	h := s.Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/v1/query/sssp?src=0", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("canceled request: code %d (%s), want 504", rec.Code, rec.Body.String())
+	}
+	// The aborted traversal must not have poisoned the cache: the same
+	// query with a live context computes and serves normally.
+	var res struct {
+		Cached  bool `json:"cached"`
+		Reached int  `json:"reached"`
+	}
+	if code := get(t, h, "/v1/query/sssp?src=0", &res); code != 200 {
+		t.Fatalf("follow-up query: code %d", code)
+	}
+	if res.Cached {
+		t.Error("canceled traversal left a cache entry")
+	}
+	if res.Reached == 0 {
+		t.Error("follow-up traversal reached nothing")
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	s := testServer(t)
 	h := s.Handler()

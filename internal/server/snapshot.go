@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -8,7 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"graphreorder/internal/apps"
+	"graphreorder"
 	"graphreorder/internal/gen"
 	"graphreorder/internal/graph"
 	"graphreorder/internal/reorder"
@@ -490,15 +491,19 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 	}
 
 	// Stage 3: precompute PageRank once; point rank lookups and top-k
-	// queries are then O(1)/O(n log k) with no traversal at all.
+	// queries are then O(1)/O(n log k) with no traversal at all. Builds
+	// run to completion (background context): a half-built snapshot is
+	// useless.
 	status.setStage("precomputing")
 	start = time.Now()
-	ranks, iters, _ := apps.PageRank(g, spec.MaxIters, st.workers, nil)
-	precomputeTime := time.Since(start)
-	rankSum := 0.0
-	for _, r := range ranks {
-		rankSum += r
+	run, err := graphreorder.Run(context.Background(), g, graphreorder.AppPR,
+		graphreorder.WithMaxIters(spec.MaxIters), graphreorder.WithWorkers(st.workers))
+	if err != nil {
+		return nil, err
 	}
+	ranks, iters := run.Ranks(), run.Iterations
+	precomputeTime := time.Since(start)
+	rankSum := run.Checksum
 
 	snap := &Snapshot{
 		epoch:          st.nextID.Add(1),
