@@ -6,6 +6,7 @@ import (
 
 	"graphreorder/internal/apps"
 	"graphreorder/internal/cachesim"
+	"graphreorder/internal/dynamic"
 	"graphreorder/internal/gen"
 	"graphreorder/internal/graph"
 	"graphreorder/internal/ligra"
@@ -285,6 +286,35 @@ func Betweenness(g *Graph, root VertexID) []float64 {
 // Deprecated: use Run(ctx, g, AppRadii, WithSamples(samples), WithWorkers(1)).
 func Radii(g *Graph, samples []VertexID) []int32 {
 	return Sequential().Radii(g, samples)
+}
+
+// Dynamic (evolving-graph) types, re-exported from internal/dynamic —
+// the paper's §VIII-B deployment: a stream of edge updates interleaved
+// with queries, with reordering refreshed only periodically so its cost
+// amortizes. graphd's mutable snapshots are built on exactly these.
+type (
+	// DynamicGraph is a directed multigraph under batched mutation.
+	// Batches apply atomically; removals are O(1) amortized via a
+	// (src, dst) multiset index; Snapshot materializes the current
+	// state as a static Graph.
+	DynamicGraph = dynamic.Graph
+	// EdgeUpdate is one edge insertion or removal in a batch.
+	EdgeUpdate = dynamic.Update
+	// RefreshPolicy says when a DynamicReorderer recomputes its
+	// ordering: every K batches, and/or when the hot-vertex set drifts.
+	RefreshPolicy = dynamic.Policy
+	// DynamicReorderer maintains a reordered view of a DynamicGraph,
+	// reusing the stale permutation (cheap relabel) between refreshes.
+	DynamicReorderer = dynamic.Reorderer
+)
+
+// NewDynamicGraph starts a dynamic graph from a static snapshot.
+func NewDynamicGraph(g *Graph) *DynamicGraph { return dynamic.FromGraph(g) }
+
+// NewDynamicReorderer builds a reorderer over dynamic graphs; the first
+// View call performs the initial reordering.
+func NewDynamicReorderer(t Technique, kind DegreeKind, p RefreshPolicy) *DynamicReorderer {
+	return dynamic.NewReorderer(t, kind, p)
 }
 
 // SkewStats describes a dataset's degree skew (the paper's Table I).

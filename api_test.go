@@ -2,6 +2,7 @@ package graphreorder
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -176,6 +177,57 @@ func TestSimulatePageRankCacheFacade(t *testing.T) {
 	}
 	if _, err := SimulatePageRankCache(g, "bogus", 2); err == nil {
 		t.Error("bad scale accepted")
+	}
+}
+
+// TestDynamicFacade drives the evolving-graph surface end to end: wrap
+// a static graph, mutate it in atomic batches, and query reordered
+// views whose staleness the refresh policy controls.
+func TestDynamicFacade(t *testing.T) {
+	g, err := GenerateDataset("uni", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDynamicGraph(g)
+	r := NewDynamicReorderer(DBG(), OutDegree, RefreshPolicy{Every: 2})
+	if _, _, err := r.View(d); err != nil {
+		t.Fatal(err)
+	}
+	m0 := d.NumEdges()
+	if err := d.Apply([]EdgeUpdate{
+		{Edge: Edge{Src: 0, Dst: 1, Weight: 1}},
+		{Edge: Edge{Src: 1, Dst: 2, Weight: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEdges() != m0+2 {
+		t.Fatalf("edges = %d, want %d", d.NumEdges(), m0+2)
+	}
+	// A failing batch is atomic: the valid prefix must not stick.
+	if err := d.Apply([]EdgeUpdate{
+		{Edge: Edge{Src: 2, Dst: 3, Weight: 1}},
+		{Remove: true, Edge: Edge{Src: 0, Dst: 0}}, // uni emits no (0,0) self-loop
+	}); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if d.NumEdges() != m0+2 {
+		t.Fatalf("failed batch leaked: edges = %d, want %d", d.NumEdges(), m0+2)
+	}
+	view, perm, err := r.View(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.NumEdges() != d.NumEdges() || len(perm) != d.NumVertices() {
+		t.Fatalf("view %d edges / perm %d, want %d / %d",
+			view.NumEdges(), len(perm), d.NumEdges(), d.NumVertices())
+	}
+	// The view is a real Graph: the Run API accepts it directly.
+	res, err := Run(context.Background(), view, AppPR, WithMaxIters(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranks()) != view.NumVertices() {
+		t.Error("PR on dynamic view returned wrong size")
 	}
 }
 

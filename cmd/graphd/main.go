@@ -50,9 +50,13 @@ func main() {
 		maxConc  = flag.Int("max-concurrent", 0, "concurrent heavy queries (0 = 2*GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 15*time.Second, "heavy-query timeout")
 		allowFS  = flag.Bool("allow-path-loads", false, "allow POST /v1/snapshots specs that read server-side files")
+		mutable  = flag.Bool("mutable", true, "serve the initial snapshot as a live graph accepting POST /v1/snapshots/{name}/edges")
+		refresh  = flag.Int("refresh-every", 8, "live snapshots: full re-reorder every N write batches (relabel reuse in between; <0 disables)")
+		hotDrift = flag.Float64("max-hot-drift", 0, "live snapshots: also re-reorder when this fraction of vertices changed hot/cold class (0 disables)")
 		selftest = flag.Bool("selftest", false, "run the in-process load test with a mid-run hot swap, then exit")
 		clients  = flag.Int("clients", 8, "selftest: concurrent clients")
 		duration = flag.Duration("duration", 3*time.Second, "selftest: load duration")
+		writeMix = flag.Int("write-mix", 0, "selftest: relative weight of write batches in the query mix (0 = read-only)")
 	)
 	flag.Parse()
 
@@ -78,6 +82,8 @@ func main() {
 		QueryTimeout:   *timeout,
 		CacheBytes:     int64(*cacheMB) << 20,
 		AllowPathLoads: *allowFS,
+		RefreshEvery:   *refresh,
+		MaxHotDrift:    *hotDrift,
 	})
 
 	spec := server.BuildSpec{
@@ -88,6 +94,7 @@ func main() {
 		Technique: *tech,
 		Degree:    *degree,
 		Activate:  true,
+		Mutable:   *mutable,
 	}
 	if *dataset == "" {
 		spec.Scale = ""
@@ -103,7 +110,10 @@ func main() {
 		info.Technique, info.LoadMs, info.ReorderMs, info.RebuildMs, info.PrecomputeMs)
 
 	if *selftest {
-		os.Exit(runSelftest(srv, spec, *clients, *duration))
+		if *writeMix > 0 && !*mutable {
+			fatal(fmt.Errorf("-write-mix needs -mutable"))
+		}
+		os.Exit(runSelftest(srv, spec, *clients, *duration, *writeMix))
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -130,9 +140,13 @@ func main() {
 }
 
 // runSelftest serves on an ephemeral port, drives the load generator,
-// and hot-swaps a differently-ordered snapshot halfway through. Returns
-// the process exit code: non-zero iff any request failed.
-func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duration time.Duration) int {
+// and hot-swaps a differently-ordered snapshot halfway through. With
+// writeMix > 0 the workload interleaves edge-mutation batches against
+// the live snapshot, and the run additionally proves that
+// policy-triggered re-reorders landed mid-run without losing a request
+// and that every read honored the write receipts' epochs. Returns the
+// process exit code: non-zero iff any request failed.
+func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duration time.Duration, writeMix int) int {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
@@ -163,6 +177,9 @@ func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duratio
 			swap.Technique = "sort"
 		}
 		swap.Activate = true
+		// The swap target is a plain immutable snapshot: writers keep
+		// mutating the original by name while reads follow the swap.
+		swap.Mutable = false
 		body, _ := json.Marshal(swap)
 		resp, err := http.Post(baseURL+"/v1/snapshots", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -183,11 +200,16 @@ func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duratio
 	}()
 
 	loadEnd := time.Now().Add(duration)
-	res, err := loadtest.Run(loadtest.Options{
+	opts := loadtest.Options{
 		BaseURL:  baseURL,
 		Clients:  clients,
 		Duration: duration,
-	})
+	}
+	if writeMix > 0 {
+		opts.Mix = loadtest.Mix{Neighbors: 60, Rank: 15, TopK: 10, SSSP: 5, Mutate: writeMix}
+		opts.MutateSnapshot = base.Name
+	}
+	res, err := loadtest.Run(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -211,6 +233,12 @@ func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duratio
 		fmt.Printf("cache: %d hits / %d misses, %d coalesced; snapshots: %d published, %d swaps, %d draining\n",
 			metrics.Cache.Hits, metrics.Cache.Misses, metrics.Cache.Coalesced,
 			metrics.Snapshots.Published, metrics.Snapshots.Swaps, metrics.Snapshots.Draining)
+		if writeMix > 0 {
+			fmt.Printf("writes: %d batches (%d updates), %d publishes (%d re-reorders, %d relabels), p50 %.1fms p99 %.1fms\n",
+				metrics.Writes.Batches, metrics.Writes.Updates, metrics.Writes.Publishes,
+				metrics.Writes.Refreshes, metrics.Writes.Relabels,
+				metrics.Writes.P50Us/1000, metrics.Writes.P99Us/1000)
+		}
 	}
 	if res.Failures > 0 {
 		fmt.Fprintf(os.Stderr, "graphd: SELFTEST FAILED: %d/%d requests lost across the hot swap\n",
@@ -220,6 +248,19 @@ func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duratio
 	if metrics.Snapshots.Swaps < 2 {
 		fmt.Fprintln(os.Stderr, "graphd: SELFTEST FAILED: hot swap did not happen during the run")
 		return 1
+	}
+	if writeMix > 0 {
+		if metrics.Writes.Batches == 0 {
+			fmt.Fprintln(os.Stderr, "graphd: SELFTEST FAILED: write mix requested but no batch applied")
+			return 1
+		}
+		if metrics.Writes.Refreshes == 0 {
+			fmt.Fprintln(os.Stderr, "graphd: SELFTEST FAILED: no policy-triggered re-reorder landed during the run; lower -refresh-every or raise -duration")
+			return 1
+		}
+		fmt.Printf("selftest OK: %d requests, %d hot-swaps, %d write batches, %d mid-run re-reorders, zero requests lost\n",
+			res.Requests, metrics.Snapshots.Swaps, metrics.Writes.Batches, metrics.Writes.Refreshes)
+		return 0
 	}
 	fmt.Printf("selftest OK: %d requests, %d hot-swaps, zero requests lost\n",
 		res.Requests, metrics.Snapshots.Swaps)

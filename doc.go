@@ -93,4 +93,31 @@
 // Release them when done and steady-state iterations allocate nothing.
 // A canceled run releases its frontier on the way out, so the pool stays
 // reusable across cancellations.
+//
+// # Dynamic graphs and the mutation/consistency contract
+//
+// DynamicGraph and DynamicReorderer implement the paper's §VIII-B
+// evolving-graph deployment: edge updates arrive in batches, queries run
+// against reordered snapshot views, and the ordering is refreshed only
+// when the RefreshPolicy says so (every K batches and/or on hot-set
+// drift), with a cheap stale-permutation relabel in between. The
+// contract, both in the library and in graphd's mutable snapshots:
+//
+//   - Batches are atomic. Apply/ApplyGrow validates the whole batch
+//     (including vertex growth and the batch's own internal
+//     insert-then-remove dependencies, in order) before mutating
+//     anything; an error means nothing changed — no partial batch, no
+//     stale cached snapshot.
+//   - Writers are serialized, readers never block. graphd queues writes
+//     per snapshot behind a single refresher goroutine; reads keep
+//     running on the last published immutable snapshot and can never
+//     observe a half-applied batch.
+//   - Publishes are epoch-bumped. Every published view carries a fresh
+//     epoch, so epoch-keyed cached results can never leak across graph
+//     versions, and a mutation receipt's epoch is a read-your-writes
+//     token: any read reporting that epoch (or newer) reflects the
+//     batch.
+//   - Mutations address vertices in the snapshot's original (as-loaded)
+//     ID space — the stable space /resolve translates from — while query
+//     responses stay in the published serving order.
 package graphreorder

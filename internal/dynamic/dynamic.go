@@ -25,12 +25,28 @@ type Update struct {
 	Edge   graph.Edge
 }
 
+// edgeKey identifies one (src, dst) multiset bucket in the edge index.
+type edgeKey struct {
+	src, dst graph.VertexID
+}
+
 // Graph is a directed multigraph under batched mutation. It is not safe
 // for concurrent use. Snapshots are cached until the next mutation.
+//
+// A batch is atomic: Apply either installs every update in the batch or
+// leaves the graph exactly as it was, and the cached snapshot always
+// reflects the current edge set. Removals are O(1) amortized via a
+// (src, dst) → positions multiset index, and per-vertex degrees are
+// maintained incrementally so degree-distribution checks (the paper's
+// hot-vertex classification) never need to materialize a snapshot.
 type Graph struct {
 	n        int
 	edges    []graph.Edge
 	weighted bool
+
+	index  map[edgeKey][]int // positions in edges holding each (src, dst) instance
+	outDeg []int32
+	inDeg  []int32
 
 	snapshot *graph.Graph // nil when stale
 	batches  int          // mutation batches applied since creation
@@ -38,12 +54,23 @@ type Graph struct {
 
 // FromGraph starts a dynamic graph from a static snapshot.
 func FromGraph(g *graph.Graph) *Graph {
-	return &Graph{
+	edges := g.Edges()
+	d := &Graph{
 		n:        g.NumVertices(),
-		edges:    g.Edges(),
+		edges:    edges,
 		weighted: g.Weighted(),
+		index:    make(map[edgeKey][]int, len(edges)),
+		outDeg:   make([]int32, g.NumVertices()),
+		inDeg:    make([]int32, g.NumVertices()),
 		snapshot: g,
 	}
+	for i, e := range edges {
+		k := edgeKey{e.Src, e.Dst}
+		d.index[k] = append(d.index[k], i)
+		d.outDeg[e.Src]++
+		d.inDeg[e.Dst]++
+	}
+	return d
 }
 
 // NumVertices returns the current vertex-space size.
@@ -55,43 +82,144 @@ func (d *Graph) NumEdges() int { return len(d.edges) }
 // Batches returns how many update batches have been applied.
 func (d *Graph) Batches() int { return d.batches }
 
+// OutDegree returns v's current out-degree (maintained incrementally).
+func (d *Graph) OutDegree(v graph.VertexID) int { return int(d.outDeg[v]) }
+
+// InDegree returns v's current in-degree (maintained incrementally).
+func (d *Graph) InDegree(v graph.VertexID) int { return int(d.inDeg[v]) }
+
+// AvgDegree returns the current mean out-degree.
+func (d *Graph) AvgDegree() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return float64(len(d.edges)) / float64(d.n)
+}
+
+// Count returns how many (src, dst) edge instances are present.
+func (d *Graph) Count(src, dst graph.VertexID) int {
+	return len(d.index[edgeKey{src, dst}])
+}
+
 // AddVertices grows the vertex space by k and returns the first new ID.
+// Non-positive k is a no-op (the vertex space never shrinks).
 func (d *Graph) AddVertices(k int) graph.VertexID {
 	first := graph.VertexID(d.n)
-	d.n += k
+	if k <= 0 {
+		return first
+	}
+	d.grow(k)
 	d.snapshot = nil
 	return first
 }
 
-// Apply applies one batch of updates. Insertions of edges with endpoints
-// outside the vertex space and removals of absent edges are errors
-// (removals delete one matching (src, dst) instance, ignoring weight).
+func (d *Graph) grow(k int) {
+	d.n += k
+	d.outDeg = append(d.outDeg, make([]int32, k)...)
+	d.inDeg = append(d.inDeg, make([]int32, k)...)
+}
+
+// Apply applies one batch of updates atomically. Insertions of edges
+// with endpoints outside the vertex space and removals of absent edges
+// are errors (removals delete one matching (src, dst) instance, ignoring
+// weight); on error no update in the batch takes effect.
 func (d *Graph) Apply(batch []Update) error {
-	for _, u := range batch {
-		if int(u.Edge.Src) >= d.n || int(u.Edge.Dst) >= d.n {
-			return fmt.Errorf("dynamic: edge %d->%d outside vertex space [0,%d)",
-				u.Edge.Src, u.Edge.Dst, d.n)
+	_, err := d.ApplyGrow(0, batch)
+	return err
+}
+
+// ApplyGrow grows the vertex space by addVertices and applies batch as a
+// single atomic operation: the batch is validated up front against the
+// grown vertex space (so it may reference the new vertices), and on error
+// nothing changes — not even the growth. It returns the first new vertex
+// ID (meaningful only when addVertices > 0).
+func (d *Graph) ApplyGrow(addVertices int, batch []Update) (graph.VertexID, error) {
+	if addVertices < 0 {
+		return 0, fmt.Errorf("dynamic: negative vertex growth %d", addVertices)
+	}
+	// Validation pass: check the whole batch against the current state
+	// plus the batch's own net effect per (src, dst) bucket, so a
+	// mid-batch error can never leave earlier updates applied. The delta
+	// map exists only to let removals see earlier in-batch updates, so
+	// it is allocated lazily on the first removal (backfilling the
+	// inserts seen so far) — the common insert-only batch does no map
+	// work at all here.
+	n := d.n + addVertices
+	var delta map[edgeKey]int
+	for i, u := range batch {
+		if int(u.Edge.Src) >= n || int(u.Edge.Dst) >= n {
+			return 0, fmt.Errorf("dynamic: edge %d->%d outside vertex space [0,%d)",
+				u.Edge.Src, u.Edge.Dst, n)
 		}
+		k := edgeKey{u.Edge.Src, u.Edge.Dst}
 		if !u.Remove {
-			d.edges = append(d.edges, u.Edge)
+			if delta != nil {
+				delta[k]++
+			}
 			continue
 		}
-		found := -1
-		for i := range d.edges {
-			if d.edges[i].Src == u.Edge.Src && d.edges[i].Dst == u.Edge.Dst {
-				found = i
-				break
+		if delta == nil {
+			delta = make(map[edgeKey]int)
+			for _, p := range batch[:i] {
+				delta[edgeKey{p.Edge.Src, p.Edge.Dst}]++
 			}
 		}
-		if found < 0 {
-			return fmt.Errorf("dynamic: removing absent edge %d->%d", u.Edge.Src, u.Edge.Dst)
+		if len(d.index[k])+delta[k] <= 0 {
+			return 0, fmt.Errorf("dynamic: removing absent edge %d->%d", u.Edge.Src, u.Edge.Dst)
 		}
-		d.edges[found] = d.edges[len(d.edges)-1]
-		d.edges = d.edges[:len(d.edges)-1]
+		delta[k]--
+	}
+	// Mutation pass: cannot fail.
+	first := graph.VertexID(d.n)
+	d.grow(addVertices)
+	for _, u := range batch {
+		if u.Remove {
+			d.remove(u.Edge.Src, u.Edge.Dst)
+		} else {
+			d.insert(u.Edge)
+		}
 	}
 	d.batches++
 	d.snapshot = nil
-	return nil
+	return first, nil
+}
+
+func (d *Graph) insert(e graph.Edge) {
+	k := edgeKey{e.Src, e.Dst}
+	d.index[k] = append(d.index[k], len(d.edges))
+	d.edges = append(d.edges, e)
+	d.outDeg[e.Src]++
+	d.inDeg[e.Dst]++
+}
+
+// remove deletes one (src, dst) instance, which validation has proven
+// present: pop its position from the index bucket, swap the last edge
+// into the hole, and repoint the moved edge's index entry.
+func (d *Graph) remove(src, dst graph.VertexID) {
+	k := edgeKey{src, dst}
+	ids := d.index[k]
+	pos := ids[len(ids)-1]
+	if len(ids) == 1 {
+		delete(d.index, k)
+	} else {
+		d.index[k] = ids[:len(ids)-1]
+	}
+	last := len(d.edges) - 1
+	moved := d.edges[last]
+	d.edges[pos] = moved
+	d.edges = d.edges[:last]
+	if pos != last {
+		mk := edgeKey{moved.Src, moved.Dst}
+		mids := d.index[mk]
+		for i := len(mids) - 1; i >= 0; i-- {
+			if mids[i] == last {
+				mids[i] = pos
+				break
+			}
+		}
+	}
+	d.outDeg[src]--
+	d.inDeg[dst]--
 }
 
 // Snapshot materializes the current graph as static CSR (cached until the
@@ -112,11 +240,32 @@ func (d *Graph) Snapshot() (*graph.Graph, error) {
 	return g, nil
 }
 
+// hotVector classifies every vertex as hot (degree >= average) under the
+// given degree kind, from the incrementally maintained degrees.
+func (d *Graph) hotVector(kind graph.DegreeKind) []bool {
+	avg := d.AvgDegree()
+	degs := d.outDeg
+	if kind == graph.InDegree {
+		degs = d.inDeg
+	}
+	hot := make([]bool, d.n)
+	for v := range hot {
+		hot[v] = float64(degs[v]) >= avg
+	}
+	return hot
+}
+
 // Policy configures when a Reorderer refreshes its ordering.
 type Policy struct {
 	// Every reorders after this many update batches; 0 disables periodic
 	// reordering (the ordering from the last explicit Refresh persists).
 	Every int
+	// MaxHotDrift, when positive, additionally refreshes as soon as the
+	// fraction of vertices whose hot/cold classification changed since
+	// the last reordering exceeds it. This quantifies §VIII-B's premise
+	// directly: the stale ordering is kept exactly while the hot set it
+	// was built for still holds.
+	MaxHotDrift float64
 }
 
 // Reorderer maintains a reordered view of a dynamic graph under a
@@ -131,14 +280,46 @@ type Reorderer struct {
 	view            *graph.Graph
 	batchesAtPerm   int
 	lastViewBatches int
+	hotAtPerm       []bool // hot classification when the ordering was computed
 	// Refreshes counts how many times the ordering was recomputed.
 	Refreshes int
+	// Relabels counts cheap stale-permutation relabels between refreshes.
+	Relabels int
 }
 
 // NewReorderer builds a Reorderer; the first View call performs the
 // initial reordering.
 func NewReorderer(tech reorder.Technique, kind graph.DegreeKind, policy Policy) *Reorderer {
 	return &Reorderer{tech: tech, kind: kind, policy: policy, batchesAtPerm: -1}
+}
+
+// Seed installs an externally computed ordering of d as the Reorderer's
+// current state, so the first View does not redo work the caller already
+// performed (e.g. a snapshot-build pipeline that reordered the graph
+// itself). view must be d's current snapshot relabeled by perm.
+func (r *Reorderer) Seed(d *Graph, view *graph.Graph, perm reorder.Permutation) {
+	r.perm = perm
+	r.view = view
+	r.batchesAtPerm = d.Batches()
+	r.lastViewBatches = d.Batches()
+	r.hotAtPerm = d.hotVector(r.kind)
+	r.Refreshes++
+}
+
+// hotDrift returns the fraction of vertices whose hot/cold class changed
+// since the ordering was computed.
+func (r *Reorderer) hotDrift(d *Graph) float64 {
+	if len(r.hotAtPerm) != d.n || d.n == 0 {
+		return 1
+	}
+	now := d.hotVector(r.kind)
+	changed := 0
+	for v := range now {
+		if now[v] != r.hotAtPerm[v] {
+			changed++
+		}
+	}
+	return float64(changed) / float64(d.n)
 }
 
 // View returns the reordered snapshot of d, refreshing the ordering if
@@ -152,6 +333,9 @@ func (r *Reorderer) View(d *Graph) (*graph.Graph, reorder.Permutation, error) {
 	due := r.batchesAtPerm < 0 || // never ordered
 		len(r.perm) != g.NumVertices() || // vertex space changed
 		(r.policy.Every > 0 && d.Batches()-r.batchesAtPerm >= r.policy.Every)
+	if !due && r.policy.MaxHotDrift > 0 && d.Batches() != r.batchesAtPerm {
+		due = r.hotDrift(d) > r.policy.MaxHotDrift
+	}
 	if due {
 		res, err := reorder.Apply(g, r.tech, r.kind)
 		if err != nil {
@@ -161,6 +345,7 @@ func (r *Reorderer) View(d *Graph) (*graph.Graph, reorder.Permutation, error) {
 		r.view = res.Graph
 		r.batchesAtPerm = d.Batches()
 		r.lastViewBatches = d.Batches()
+		r.hotAtPerm = d.hotVector(r.kind)
 		r.Refreshes++
 		return r.view, r.perm, nil
 	}
@@ -174,6 +359,7 @@ func (r *Reorderer) View(d *Graph) (*graph.Graph, reorder.Permutation, error) {
 		}
 		r.view = view
 		r.lastViewBatches = d.Batches()
+		r.Relabels++
 	}
 	return r.view, r.perm, nil
 }

@@ -78,9 +78,301 @@ func TestApplyRejectsBadUpdates(t *testing.T) {
 	}
 }
 
+// TestApplyMidBatchErrorIsAtomic pins the batch-atomicity contract: a
+// batch that fails partway must leave no trace — in particular, earlier
+// insertions must not linger in the edge set while Snapshot() keeps
+// serving the stale cached graph without them. (The pre-fix Apply
+// mutated d.edges before hitting the error and returned without
+// invalidating the snapshot, so NumEdges() and Snapshot().NumEdges()
+// disagreed; this test fails on that code.)
+func TestApplyMidBatchErrorIsAtomic(t *testing.T) {
+	g := base(t)
+	d := FromGraph(g)
+	m0 := d.NumEdges()
+
+	err := d.Apply([]Update{
+		{Edge: graph.Edge{Src: 0, Dst: 1, Weight: 9}},    // valid insert
+		{Remove: true, Edge: graph.Edge{Src: 0, Dst: 0}}, // absent: lj has no self-loops
+		{Edge: graph.Edge{Src: 2, Dst: 3, Weight: 9}},    // never reached
+	})
+	if err == nil {
+		t.Fatal("mid-batch absent-edge removal accepted")
+	}
+	if d.NumEdges() != m0 {
+		t.Fatalf("failed batch mutated the graph: %d edges, want %d", d.NumEdges(), m0)
+	}
+	if d.Batches() != 0 {
+		t.Fatalf("failed batch counted: batches = %d", d.Batches())
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumEdges() != m0 {
+		t.Fatalf("snapshot out of sync after failed batch: %d edges, want %d", snap.NumEdges(), m0)
+	}
+	if snap != g {
+		t.Error("failed batch invalidated the cached snapshot needlessly")
+	}
+	// The valid prefix applies cleanly afterwards.
+	if err := d.Apply([]Update{{Edge: graph.Edge{Src: 0, Dst: 1, Weight: 9}}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEdges() != m0+1 {
+		t.Fatalf("edges after retry = %d, want %d", d.NumEdges(), m0+1)
+	}
+}
+
+func TestApplyBatchInternalDependencies(t *testing.T) {
+	d := FromGraph(base(t))
+	m0 := d.NumEdges()
+	// Removing an edge inserted earlier in the same batch is legal...
+	e := graph.Edge{Src: 5, Dst: 5, Weight: 1} // self-loop: absent in lj
+	if err := d.Apply([]Update{{Edge: e}, {Remove: true, Edge: e}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEdges() != m0 || d.Count(5, 5) != 0 {
+		t.Fatalf("insert+remove left %d edges, count(5,5)=%d", d.NumEdges(), d.Count(5, 5))
+	}
+	// ...but removing before the insert follows sequential semantics.
+	if err := d.Apply([]Update{{Remove: true, Edge: e}, {Edge: e}}); err == nil {
+		t.Error("remove-before-insert of an absent edge accepted")
+	}
+	if d.NumEdges() != m0 {
+		t.Fatalf("failed batch changed edge count to %d", d.NumEdges())
+	}
+}
+
+func TestIncrementalDegreesAndIndex(t *testing.T) {
+	g := base(t)
+	d := FromGraph(g)
+	for v := 0; v < g.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		if d.OutDegree(id) != g.OutDegree(id) || d.InDegree(id) != g.InDegree(id) {
+			t.Fatalf("initial degrees diverge at %d", v)
+		}
+	}
+	victim := g.Edges()[0]
+	err := d.Apply([]Update{
+		{Edge: graph.Edge{Src: 0, Dst: 1, Weight: 1}},
+		{Edge: graph.Edge{Src: 0, Dst: 1, Weight: 2}}, // multiset: second instance
+		{Remove: true, Edge: victim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := countEdge(g, 0, 1) + 2
+	if victim.Src == 0 && victim.Dst == 1 {
+		wantCount--
+	}
+	if d.Count(0, 1) != wantCount {
+		t.Fatalf("Count(0,1) = %d, want %d", d.Count(0, 1), wantCount)
+	}
+	// Degrees track the mutations, and agree with a fresh snapshot.
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < d.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		if d.OutDegree(id) != snap.OutDegree(id) || d.InDegree(id) != snap.InDegree(id) {
+			t.Fatalf("incremental degree diverges from snapshot at %d: out %d/%d in %d/%d",
+				v, d.OutDegree(id), snap.OutDegree(id), d.InDegree(id), snap.InDegree(id))
+		}
+	}
+}
+
+// TestRemovalChurnIndexConsistency hammers the swap-remove bookkeeping:
+// after heavy interleaved insert/remove churn the index must still agree
+// with a from-scratch recount.
+func TestRemovalChurnIndexConsistency(t *testing.T) {
+	g := base(t)
+	d := FromGraph(g)
+	n := graph.VertexID(d.NumVertices())
+	for round := 0; round < 50; round++ {
+		var batch []Update
+		for i := 0; i < 20; i++ {
+			batch = append(batch, Update{Edge: graph.Edge{
+				Src: graph.VertexID(round+i) % n, Dst: graph.VertexID(3*round+2*i+1) % n, Weight: 1}})
+		}
+		if err := d.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+		// Remove half of what this round inserted, in reverse order.
+		var removals []Update
+		for i := 19; i >= 10; i-- {
+			removals = append(removals, Update{Remove: true, Edge: batch[i].Edge})
+		}
+		if err := d.Apply(removals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := FromGraph(mustSnapshot(t, d))
+	for v := 0; v < d.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		if d.OutDegree(id) != fresh.OutDegree(id) {
+			t.Fatalf("out-degree drift at %d: %d vs %d", v, d.OutDegree(id), fresh.OutDegree(id))
+		}
+	}
+	counts := make(map[[2]graph.VertexID]int)
+	for _, e := range mustSnapshot(t, d).Edges() {
+		counts[[2]graph.VertexID{e.Src, e.Dst}]++
+	}
+	for k, want := range counts {
+		if got := d.Count(k[0], k[1]); got != want {
+			t.Fatalf("index drift at %v: %d vs %d", k, got, want)
+		}
+	}
+}
+
+func mustSnapshot(t *testing.T, d *Graph) *graph.Graph {
+	t.Helper()
+	g, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func countEdge(g *graph.Graph, src, dst graph.VertexID) int {
+	n := 0
+	for _, v := range g.OutNeighbors(src) {
+		if v == dst {
+			n++
+		}
+	}
+	return n
+}
+
+func TestApplyGrowAtomic(t *testing.T) {
+	d := FromGraph(base(t))
+	n0, m0 := d.NumVertices(), d.NumEdges()
+	// A failing batch must roll back the growth too.
+	_, err := d.ApplyGrow(4, []Update{
+		{Edge: graph.Edge{Src: graph.VertexID(n0), Dst: 0, Weight: 1}},
+		{Remove: true, Edge: graph.Edge{Src: 0, Dst: 0}},
+	})
+	if err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if d.NumVertices() != n0 || d.NumEdges() != m0 {
+		t.Fatalf("failed ApplyGrow left n=%d m=%d, want %d/%d", d.NumVertices(), d.NumEdges(), n0, m0)
+	}
+	// A good batch may wire up the new vertices it grows.
+	first, err := d.ApplyGrow(4, []Update{
+		{Edge: graph.Edge{Src: graph.VertexID(n0), Dst: 0, Weight: 1}},
+		{Edge: graph.Edge{Src: 0, Dst: graph.VertexID(n0 + 3), Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(first) != n0 || d.NumVertices() != n0+4 || d.NumEdges() != m0+2 {
+		t.Fatalf("ApplyGrow: first=%d n=%d m=%d", first, d.NumVertices(), d.NumEdges())
+	}
+	if d.OutDegree(first) != 1 || d.InDegree(graph.VertexID(n0+3)) != 1 {
+		t.Error("degrees of grown vertices wrong")
+	}
+}
+
+func TestReordererHotDriftRefresh(t *testing.T) {
+	g := base(t)
+	d := FromGraph(g)
+	r := NewReorderer(reorder.NewDBG(), graph.OutDegree, Policy{Every: 0, MaxHotDrift: 0.05})
+	if _, _, err := r.View(d); err != nil {
+		t.Fatal(err)
+	}
+	// A tiny batch must not trip the drift trigger.
+	if err := d.Apply([]Update{{Edge: graph.Edge{Src: 0, Dst: 1, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.View(d); err != nil {
+		t.Fatal(err)
+	}
+	if r.Refreshes != 1 {
+		t.Fatalf("small batch triggered a refresh (count %d)", r.Refreshes)
+	}
+	if r.Relabels != 1 {
+		t.Fatalf("relabels = %d, want 1", r.Relabels)
+	}
+	// Promote a large cold cohort to hot: classification drift must force
+	// a refresh even though Every is disabled.
+	snap := mustSnapshot(t, d)
+	avg := int(snap.AvgDegree()) + 2
+	var batch []Update
+	n := d.NumVertices()
+	for v := 0; v < n/3; v++ {
+		if d.OutDegree(graph.VertexID(v)) > 0 {
+			continue // already contributes; pick only isolated-ish sources
+		}
+		for i := 0; i < avg; i++ {
+			batch = append(batch, Update{Edge: graph.Edge{
+				Src: graph.VertexID(v), Dst: graph.VertexID((v + i + 1) % n), Weight: 1}})
+		}
+	}
+	if len(batch) == 0 {
+		t.Skip("dataset has no zero-out-degree vertices to promote")
+	}
+	if err := d.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.View(d); err != nil {
+		t.Fatal(err)
+	}
+	if r.Refreshes != 2 {
+		t.Errorf("hot-set drift did not force a refresh (count %d, drift %.3f)", r.Refreshes, r.hotDrift(d))
+	}
+}
+
+func TestReordererSeed(t *testing.T) {
+	g := base(t)
+	d := FromGraph(g)
+	res, err := reorder.Apply(g, reorder.NewDBG(), graph.OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReorderer(reorder.NewDBG(), graph.OutDegree, Policy{Every: 2})
+	r.Seed(d, res.Graph, res.Perm)
+	if r.Refreshes != 1 {
+		t.Fatalf("seed not counted as the initial ordering (count %d)", r.Refreshes)
+	}
+	// The first View must reuse the seeded ordering verbatim.
+	view, perm, err := r.View(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view != res.Graph || &perm[0] != &res.Perm[0] {
+		t.Error("seeded ordering not reused")
+	}
+	if r.Refreshes != 1 {
+		t.Errorf("View after Seed refreshed (count %d)", r.Refreshes)
+	}
+	// One batch: relabel reuse; second batch: policy refresh.
+	if err := d.Apply([]Update{{Edge: graph.Edge{Src: 0, Dst: 1, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.View(d); err != nil {
+		t.Fatal(err)
+	}
+	if r.Refreshes != 1 || r.Relabels != 1 {
+		t.Errorf("after one batch: refreshes=%d relabels=%d, want 1/1", r.Refreshes, r.Relabels)
+	}
+	if err := d.Apply([]Update{{Edge: graph.Edge{Src: 1, Dst: 2, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.View(d); err != nil {
+		t.Fatal(err)
+	}
+	if r.Refreshes != 2 {
+		t.Errorf("policy refresh after seed not triggered (count %d)", r.Refreshes)
+	}
+}
+
 func TestAddVertices(t *testing.T) {
 	d := FromGraph(base(t))
 	n0 := d.NumVertices()
+	if got := d.AddVertices(-3); int(got) != n0 || d.NumVertices() != n0 {
+		t.Fatalf("negative growth not a no-op: first=%d n=%d", got, d.NumVertices())
+	}
 	first := d.AddVertices(10)
 	if int(first) != n0 || d.NumVertices() != n0+10 {
 		t.Fatalf("AddVertices: first=%d n=%d", first, d.NumVertices())

@@ -51,16 +51,23 @@ func (c *resultCache) get(key string) (any, bool) {
 }
 
 // add inserts val at the given approximate cost in bytes. Values larger
-// than the whole budget are not cached at all.
+// than the whole budget are not cached at all — and if the key was
+// already cached at a smaller cost, that entry is dropped rather than
+// left serving the superseded value.
 func (c *resultCache) add(key string, val any, cost int64) {
 	if cost < 1 {
 		cost = 1
 	}
-	if cost > c.maxBytes {
-		return
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if cost > c.maxBytes {
+		if el, ok := c.items[key]; ok {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.curBytes -= el.Value.(*cacheEntry).cost
+		}
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		entry := el.Value.(*cacheEntry)
 		c.curBytes += cost - entry.cost

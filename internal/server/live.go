@@ -1,0 +1,451 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphreorder"
+	"graphreorder/internal/dynamic"
+	"graphreorder/internal/graph"
+	"graphreorder/internal/reorder"
+	"graphreorder/internal/stats"
+)
+
+// The dynamic-serving layer. A snapshot built with BuildSpec.Mutable
+// keeps its pre-reorder graph alive as a dynamic.Graph, owned by a
+// liveGraph: a single refresher goroutine that is the only writer. Edge
+// mutations arrive over POST /v1/snapshots/{name}/edges, are serialized
+// through the liveGraph's queue, applied atomically batch by batch, and
+// then published as a brand-new immutable Snapshot (fresh epoch) through
+// the store's existing atomic hot-swap path — so the read side keeps its
+// lock-free acquire/drain discipline untouched, readers never block on
+// writers and can never observe a half-applied batch, and the
+// epoch-keyed result cache invalidates itself on every publish.
+//
+// The refresher applies the paper's §VIII-B policy (dynamic.Policy): a
+// full re-reorder only every K batches (or when the hot-set drifts, if
+// enabled), a cheap stale-permutation relabel for every publish in
+// between.
+
+const (
+	// maxMutateUpdates bounds one request's batch size.
+	maxMutateUpdates = 1 << 17
+	// maxAddVertices bounds one request's vertex growth.
+	maxAddVertices = 1 << 20
+	// liveQueueDepth bounds queued write batches per live graph; beyond
+	// it writers are rejected with 503 instead of piling up unbounded.
+	liveQueueDepth = 64
+	// maxCoalescedBatches bounds how many queued batches the refresher
+	// folds into a single publish (one relabel + one rank precompute
+	// amortized over all of them).
+	maxCoalescedBatches = 16
+)
+
+var (
+	errLiveClosed     = errors.New("server: snapshot's mutation pipeline is shut down")
+	errWriteQueueFull = errors.New("server overloaded: write queue full")
+)
+
+// MutateRequest is the JSON body of POST /v1/snapshots/{name}/edges.
+type MutateRequest struct {
+	// AddVertices grows the vertex space before the updates are applied,
+	// so updates may reference the new IDs (first new ID = old vertex
+	// count).
+	AddVertices int `json:"add_vertices,omitempty"`
+	// Updates is the edge batch, applied atomically and in order.
+	Updates []MutateUpdate `json:"updates"`
+}
+
+// MutateUpdate is one edge insertion or removal. Vertex IDs are in the
+// snapshot's original (as-loaded) order — the stable space mutations and
+// /resolve share; query responses stay in the published serving order.
+type MutateUpdate struct {
+	Src    graph.VertexID `json:"src"`
+	Dst    graph.VertexID `json:"dst"`
+	Weight uint32         `json:"weight,omitempty"`
+	Remove bool           `json:"remove,omitempty"`
+}
+
+// MutateResult is the receipt for one applied batch: by the time the
+// client sees it, a snapshot containing the batch is published under
+// Epoch, and every later read that reports this epoch (or a newer one)
+// reflects the batch.
+type MutateResult struct {
+	Snapshot string `json:"snapshot"`
+	Epoch    uint64 `json:"epoch"`
+	// Batch is this batch's sequence number (1-based) in the snapshot's
+	// mutation history.
+	Batch int `json:"batch"`
+	// Vertices and Edges describe the snapshot published under Epoch —
+	// which contains this batch and possibly later batches coalesced
+	// into the same publish.
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	Applied  int `json:"applied"`
+	// FirstNewVertex is the first ID added by AddVertices (when > 0).
+	FirstNewVertex graph.VertexID `json:"first_new_vertex,omitempty"`
+	AddedVertices  int            `json:"added_vertices,omitempty"`
+	// Refreshed reports whether this publish recomputed the ordering
+	// (policy-due full reorder) rather than reusing the stale
+	// permutation via relabel.
+	Refreshed bool    `json:"refreshed"`
+	ApplyMs   float64 `json:"apply_ms"`
+	PublishMs float64 `json:"publish_ms"`
+}
+
+type mutateReq struct {
+	updates     []dynamic.Update
+	addVertices int
+	enqueued    time.Time
+	reply       chan mutateReply // buffered(1): the refresher never blocks on it
+}
+
+type mutateReply struct {
+	res    MutateResult
+	err    error
+	status int
+}
+
+// liveGraph is one mutable snapshot's write pipeline. All fields below
+// queue are touched only by the refresher goroutine after start.
+type liveGraph struct {
+	store    *Store
+	name     string
+	techName string
+	kind     graph.DegreeKind
+	source   string
+	maxIters int
+	workers  int
+
+	dyn   *dynamic.Graph
+	reord *dynamic.Reorderer
+
+	queue chan *mutateReq
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	// closeMu makes shutdown airtight: enqueue sends under RLock, and
+	// stopLive flips closed under Lock before the final drain — so a
+	// write can never slip into the queue after the drain and hang
+	// waiting for a reply that will not come.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// newLiveGraph wires the mutation pipeline for a freshly built snapshot:
+// base is the graph in original order, snap the published (reordered)
+// snapshot. The Reorderer is seeded with the build's ordering so the
+// first write does not redo it.
+func newLiveGraph(st *Store, spec BuildSpec, base *graph.Graph, snap *Snapshot, tech reorder.Technique, kind graph.DegreeKind) *liveGraph {
+	lg := &liveGraph{
+		store:    st,
+		name:     snap.name,
+		techName: snap.technique,
+		kind:     kind,
+		source:   snap.source,
+		maxIters: spec.MaxIters,
+		workers:  st.workers,
+		dyn:      dynamic.FromGraph(base),
+		reord:    dynamic.NewReorderer(tech, kind, st.livePolicy),
+		queue:    make(chan *mutateReq, liveQueueDepth),
+		stop:     make(chan struct{}),
+	}
+	perm := snap.perm
+	if perm == nil {
+		perm = reorder.Identity(base.NumVertices())
+	}
+	lg.reord.Seed(lg.dyn, snap.graph, perm)
+	lg.wg.Add(1)
+	go lg.loop()
+	return lg
+}
+
+// enqueue hands a write to the refresher, never blocking: a full queue
+// is overload and the caller is told so.
+func (lg *liveGraph) enqueue(req *mutateReq) error {
+	lg.closeMu.RLock()
+	defer lg.closeMu.RUnlock()
+	if lg.closed {
+		return errLiveClosed
+	}
+	select {
+	case lg.queue <- req:
+		return nil
+	default:
+		return errWriteQueueFull
+	}
+}
+
+// loop is the refresher: the single goroutine that mutates the dynamic
+// graph and publishes snapshots.
+func (lg *liveGraph) loop() {
+	defer lg.wg.Done()
+	for {
+		select {
+		case <-lg.stop:
+			lg.drain()
+			return
+		case req := <-lg.queue:
+			reqs := []*mutateReq{req}
+			// Coalesce queued writers into one publish: each batch is
+			// applied (and validated) individually, but they share one
+			// relabel/reorder and one rank precompute.
+			for len(reqs) < maxCoalescedBatches {
+				select {
+				case r := <-lg.queue:
+					reqs = append(reqs, r)
+				default:
+					goto collected
+				}
+			}
+		collected:
+			lg.process(reqs)
+		}
+	}
+}
+
+// drain rejects whatever is still queued at shutdown.
+func (lg *liveGraph) drain() {
+	for {
+		select {
+		case req := <-lg.queue:
+			req.reply <- mutateReply{err: errLiveClosed, status: http.StatusServiceUnavailable}
+		default:
+			return
+		}
+	}
+}
+
+func (lg *liveGraph) process(reqs []*mutateReq) {
+	type appliedReq struct {
+		req *mutateReq
+		res MutateResult
+	}
+	ok := make([]appliedReq, 0, len(reqs))
+	for _, req := range reqs {
+		start := time.Now()
+		first, err := lg.dyn.ApplyGrow(req.addVertices, req.updates)
+		if err != nil {
+			lg.store.writes.failed.Add(1)
+			req.reply <- mutateReply{err: err, status: http.StatusBadRequest}
+			continue
+		}
+		res := MutateResult{
+			Snapshot:      lg.name,
+			Batch:         lg.dyn.Batches(),
+			Applied:       len(req.updates),
+			AddedVertices: req.addVertices,
+			ApplyMs:       msSince(start),
+		}
+		if req.addVertices > 0 {
+			res.FirstNewVertex = first
+		}
+		ok = append(ok, appliedReq{req, res})
+	}
+	if len(ok) == 0 {
+		return
+	}
+	pubStart := time.Now()
+	snap, refreshed, err := lg.publish()
+	pubMs := msSince(pubStart)
+	if err != nil {
+		// Publishing failed (snapshot build or precompute): the batches
+		// are applied in the dynamic graph and will reach readers on the
+		// next successful publish, but the write cannot be acknowledged
+		// as visible.
+		for _, a := range ok {
+			lg.store.writes.failed.Add(1)
+			a.req.reply <- mutateReply{err: err, status: http.StatusInternalServerError}
+		}
+		return
+	}
+	for _, a := range ok {
+		a.res.Epoch = snap.epoch
+		a.res.Vertices = snap.graph.NumVertices()
+		a.res.Edges = snap.graph.NumEdges()
+		a.res.Refreshed = refreshed
+		a.res.PublishMs = pubMs
+		lg.store.writes.batches.Add(1)
+		lg.store.writes.updates.Add(uint64(a.res.Applied))
+		lg.store.writes.lat.Observe(time.Since(a.req.enqueued))
+		a.req.reply <- mutateReply{res: a.res}
+	}
+}
+
+// publish materializes the current dynamic state as an immutable
+// snapshot — re-reordered if the policy says so, relabeled with the
+// stale permutation otherwise — precomputes its ranks, and hot-swaps it
+// into the store under a fresh epoch.
+func (lg *liveGraph) publish() (*Snapshot, bool, error) {
+	refreshesBefore := lg.reord.Refreshes
+	viewStart := time.Now()
+	g, perm, err := lg.reord.View(lg.dyn)
+	if err != nil {
+		return nil, false, err
+	}
+	viewTime := time.Since(viewStart)
+	refreshed := lg.reord.Refreshes > refreshesBefore
+
+	preStart := time.Now()
+	run, err := graphreorder.Run(context.Background(), g, graphreorder.AppPR,
+		graphreorder.WithMaxIters(lg.maxIters), graphreorder.WithWorkers(lg.workers))
+	if err != nil {
+		return nil, false, err
+	}
+
+	snap := &Snapshot{
+		epoch:          lg.store.nextID.Add(1),
+		name:           lg.name,
+		graph:          g,
+		technique:      lg.techName,
+		degree:         lg.kind,
+		perm:           perm,
+		source:         lg.source,
+		live:           true,
+		ranks:          run.Ranks(),
+		rankIters:      run.Iterations,
+		rankSum:        run.Checksum,
+		built:          time.Now(),
+		precomputeTime: time.Since(preStart),
+	}
+	if refreshed {
+		snap.reorderTime = viewTime
+	} else {
+		snap.rebuildTime = viewTime
+	}
+	if !lg.store.publish(snap, false) {
+		// The name is being dropped out from under us: the batch cannot
+		// be acknowledged as visible.
+		return nil, false, errLiveClosed
+	}
+	lg.store.writes.publishes.Add(1)
+	if refreshed {
+		lg.store.writes.refreshes.Add(1)
+	} else {
+		lg.store.writes.relabels.Add(1)
+	}
+	return snap, refreshed, nil
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000
+}
+
+// Live returns the mutation pipeline of a mutable snapshot, or nil.
+func (st *Store) Live(name string) *liveGraph {
+	st.liveMu.Lock()
+	defer st.liveMu.Unlock()
+	return st.live[name]
+}
+
+// shutdown retires the pipeline: no new writes are accepted, the
+// refresher finishes what it already dequeued and exits, and
+// queued-but-unprocessed writes are rejected. Idempotent. Must not be
+// called with st.mu held (the refresher may be mid-publish, which takes
+// st.mu).
+func (lg *liveGraph) shutdown() {
+	lg.closeMu.Lock()
+	alreadyClosed := lg.closed
+	lg.closed = true
+	lg.closeMu.Unlock()
+	if !alreadyClosed {
+		close(lg.stop)
+	}
+	lg.wg.Wait()
+	// The refresher is gone and closed is set, so nothing can enqueue
+	// anymore: this drain is final.
+	lg.drain()
+}
+
+// registerLive installs a freshly built snapshot's mutation pipeline,
+// retiring any previous pipeline still registered under the name (two
+// racing rebuilds must not leak the loser's refresher).
+func (st *Store) registerLive(lg *liveGraph) {
+	st.liveMu.Lock()
+	old := st.live[lg.name]
+	st.live[lg.name] = lg
+	st.liveMu.Unlock()
+	if old != nil {
+		old.shutdown()
+	}
+}
+
+// stopLive retires a snapshot's mutation pipeline. Safe to call for
+// non-live names.
+func (st *Store) stopLive(name string) {
+	st.liveMu.Lock()
+	lg := st.live[name]
+	delete(st.live, name)
+	st.liveMu.Unlock()
+	if lg != nil {
+		lg.shutdown()
+	}
+}
+
+// CloseLive stops every mutation pipeline (used at server shutdown).
+func (st *Store) CloseLive() {
+	st.liveMu.Lock()
+	names := make([]string, 0, len(st.live))
+	for name := range st.live {
+		names = append(names, name)
+	}
+	st.liveMu.Unlock()
+	for _, name := range names {
+		st.stopLive(name)
+	}
+}
+
+// writeStats aggregates the dynamic-update pipeline across all live
+// graphs of a store.
+type writeStats struct {
+	batches   atomic.Uint64
+	updates   atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64
+	publishes atomic.Uint64
+	refreshes atomic.Uint64
+	relabels  atomic.Uint64
+	lat       stats.LatencyHist
+}
+
+// WriteStats reports the dynamic-update pipeline's counters for /metrics.
+type WriteStats struct {
+	// Batches counts successfully applied (and published) write batches.
+	Batches uint64 `json:"batches"`
+	// Updates counts individual edge updates inside those batches.
+	Updates uint64 `json:"updates"`
+	// Failed counts rejected batches (validation or publish errors).
+	Failed uint64 `json:"failed"`
+	// Rejected counts writes refused at the door (queue full/closed).
+	Rejected uint64 `json:"rejected"`
+	// Publishes counts snapshots published by refreshers; Refreshes of
+	// them recomputed the ordering, Relabels reused the stale one.
+	Publishes uint64 `json:"publishes"`
+	Refreshes uint64 `json:"refreshes"`
+	Relabels  uint64 `json:"relabels"`
+	// Write latency (enqueue to published receipt), microseconds.
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+func (st *Store) writeStatsReport() WriteStats {
+	lat := st.writes.lat.Snapshot()
+	return WriteStats{
+		Batches:   st.writes.batches.Load(),
+		Updates:   st.writes.updates.Load(),
+		Failed:    st.writes.failed.Load(),
+		Rejected:  st.writes.rejected.Load(),
+		Publishes: st.writes.publishes.Load(),
+		Refreshes: st.writes.refreshes.Load(),
+		Relabels:  st.writes.relabels.Load(),
+		MeanUs:    us(lat.Mean),
+		P50Us:     us(lat.P50),
+		P99Us:     us(lat.P99),
+		MaxUs:     us(lat.Max),
+	}
+}

@@ -1,0 +1,424 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphreorder/internal/graph"
+)
+
+// liveServer builds one mutable snapshot named "live".
+func liveServer(t *testing.T, technique string, refreshEvery int) *Server {
+	t.Helper()
+	s := New(Config{Workers: 1, QueryTimeout: 30 * time.Second, RefreshEvery: refreshEvery})
+	t.Cleanup(func() { s.store.CloseLive() })
+	if _, err := s.store.Build(BuildSpec{
+		Name: "live", Dataset: "uni", Scale: "tiny", Technique: technique, Mutable: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, h http.Handler, url string, body any, out any) (int, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", url, strings.NewReader(string(raw)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("POST %s: bad JSON %q: %v", url, rec.Body.String(), err)
+		}
+	}
+	return rec.Code, rec.Body.String()
+}
+
+// TestMutateInsertVisibleAfterPublish proves read-your-writes: once the
+// receipt arrives, the published snapshot at the receipt's epoch (or
+// newer) contains the batch.
+func TestMutateInsertVisibleAfterPublish(t *testing.T) {
+	s := liveServer(t, "original", 1000) // relabel path only
+	h := s.Handler()
+	var info SnapshotInfo
+	if code := get(t, h, "/v1/snapshots/live", &info); code != http.StatusOK {
+		t.Fatal("info failed")
+	}
+	if !info.Mutable {
+		t.Fatal("snapshot not marked mutable")
+	}
+	m0, e0 := info.Edges, info.Epoch
+
+	var res MutateResult
+	code, body := postJSON(t, h, "/v1/snapshots/live/edges", MutateRequest{
+		Updates: []MutateUpdate{
+			{Src: 0, Dst: 1, Weight: 2},
+			{Src: 0, Dst: 2, Weight: 3},
+		},
+	}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", code, body)
+	}
+	if res.Epoch <= e0 {
+		t.Errorf("epoch not bumped: %d -> %d", e0, res.Epoch)
+	}
+	if res.Edges != m0+2 || res.Applied != 2 || res.Batch != 1 {
+		t.Errorf("receipt: %+v (want edges %d)", res, m0+2)
+	}
+
+	// The published table now serves the new snapshot.
+	var after SnapshotInfo
+	get(t, h, "/v1/snapshots/live", &after)
+	if after.Epoch != res.Epoch || after.Edges != res.Edges {
+		t.Fatalf("published info (epoch %d, edges %d) does not match receipt (%d, %d)",
+			after.Epoch, after.Edges, res.Epoch, res.Edges)
+	}
+	// Technique "original": IDs are stable, so vertex 0 gained out-edges.
+	var deg struct {
+		Epoch  uint64 `json:"epoch"`
+		Degree int    `json:"degree"`
+	}
+	if code := get(t, h, "/v1/query/degree?v=0&snapshot=live", &deg); code != http.StatusOK {
+		t.Fatal("degree query failed")
+	}
+	if deg.Epoch < res.Epoch {
+		t.Errorf("read served pre-publish epoch %d < %d", deg.Epoch, res.Epoch)
+	}
+	if deg.Degree < 2 {
+		t.Errorf("inserted edges missing: out-degree %d", deg.Degree)
+	}
+}
+
+// TestMutateReorderedSnapshotRelabels exercises the stale-permutation
+// relabel path on a DBG-ordered snapshot and checks the /resolve
+// contract: mutations use original IDs, queries the serving order.
+func TestMutateReorderedSnapshotRelabels(t *testing.T) {
+	s := liveServer(t, "dbg", 1000)
+	h := s.Handler()
+
+	var res MutateResult
+	code, body := postJSON(t, h, "/v1/snapshots/live/edges", MutateRequest{
+		Updates: []MutateUpdate{{Src: 3, Dst: 4, Weight: 1}, {Src: 3, Dst: 5, Weight: 1}, {Src: 3, Dst: 6, Weight: 1}},
+	}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", code, body)
+	}
+	if res.Refreshed {
+		t.Error("first batch should relabel, not re-reorder (Every=1000)")
+	}
+	// Resolve original ID 3 into the new serving order and check the
+	// edges are there.
+	var resolved struct {
+		Epoch   uint64         `json:"epoch"`
+		Current graph.VertexID `json:"current"`
+	}
+	if code := get(t, h, "/v1/snapshots/live/resolve?v=3", &resolved); code != http.StatusOK {
+		t.Fatal("resolve failed")
+	}
+	if resolved.Epoch != res.Epoch {
+		t.Fatalf("resolve epoch %d, receipt %d", resolved.Epoch, res.Epoch)
+	}
+	var nbrs struct {
+		Epoch  uint64 `json:"epoch"`
+		Degree int    `json:"degree"`
+	}
+	url := fmt.Sprintf("/v1/query/neighbors?v=%d&snapshot=live", resolved.Current)
+	if code := get(t, h, url, &nbrs); code != http.StatusOK {
+		t.Fatal("neighbors failed")
+	}
+	if nbrs.Degree < 3 {
+		t.Errorf("resolved vertex has out-degree %d, want >= 3", nbrs.Degree)
+	}
+	// The snapshot's rank checksum survives relabeling (ordering-invariant).
+	var info SnapshotInfo
+	get(t, h, "/v1/snapshots/live", &info)
+	if info.RankChecksum == 0 {
+		t.Error("published live snapshot has no precomputed ranks")
+	}
+}
+
+// TestMutatePolicyRefresh drives enough batches through a small
+// RefreshEvery to force policy-triggered re-reorders, and checks the
+// refresh/relabel split in /metrics.
+func TestMutatePolicyRefresh(t *testing.T) {
+	s := liveServer(t, "dbg", 2)
+	h := s.Handler()
+	sawRefresh := false
+	for i := 0; i < 5; i++ {
+		var res MutateResult
+		code, body := postJSON(t, h, "/v1/snapshots/live/edges", MutateRequest{
+			Updates: []MutateUpdate{{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Weight: 1}},
+		}, &res)
+		if code != http.StatusOK {
+			t.Fatalf("batch %d: %d %s", i, code, body)
+		}
+		sawRefresh = sawRefresh || res.Refreshed
+	}
+	if !sawRefresh {
+		t.Error("no batch reported a policy-triggered re-reorder")
+	}
+	var m MetricsReport
+	get(t, h, "/metrics", &m)
+	if m.Writes.Batches != 5 || m.Writes.Updates != 5 {
+		t.Errorf("write counters: %+v", m.Writes)
+	}
+	if m.Writes.Refreshes < 2 {
+		t.Errorf("refreshes = %d, want >= 2 with Every=2 over 5 batches", m.Writes.Refreshes)
+	}
+	if m.Writes.Relabels < 1 {
+		t.Errorf("relabels = %d, want >= 1", m.Writes.Relabels)
+	}
+	if m.Writes.Publishes != m.Writes.Refreshes+m.Writes.Relabels {
+		t.Errorf("publishes %d != refreshes %d + relabels %d",
+			m.Writes.Publishes, m.Writes.Refreshes, m.Writes.Relabels)
+	}
+	if m.Writes.P50Us <= 0 {
+		t.Error("write latency not recorded")
+	}
+}
+
+// TestMutateAtomicBatchRejected: a batch failing validation mid-way must
+// leave the published snapshot untouched (no publish, no epoch bump).
+func TestMutateAtomicBatchRejected(t *testing.T) {
+	s := liveServer(t, "original", 1000)
+	h := s.Handler()
+	var before SnapshotInfo
+	get(t, h, "/v1/snapshots/live", &before)
+
+	code, body := postJSON(t, h, "/v1/snapshots/live/edges", MutateRequest{
+		Updates: []MutateUpdate{
+			{Src: 0, Dst: 1, Weight: 1},
+			{Src: 0, Dst: 0, Remove: true}, // uni has no self-loops: absent
+		},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad batch: %d %s", code, body)
+	}
+	if !strings.Contains(body, "absent") {
+		t.Errorf("error does not name the absent edge: %s", body)
+	}
+	var after SnapshotInfo
+	get(t, h, "/v1/snapshots/live", &after)
+	if after.Epoch != before.Epoch || after.Edges != before.Edges {
+		t.Fatalf("failed batch published: %+v -> %+v", before, after)
+	}
+	var m MetricsReport
+	get(t, h, "/metrics", &m)
+	if m.Writes.Failed != 1 || m.Writes.Batches != 0 {
+		t.Errorf("failed=%d batches=%d, want 1/0", m.Writes.Failed, m.Writes.Batches)
+	}
+}
+
+// TestMutateVertexGrowth grows the vertex space and wires the new
+// vertices in one atomic request.
+func TestMutateVertexGrowth(t *testing.T) {
+	s := liveServer(t, "dbg", 1000)
+	h := s.Handler()
+	var before SnapshotInfo
+	get(t, h, "/v1/snapshots/live", &before)
+
+	var res MutateResult
+	code, body := postJSON(t, h, "/v1/snapshots/live/edges", MutateRequest{
+		AddVertices: 3,
+		Updates: []MutateUpdate{
+			{Src: graph.VertexID(before.Vertices), Dst: 0, Weight: 1},
+			{Src: graph.VertexID(before.Vertices + 2), Dst: 1, Weight: 1},
+		},
+	}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("grow: %d %s", code, body)
+	}
+	if res.Vertices != before.Vertices+3 || int(res.FirstNewVertex) != before.Vertices {
+		t.Fatalf("growth receipt: %+v", res)
+	}
+	// Growth invalidates the old permutation, so this publish must have
+	// re-reordered even though the periodic policy is not due.
+	if !res.Refreshed {
+		t.Error("vertex growth did not force a refresh")
+	}
+	// The grown vertex resolves and has its edge.
+	var resolved struct {
+		Current graph.VertexID `json:"current"`
+	}
+	url := fmt.Sprintf("/v1/snapshots/live/resolve?v=%d", before.Vertices)
+	if code := get(t, h, url, &resolved); code != http.StatusOK {
+		t.Fatal("resolve of grown vertex failed")
+	}
+	var deg struct {
+		Degree int `json:"degree"`
+	}
+	get(t, h, fmt.Sprintf("/v1/query/degree?v=%d&snapshot=live", resolved.Current), &deg)
+	if deg.Degree != 1 {
+		t.Errorf("grown vertex out-degree %d, want 1", deg.Degree)
+	}
+}
+
+// TestMutateValidation covers the handler-level rejections.
+func TestMutateValidation(t *testing.T) {
+	s := liveServer(t, "original", 1000)
+	// A second, immutable snapshot.
+	if _, err := s.store.Build(BuildSpec{Name: "frozen", Dataset: "uni", Scale: "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	cases := []struct {
+		name, url, body string
+		want            int
+	}{
+		{"unknown snapshot", "/v1/snapshots/nope/edges", `{"updates":[{"src":0,"dst":1}]}`, http.StatusNotFound},
+		{"immutable snapshot", "/v1/snapshots/frozen/edges", `{"updates":[{"src":0,"dst":1}]}`, http.StatusConflict},
+		{"empty batch", "/v1/snapshots/live/edges", `{"updates":[]}`, http.StatusBadRequest},
+		{"bad json", "/v1/snapshots/live/edges", `{"updates":`, http.StatusBadRequest},
+		{"negative growth", "/v1/snapshots/live/edges", `{"add_vertices":-1,"updates":[{"src":0,"dst":1}]}`, http.StatusBadRequest},
+		{"out of range", "/v1/snapshots/live/edges", `{"updates":[{"src":99999999,"dst":1}]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code, body := do(t, h, "POST", c.url, c.body); code != c.want {
+			t.Errorf("%s: %d (want %d): %s", c.name, code, c.want, body)
+		}
+	}
+}
+
+// TestMutateConcurrentWriters serializes racing writers through the
+// mutation queue; every batch must land exactly once.
+func TestMutateConcurrentWriters(t *testing.T) {
+	s := liveServer(t, "dbg", 3)
+	h := s.Handler()
+	var before SnapshotInfo
+	get(t, h, "/v1/snapshots/live", &before)
+
+	const writers, batches, perBatch = 4, 8, 3
+	var wg sync.WaitGroup
+	errs := make(chan string, writers*batches)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				updates := make([]MutateUpdate, perBatch)
+				for i := range updates {
+					updates[i] = MutateUpdate{
+						Src: graph.VertexID((w*131 + b*17 + i) % before.Vertices),
+						Dst: graph.VertexID((w*37 + b*101 + i*13) % before.Vertices), Weight: 1}
+				}
+				var res MutateResult
+				code, body := postJSON(t, h, "/v1/snapshots/live/edges", MutateRequest{Updates: updates}, &res)
+				if code != http.StatusOK {
+					errs <- fmt.Sprintf("writer %d batch %d: %d %s", w, b, code, body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	var info SnapshotInfo
+	get(t, h, "/v1/snapshots/live", &info)
+	want := before.Edges + writers*batches*perBatch
+	if info.Edges != want {
+		t.Fatalf("final edge count %d, want %d", info.Edges, want)
+	}
+	var m MetricsReport
+	get(t, h, "/metrics", &m)
+	if m.Writes.Batches != writers*batches {
+		t.Errorf("batches = %d, want %d", m.Writes.Batches, writers*batches)
+	}
+	// Coalescing may fold batches into shared publishes, but there must
+	// be at least one publish and no more than one per batch.
+	if m.Writes.Publishes == 0 || m.Writes.Publishes > m.Writes.Batches {
+		t.Errorf("publishes = %d (batches %d)", m.Writes.Publishes, m.Writes.Batches)
+	}
+}
+
+// TestMutateAfterDropAndRebuild: dropping a live snapshot kills its
+// pipeline; rebuilding the name revives a fresh one.
+func TestMutateAfterDropAndRebuild(t *testing.T) {
+	s := liveServer(t, "original", 1000)
+	h := s.Handler()
+	// Publish a second snapshot and make it current so "live" can drop.
+	if _, err := s.store.Build(BuildSpec{Name: "other", Dataset: "uni", Scale: "tiny", Activate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.store.Drop("live"); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := do(t, h, "POST", "/v1/snapshots/live/edges", `{"updates":[{"src":0,"dst":1}]}`); code != http.StatusNotFound {
+		t.Fatalf("write to dropped snapshot: %d", code)
+	}
+	// Rebuild (immutable this time): writes now 409.
+	if _, err := s.store.Build(BuildSpec{Name: "live", Dataset: "uni", Scale: "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := do(t, h, "POST", "/v1/snapshots/live/edges", `{"updates":[{"src":0,"dst":1}]}`); code != http.StatusConflict {
+		t.Fatalf("write to immutable rebuild: %d", code)
+	}
+	// Rebuild mutable: writes flow again.
+	if _, err := s.store.Build(BuildSpec{Name: "live", Dataset: "uni", Scale: "tiny", Mutable: true}); err != nil {
+		t.Fatal(err)
+	}
+	var res MutateResult
+	if code, body := postJSON(t, h, "/v1/snapshots/live/edges",
+		MutateRequest{Updates: []MutateUpdate{{Src: 0, Dst: 1, Weight: 1}}}, &res); code != http.StatusOK {
+		t.Fatalf("write to mutable rebuild: %d %s", code, body)
+	}
+	if res.Batch != 1 {
+		t.Errorf("rebuilt pipeline batch seq = %d, want 1 (fresh history)", res.Batch)
+	}
+}
+
+// TestFailedRebuildKeepsPipelineAlive: a rebuild request that fails
+// validation or loading must not have retired the existing incarnation's
+// write pipeline.
+func TestFailedRebuildKeepsPipelineAlive(t *testing.T) {
+	s := liveServer(t, "original", 1000)
+	h := s.Handler()
+	for _, bad := range []BuildSpec{
+		{Name: "live", Dataset: "uni", Scale: "tiny", Degree: "sideways"},
+		{Name: "live", Dataset: "uni", Scale: "tiny", Technique: "nope"},
+		{Name: "live", Dataset: "no-such-dataset"},
+		{Name: "live", Path: "/no/such/file"},
+	} {
+		if _, err := s.store.Build(bad); err == nil {
+			t.Fatalf("bad spec %+v accepted", bad)
+		}
+	}
+	var res MutateResult
+	code, body := postJSON(t, h, "/v1/snapshots/live/edges",
+		MutateRequest{Updates: []MutateUpdate{{Src: 0, Dst: 1, Weight: 1}}}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("write after failed rebuilds: %d %s", code, body)
+	}
+}
+
+// TestLiveShutdownRejectsQueuedWrites: CloseLive stops pipelines and
+// later writes are refused cleanly.
+func TestLiveShutdownRejectsQueuedWrites(t *testing.T) {
+	s := liveServer(t, "original", 1000)
+	h := s.Handler()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, h, "POST", "/v1/snapshots/live/edges", `{"updates":[{"src":0,"dst":1}]}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("write after shutdown: %d %s", code, body)
+	}
+	// Reads still serve the last published snapshot.
+	if code := get(t, h, "/v1/query/degree?v=0&snapshot=live", nil); code != http.StatusOK {
+		t.Errorf("read after shutdown: %d", code)
+	}
+}

@@ -6,6 +6,7 @@
 package loadtest
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -34,18 +35,31 @@ type Options struct {
 	// through (default 4). Small values model "hot" queries: after one
 	// traversal per source, the rest are cache hits or coalesced.
 	SSSPSources int
-	// Mix weights the query kinds (default 70/15/10/5
-	// neighbors/rank/topk/sssp).
+	// Mix weights the query kinds (default 70/15/10/5/0
+	// neighbors/rank/topk/sssp/mutate).
 	Mix Mix
+	// MutateSnapshot names the mutable snapshot write operations target;
+	// when empty and Mix.Mutate > 0, the first mutable published
+	// snapshot is used.
+	MutateSnapshot string
+	// MutateBatch is the number of edge insertions per write batch
+	// (default 4). Each batch occasionally also removes an edge the
+	// same client inserted earlier, exercising the deletion path.
+	MutateBatch int
 }
 
-// Mix holds relative weights for the query kinds.
+// Mix holds relative weights for the query kinds. Mutate operations POST
+// an edge batch and then verify read-your-writes: a follow-up read
+// pinned to the mutated snapshot must report the receipt's epoch (or a
+// newer one). Every read additionally cross-checks its (epoch, edges)
+// pair against the write receipts, so a torn or stale publish counts as
+// a failure.
 type Mix struct {
-	Neighbors, Rank, TopK, SSSP int
+	Neighbors, Rank, TopK, SSSP, Mutate int
 }
 
 func (m Mix) orDefault() Mix {
-	if m.Neighbors+m.Rank+m.TopK+m.SSSP == 0 {
+	if m.Neighbors+m.Rank+m.TopK+m.SSSP+m.Mutate == 0 {
 		return Mix{Neighbors: 70, Rank: 15, TopK: 10, SSSP: 5}
 	}
 	return m
@@ -123,16 +137,32 @@ func Run(opts Options) (Result, error) {
 	if opts.SSSPSources <= 0 {
 		opts.SSSPSources = 4
 	}
+	if opts.MutateBatch <= 0 {
+		opts.MutateBatch = 4
+	}
 	mix := opts.Mix.orDefault()
 
 	// The vertex universe is the smallest published snapshot, so queries
 	// stay valid even if a hot-swap lands on a differently-sized graph.
-	n, err := minVertices(opts.BaseURL)
+	snaps, err := listSnapshots(opts.BaseURL)
 	if err != nil {
 		return Result{}, err
 	}
+	n := minVertices(snaps)
 	if n == 0 {
 		return Result{}, fmt.Errorf("loadtest: server has no non-empty snapshot")
+	}
+	mutName := opts.MutateSnapshot
+	if mix.Mutate > 0 && mutName == "" {
+		for _, s := range snaps {
+			if s.Mutable {
+				mutName = s.Name
+				break
+			}
+		}
+		if mutName == "" {
+			return Result{}, fmt.Errorf("loadtest: write mix requested but no mutable snapshot published")
+		}
 	}
 
 	client := &http.Client{
@@ -143,13 +173,18 @@ func Run(opts Options) (Result, error) {
 	}
 
 	kinds := map[string]*kindTracker{
-		"neighbors": {}, "rank": {}, "topk": {}, "sssp": {},
+		"neighbors": {}, "rank": {}, "topk": {}, "sssp": {}, "mutate": {},
 	}
 	var overall stats.LatencyHist
 	var requests, failures atomic.Uint64
 	errCh := make(chan string, 8)
 
-	weightTotal := mix.Neighbors + mix.Rank + mix.TopK + mix.SSSP
+	// published records every write receipt's (epoch, edge count); any
+	// read reporting a recorded epoch with a different edge count saw a
+	// torn or mismatched publish.
+	var published sync.Map // uint64 -> int
+
+	weightTotal := mix.Neighbors + mix.Rank + mix.TopK + mix.SSSP + mix.Mutate
 	deadline := time.Now().Add(opts.Duration)
 	var wg sync.WaitGroup
 	for c := 0; c < opts.Clients; c++ {
@@ -157,6 +192,10 @@ func Run(opts Options) (Result, error) {
 		go func(c int) {
 			defer wg.Done()
 			r := rng.NewStream(opts.Seed, uint64(c))
+			w := &writer{
+				client: client, baseURL: opts.BaseURL, snapshot: mutName,
+				batchSize: opts.MutateBatch, published: &published,
+			}
 			for time.Now().Before(deadline) {
 				// Zipf-distributed vertices model hot-vertex traffic.
 				v := r.Zipf(n, 1.1)
@@ -171,13 +210,29 @@ func Run(opts Options) (Result, error) {
 				case pick < mix.Neighbors+mix.Rank+mix.TopK:
 					kind = "topk"
 					url = fmt.Sprintf("%s/v1/query/topk?k=10", opts.BaseURL)
-				default:
+				case pick < mix.Neighbors+mix.Rank+mix.TopK+mix.SSSP:
 					kind = "sssp"
 					url = fmt.Sprintf("%s/v1/query/sssp?src=%d", opts.BaseURL, r.Intn(opts.SSSPSources))
+				default:
+					kind = "mutate"
 				}
 				tracker := kinds[kind]
 				start := time.Now()
-				ok, desc := fetch(client, url)
+				var ok bool
+				var desc string
+				if kind == "mutate" {
+					ok, desc = w.writeBatch(r, n)
+				} else {
+					var meta respMeta
+					ok, desc, meta = fetch(client, url)
+					if ok && meta.Snapshot == mutName {
+						if e, loaded := published.Load(meta.Epoch); loaded && e.(int) != meta.Edges {
+							ok = false
+							desc = fmt.Sprintf("torn read: epoch %d served %d edges, receipt said %d",
+								meta.Epoch, meta.Edges, e.(int))
+						}
+					}
+				}
 				elapsed := time.Since(start)
 				requests.Add(1)
 				tracker.requests.Add(1)
@@ -229,43 +284,136 @@ func Run(opts Options) (Result, error) {
 	}
 }
 
-func fetch(client *http.Client, url string) (bool, string) {
+// respMeta is the snapshot-identifying slice of every query response.
+type respMeta struct {
+	Snapshot string `json:"snapshot"`
+	Epoch    uint64 `json:"epoch"`
+	Edges    int    `json:"edges"`
+}
+
+func fetch(client *http.Client, url string) (bool, string, respMeta) {
+	var meta respMeta
 	resp, err := client.Get(url)
 	if err != nil {
-		return false, fmt.Sprintf("GET %s: %v", url, err)
+		return false, fmt.Sprintf("GET %s: %v", url, err), meta
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Sprintf("GET %s: %d %s", url, resp.StatusCode, string(body))
+		return false, fmt.Sprintf("GET %s: %d %s", url, resp.StatusCode, string(body)), meta
+	}
+	json.Unmarshal(body, &meta)
+	return true, "", meta
+}
+
+// writer drives the mutation mix for one client: insert batches with
+// occasional removals of its own earlier insertions, followed by a
+// read-your-writes check against the receipt's epoch.
+type writer struct {
+	client    *http.Client
+	baseURL   string
+	snapshot  string
+	batchSize int
+	published *sync.Map
+
+	inserted [][2]int // ring of edges this client inserted
+}
+
+type mutateUpdate struct {
+	Src    int  `json:"src"`
+	Dst    int  `json:"dst"`
+	Weight int  `json:"weight,omitempty"`
+	Remove bool `json:"remove,omitempty"`
+}
+
+func (w *writer) writeBatch(r *rng.Rand, n int) (bool, string) {
+	batch := make([]mutateUpdate, 0, w.batchSize+1)
+	for i := 0; i < w.batchSize; i++ {
+		e := mutateUpdate{Src: r.Intn(n), Dst: r.Intn(n), Weight: 1 + r.Intn(8)}
+		batch = append(batch, e)
+	}
+	// Occasionally remove an edge this client inserted earlier; writes
+	// are serialized per client, so the instance is provably present.
+	if len(w.inserted) > 0 && r.Intn(4) == 0 {
+		e := w.inserted[len(w.inserted)-1]
+		w.inserted = w.inserted[:len(w.inserted)-1]
+		batch = append(batch, mutateUpdate{Src: e[0], Dst: e[1], Remove: true})
+	}
+	body, _ := json.Marshal(map[string]any{"updates": batch})
+	url := fmt.Sprintf("%s/v1/snapshots/%s/edges", w.baseURL, w.snapshot)
+	resp, err := w.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, fmt.Sprintf("POST %s: %v", url, err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Sprintf("POST %s: %d %s", url, resp.StatusCode, string(raw))
+	}
+	var receipt struct {
+		Epoch uint64 `json:"epoch"`
+		Edges int    `json:"edges"`
+	}
+	if err := json.Unmarshal(raw, &receipt); err != nil || receipt.Epoch == 0 {
+		return false, fmt.Sprintf("POST %s: bad receipt %q", url, string(raw))
+	}
+	w.published.Store(receipt.Epoch, receipt.Edges)
+	for _, u := range batch {
+		if !u.Remove && len(w.inserted) < 128 {
+			w.inserted = append(w.inserted, [2]int{u.Src, u.Dst})
+		}
+	}
+	// Read-your-writes: a read pinned to the mutated snapshot must see
+	// the receipt's publish (or a newer one).
+	readURL := fmt.Sprintf("%s/v1/query/degree?v=%d&snapshot=%s", w.baseURL, batch[0].Src, w.snapshot)
+	ok, desc, meta := fetch(w.client, readURL)
+	if !ok {
+		return false, "read-after-write: " + desc
+	}
+	if meta.Epoch < receipt.Epoch {
+		return false, fmt.Sprintf("stale read after publish: read epoch %d < receipt epoch %d",
+			meta.Epoch, receipt.Epoch)
+	}
+	if e, loaded := w.published.Load(meta.Epoch); loaded && e.(int) != meta.Edges {
+		return false, fmt.Sprintf("torn read-after-write: epoch %d served %d edges, receipt said %d",
+			meta.Epoch, meta.Edges, e.(int))
 	}
 	return true, ""
 }
 
-// minVertices asks the server for its published snapshots and returns
-// the smallest vertex count.
-func minVertices(baseURL string) (int, error) {
+// snapInfo is the slice of the snapshot listing the load generator needs.
+type snapInfo struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Mutable  bool   `json:"mutable"`
+}
+
+// listSnapshots asks the server for its published snapshots.
+func listSnapshots(baseURL string) ([]snapInfo, error) {
 	resp, err := http.Get(baseURL + "/v1/snapshots")
 	if err != nil {
-		return 0, fmt.Errorf("loadtest: listing snapshots: %w", err)
+		return nil, fmt.Errorf("loadtest: listing snapshots: %w", err)
 	}
 	defer resp.Body.Close()
 	var list struct {
-		Snapshots []struct {
-			Vertices int `json:"vertices"`
-		} `json:"snapshots"`
+		Snapshots []snapInfo `json:"snapshots"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
-		return 0, fmt.Errorf("loadtest: decoding snapshot list: %w", err)
+		return nil, fmt.Errorf("loadtest: decoding snapshot list: %w", err)
 	}
 	if len(list.Snapshots) == 0 {
-		return 0, fmt.Errorf("loadtest: server has no snapshots")
+		return nil, fmt.Errorf("loadtest: server has no snapshots")
 	}
-	n := list.Snapshots[0].Vertices
-	for _, s := range list.Snapshots[1:] {
+	return list.Snapshots, nil
+}
+
+// minVertices returns the smallest vertex count across snapshots.
+func minVertices(snaps []snapInfo) int {
+	n := snaps[0].Vertices
+	for _, s := range snaps[1:] {
 		if s.Vertices < n {
 			n = s.Vertices
 		}
 	}
-	return n, nil
+	return n
 }

@@ -1,6 +1,8 @@
 package loadtest
 
 import (
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -45,6 +47,79 @@ func TestRunAgainstLiveServer(t *testing.T) {
 	}
 	if res.String() == "" {
 		t.Error("empty report")
+	}
+}
+
+// TestMixedReadWriteAcrossRefreshes is the package-level version of the
+// graphd write-mix selftest: concurrent readers and writers against a
+// live snapshot with an aggressive refresh policy, so several
+// policy-triggered full re-reorders land mid-run. Zero requests may be
+// lost, every read-after-write must observe its receipt's epoch, and no
+// read may see a torn (epoch, edge-count) pair.
+func TestMixedReadWriteAcrossRefreshes(t *testing.T) {
+	s := server.New(server.Config{Workers: 1, RefreshEvery: 3})
+	defer s.Store().CloseLive()
+	if _, err := s.Store().Build(server.BuildSpec{
+		Name: "main", Dataset: "uni", Scale: "tiny", Technique: "dbg", Mutable: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res, err := Run(Options{
+		BaseURL:  ts.URL,
+		Clients:  4,
+		Duration: 700 * time.Millisecond,
+		Seed:     11,
+		Mix:      Mix{Neighbors: 50, Rank: 15, TopK: 10, SSSP: 5, Mutate: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("%d/%d requests failed: %v", res.Failures, res.Requests, res.FirstErrors)
+	}
+	writes := res.ByKind["mutate"].Requests
+	if writes == 0 {
+		t.Fatal("no write batches issued")
+	}
+	var m server.MetricsReport
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Writes.Batches != writes {
+		t.Errorf("server applied %d batches, clients sent %d", m.Writes.Batches, writes)
+	}
+	if m.Writes.Refreshes == 0 {
+		t.Error("no policy-triggered re-reorder landed during the run; lower RefreshEvery or raise duration")
+	}
+	if m.Writes.Relabels == 0 {
+		t.Error("no relabel publish landed during the run")
+	}
+}
+
+// TestWriteMixRequiresMutableSnapshot: asking for writes against a
+// server with only immutable snapshots is a setup error.
+func TestWriteMixRequiresMutableSnapshot(t *testing.T) {
+	s := server.New(server.Config{Workers: 1})
+	if _, err := s.Store().Build(server.BuildSpec{Name: "main", Dataset: "uni", Scale: "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, err := Run(Options{BaseURL: ts.URL, Duration: 50 * time.Millisecond, Mix: Mix{Mutate: 1}}); err == nil {
+		t.Error("write mix against immutable-only server accepted")
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -62,6 +62,7 @@ type MetricsReport struct {
 	Cache         CacheStats            `json:"cache"`
 	Pool          PoolStats             `json:"pool"`
 	Snapshots     SnapshotStats         `json:"snapshots"`
+	Writes        WriteStats            `json:"writes"`
 }
 
 // CacheStats reports result-cache and coalescing effectiveness.

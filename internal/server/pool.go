@@ -22,6 +22,13 @@ func newWorkPool(n int) *workPool {
 }
 
 func (p *workPool) acquire(ctx context.Context) error {
+	// An already-dead context must always be rejected: when both select
+	// arms are ready Go picks one at random, so without this check a
+	// cancelled request could still be admitted and run its traversal.
+	if err := ctx.Err(); err != nil {
+		p.rejected.Add(1)
+		return err
+	}
 	select {
 	case p.sem <- struct{}{}:
 		return nil

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"time"
 
+	"graphreorder/internal/dynamic"
 	"graphreorder/internal/graph"
 )
 
@@ -53,6 +54,16 @@ type Config struct {
 	// AllowPathLoads permits POST /v1/snapshots specs that read graph
 	// files from the server's filesystem.
 	AllowPathLoads bool
+	// RefreshEvery is the re-reordering period of mutable snapshots, in
+	// write batches: every K-th published batch recomputes the ordering,
+	// the ones in between reuse the stale permutation via a cheap
+	// relabel (§VIII-B amortization). 0 means 8; negative disables
+	// periodic re-reordering entirely.
+	RefreshEvery int
+	// MaxHotDrift additionally re-reorders a mutable snapshot as soon as
+	// the fraction of vertices whose hot/cold classification changed
+	// since the last reordering exceeds it (0 disables the check).
+	MaxHotDrift float64
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +75,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 256 << 20
+	}
+	if c.RefreshEvery == 0 {
+		c.RefreshEvery = 8
+	} else if c.RefreshEvery < 0 {
+		c.RefreshEvery = 0 // dynamic.Policy: 0 disables periodic refresh
 	}
 	return c
 }
@@ -83,9 +99,11 @@ type Server struct {
 // New creates a Server with an empty snapshot store.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	store := NewStore(cfg.Workers)
+	store.SetRefreshPolicy(dynamic.Policy{Every: cfg.RefreshEvery, MaxHotDrift: cfg.MaxHotDrift})
 	return &Server{
 		cfg:     cfg,
-		store:   NewStore(cfg.Workers),
+		store:   store,
 		cache:   newResultCache(cfg.CacheBytes),
 		flight:  newFlightGroup(),
 		pool:    newWorkPool(cfg.MaxConcurrent),
@@ -97,13 +115,19 @@ func New(cfg Config) *Server {
 // Store exposes the snapshot store (for bootstrapping and tests).
 func (s *Server) Store() *Store { return s.store }
 
-// Shutdown waits for background snapshot builds to finish, up to the
-// context deadline. The HTTP listener itself is the caller's to drain
-// (http.Server.Shutdown); this covers the server's own goroutines.
+// Shutdown stops the mutation pipelines of live snapshots (finishing
+// any batch already dequeued, rejecting the rest) and waits for
+// background snapshot builds to finish, up to the context deadline. The
+// HTTP listener itself is the caller's to drain (http.Server.Shutdown);
+// this covers the server's own goroutines.
 func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
+		// Builds first: a mutable build finishing mid-shutdown registers
+		// its pipeline, which CloseLive must then stop — the other order
+		// would leak that pipeline's refresher.
 		s.store.WaitBuilds()
+		s.store.CloseLive()
 		close(done)
 	}()
 	select {
@@ -128,6 +152,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/snapshots/{name}", "snapshots.get", s.handleSnapshotGet)
 	route("GET /v1/snapshots/{name}/resolve", "snapshots.resolve", s.handleSnapshotResolve)
 	route("POST /v1/snapshots/{name}/activate", "snapshots.activate", s.handleSnapshotActivate)
+	route("POST /v1/snapshots/{name}/edges", "snapshots.mutate", s.handleMutate)
 	route("DELETE /v1/snapshots/{name}", "snapshots.drop", s.handleSnapshotDrop)
 	route("GET /v1/query/neighbors", "query.neighbors", s.handleNeighbors)
 	route("GET /v1/query/degree", "query.degree", s.handleDegree)
@@ -237,6 +262,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Draining:  s.store.DrainingCount(),
 			Swaps:     s.store.Swaps(),
 		},
+		Writes: s.store.writeStatsReport(),
 	})
 }
 
@@ -326,6 +352,72 @@ func (s *Server) handleSnapshotDrop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+// handleMutate is the write path: one atomic batch of edge updates
+// (plus optional vertex growth) against a mutable snapshot. The request
+// is serialized through the snapshot's mutation queue and acknowledged
+// only once a snapshot containing the batch is published — the receipt's
+// epoch is the read-your-writes token.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var body MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad mutation body: %v", err)
+		return
+	}
+	switch {
+	case len(body.Updates) == 0 && body.AddVertices == 0:
+		writeError(w, http.StatusBadRequest, "empty mutation: need updates or add_vertices")
+		return
+	case len(body.Updates) > maxMutateUpdates:
+		writeError(w, http.StatusBadRequest, "batch too large: %d updates (max %d)", len(body.Updates), maxMutateUpdates)
+		return
+	case body.AddVertices < 0 || body.AddVertices > maxAddVertices:
+		writeError(w, http.StatusBadRequest, "bad add_vertices %d (want 0..%d)", body.AddVertices, maxAddVertices)
+		return
+	}
+	lg := s.store.Live(name)
+	if lg == nil {
+		info, ok := s.store.Info(name)
+		switch {
+		case !ok:
+			writeError(w, http.StatusNotFound, "unknown snapshot %q", name)
+		case info.Mutable:
+			// Published by a mutation pipeline that has since shut down.
+			writeError(w, http.StatusServiceUnavailable, "%v", errLiveClosed)
+		default:
+			writeError(w, http.StatusConflict, "snapshot %q is immutable; build it with \"mutable\": true", name)
+		}
+		return
+	}
+	updates := make([]dynamic.Update, len(body.Updates))
+	for i, u := range body.Updates {
+		updates[i] = dynamic.Update{Remove: u.Remove, Edge: graph.Edge{Src: u.Src, Dst: u.Dst, Weight: u.Weight}}
+	}
+	req := &mutateReq{
+		updates:     updates,
+		addVertices: body.AddVertices,
+		enqueued:    time.Now(),
+		reply:       make(chan mutateReply, 1),
+	}
+	if err := lg.enqueue(req); err != nil {
+		s.store.writes.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	select {
+	case rep := <-req.reply:
+		if rep.err != nil {
+			writeError(w, rep.status, "%v", rep.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep.res)
+	case <-r.Context().Done():
+		// The batch may still apply and publish; the client just stopped
+		// waiting for its receipt.
+		writeError(w, http.StatusGatewayTimeout, "%v", r.Context().Err())
+	}
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"graphreorder"
+	"graphreorder/internal/dynamic"
 	"graphreorder/internal/gen"
 	"graphreorder/internal/graph"
 	"graphreorder/internal/reorder"
@@ -28,6 +29,7 @@ type Snapshot struct {
 	degree    graph.DegreeKind
 	perm      reorder.Permutation // nil when serving the original order
 	source    string
+	live      bool // published by a mutable snapshot's refresher pipeline
 
 	// Precomputed at build time, immutable afterwards.
 	ranks     []float64
@@ -64,6 +66,7 @@ type SnapshotInfo struct {
 	Technique    string  `json:"technique"`
 	Degree       string  `json:"degree"`
 	Source       string  `json:"source"`
+	Mutable      bool    `json:"mutable,omitempty"`
 	Built        string  `json:"built"`
 	LoadMs       float64 `json:"load_ms"`
 	ReorderMs    float64 `json:"reorder_ms"`
@@ -89,6 +92,7 @@ func (s *Snapshot) info(current bool) SnapshotInfo {
 		Technique:     s.technique,
 		Degree:        s.degree.String(),
 		Source:        s.source,
+		Mutable:       s.live,
 		Built:         s.built.UTC().Format(time.RFC3339),
 		LoadMs:        float64(s.loadTime.Microseconds()) / 1000,
 		ReorderMs:     float64(s.reorderTime.Microseconds()) / 1000,
@@ -120,6 +124,16 @@ type Store struct {
 	swaps  atomic.Uint64
 
 	draining []*Snapshot // retired with queries still in flight; mu-guarded
+	// dropping holds names mid-Drop: removed from the table but whose
+	// mutation pipeline may still be finishing a publish, which must be
+	// discarded rather than resurrect the name. mu-guarded.
+	dropping map[string]struct{}
+
+	// Dynamic-update pipelines for mutable snapshots (see live.go).
+	livePolicy dynamic.Policy
+	liveMu     sync.Mutex
+	live       map[string]*liveGraph
+	writes     writeStats
 
 	buildMu sync.Mutex
 	builds  map[string]*BuildStatus
@@ -127,12 +141,23 @@ type Store struct {
 }
 
 // NewStore creates an empty store whose build pipelines use the given
-// engine worker count (<= 0 means GOMAXPROCS).
+// engine worker count (<= 0 means GOMAXPROCS). Mutable snapshots
+// re-reorder every 8 write batches by default; SetRefreshPolicy tunes it.
 func NewStore(workers int) *Store {
-	st := &Store{workers: workers, builds: make(map[string]*BuildStatus)}
+	st := &Store{
+		workers:    workers,
+		builds:     make(map[string]*BuildStatus),
+		dropping:   make(map[string]struct{}),
+		livePolicy: dynamic.Policy{Every: 8},
+		live:       make(map[string]*liveGraph),
+	}
 	st.tab.Store(&snapTable{byName: map[string]*Snapshot{}})
 	return st
 }
+
+// SetRefreshPolicy sets the re-reordering policy applied to mutable
+// snapshots registered afterwards. Call before building them.
+func (st *Store) SetRefreshPolicy(p dynamic.Policy) { st.livePolicy = p }
 
 // Acquire returns the current snapshot with its refcount taken, plus the
 // release function, or (nil, nil) when nothing is published yet. It never
@@ -233,18 +258,28 @@ func (st *Store) Activate(name string) error {
 	return nil
 }
 
-// Drop removes a named snapshot from the table. The current snapshot
-// cannot be dropped. If queries are still running on it, the snapshot
-// moves to the draining list until the last one releases it.
+// Drop removes a named snapshot from the table, then stops its mutation
+// pipeline if it is live. The current snapshot cannot be dropped. If
+// queries are still running on it, the snapshot moves to the draining
+// list until the last one releases it.
+//
+// The check-and-remove happens atomically under mu *before* any side
+// effect, so a Drop that loses a race (e.g. against an Activate of the
+// same name) fails cleanly without having killed the pipeline. The
+// pipeline is stopped only afterwards — stopLive cannot run under mu
+// because the refresher may be mid-publish, which takes mu — and the
+// dropping tombstone makes such an in-flight publish discard its
+// snapshot instead of resurrecting the dropped name.
 func (st *Store) Drop(name string) error {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	old := st.tab.Load()
 	s, ok := old.byName[name]
 	if !ok {
+		st.mu.Unlock()
 		return fmt.Errorf("server: unknown snapshot %q", name)
 	}
 	if s == old.current {
+		st.mu.Unlock()
 		return errDropCurrent
 	}
 	byName := make(map[string]*Snapshot, len(old.byName))
@@ -259,6 +294,13 @@ func (st *Store) Drop(name string) error {
 		st.draining = append(st.draining, s)
 	}
 	st.sweepDrainedLocked()
+	st.dropping[name] = struct{}{}
+	st.mu.Unlock()
+
+	st.stopLive(name)
+	st.mu.Lock()
+	delete(st.dropping, name)
+	st.mu.Unlock()
 	return nil
 }
 
@@ -306,6 +348,11 @@ type BuildSpec struct {
 	MaxIters int `json:"max_iters,omitempty"`
 	// Activate makes the snapshot current as soon as it is published.
 	Activate bool `json:"activate,omitempty"`
+	// Mutable keeps the graph's pre-reorder form alive behind a write
+	// pipeline: the snapshot then accepts POST /v1/snapshots/{name}/edges
+	// batches and republishes itself (fresh epoch) after every batch,
+	// re-reordering on the store's refresh policy.
+	Mutable bool `json:"mutable,omitempty"`
 }
 
 // BuildStatus tracks one build pipeline for the admin API.
@@ -464,19 +511,22 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 	}
 	loadTime := time.Since(start)
 
-	// Stage 2: reorder.
+	// Stage 2: reorder. base keeps the as-loaded order alive for the
+	// mutation pipeline of a mutable snapshot.
+	base := g
 	techName := spec.Technique
 	if techName == "" {
 		techName = "original"
 	}
 	var (
+		tech        reorder.Technique = reorder.IdentityTechnique{}
 		perm        reorder.Permutation
 		reorderTime time.Duration
 		rebuildTime time.Duration
 	)
 	if techName != "original" {
 		status.setStage("reordering")
-		tech, err := reorder.ByName(techName)
+		tech, err = reorder.ByName(techName)
 		if err != nil {
 			return nil, err
 		}
@@ -513,6 +563,7 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 		degree:         kind,
 		perm:           perm,
 		source:         source,
+		live:           spec.Mutable,
 		ranks:          ranks,
 		rankIters:      iters,
 		rankSum:        rankSum,
@@ -522,15 +573,33 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 		rebuildTime:    rebuildTime,
 		precomputeTime: precomputeTime,
 	}
-	st.publish(snap, spec.Activate)
+	// Retire the name's previous mutation pipeline only now that the
+	// rebuild is certain to publish: a spec or load failure above leaves
+	// the old incarnation fully writable. stopLive waits for the old
+	// refresher to exit, so a publish it had in flight lands before —
+	// never after — the rebuilt snapshot's.
+	st.stopLive(spec.Name)
+	if !st.publish(snap, spec.Activate) {
+		// A concurrent Drop owns the name; do not resurrect it.
+		return nil, fmt.Errorf("server: snapshot %q was dropped during the build", spec.Name)
+	}
+	if spec.Mutable {
+		st.registerLive(newLiveGraph(st, spec, base, snap, tech, kind))
+	}
 	return snap, nil
 }
 
-// publish inserts snap into the table, optionally making it current. A
-// replaced same-name snapshot drains if it still has queries in flight.
-func (st *Store) publish(snap *Snapshot, activate bool) {
+// publish inserts snap into the table, optionally making it current,
+// and reports whether it did. A replaced same-name snapshot drains if it
+// still has queries in flight. Publishing a name that is mid-Drop is
+// refused (false): the dropper already removed it from the table and a
+// late refresher publish must not resurrect it.
+func (st *Store) publish(snap *Snapshot, activate bool) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if _, mid := st.dropping[snap.name]; mid {
+		return false
+	}
 	old := st.tab.Load()
 	byName := make(map[string]*Snapshot, len(old.byName)+1)
 	for k, v := range old.byName {
@@ -553,4 +622,5 @@ func (st *Store) publish(snap *Snapshot, activate bool) {
 		}
 	}
 	st.sweepDrainedLocked()
+	return true
 }

@@ -67,6 +67,127 @@ func TestResultCacheByteBudget(t *testing.T) {
 	}
 }
 
+// auditBytes recomputes the cache's byte total from scratch and checks
+// it against the maintained counter and the budget invariant.
+func auditBytes(t *testing.T, c *resultCache) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum int64
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		sum += el.Value.(*cacheEntry).cost
+	}
+	if sum != c.curBytes {
+		t.Fatalf("curBytes drifted: counter %d, actual %d", c.curBytes, sum)
+	}
+	if c.curBytes > c.maxBytes {
+		t.Fatalf("budget exceeded: %d > %d", c.curBytes, c.maxBytes)
+	}
+	if len(c.items) != c.ll.Len() {
+		t.Fatalf("items map (%d) and list (%d) out of sync", len(c.items), c.ll.Len())
+	}
+}
+
+// TestResultCacheUpdateEviction pins the re-add path: updating an
+// existing key at a larger cost must recharge the byte counter and evict
+// LRU entries if the new total exceeds the budget.
+func TestResultCacheUpdateEviction(t *testing.T) {
+	c := newResultCache(10)
+	c.add("a", 1, 4)
+	c.add("b", 2, 4)
+	auditBytes(t, c)
+	// Re-add "a" at cost 8: total would be 12 > 10, and since the update
+	// moved "a" to the front, "b" is the LRU victim.
+	c.add("a", 3, 8)
+	auditBytes(t, c)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted by a's recharge")
+	}
+	if v, ok := c.get("a"); !ok || v != 3 {
+		t.Fatalf("a = %v, %v; want 3, true", v, ok)
+	}
+	if c.bytes() != 8 {
+		t.Fatalf("bytes = %d, want 8", c.bytes())
+	}
+	// Shrinking an entry's cost must release budget.
+	c.add("a", 4, 2)
+	auditBytes(t, c)
+	if c.bytes() != 2 {
+		t.Fatalf("bytes after shrink = %d, want 2", c.bytes())
+	}
+	// An update that itself exceeds the whole budget is refused and must
+	// drop the now-superseded cached value rather than keep serving it.
+	c.add("a", 5, 100)
+	auditBytes(t, c)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("over-budget update left a stale value cached")
+	}
+	if c.bytes() != 0 {
+		t.Fatalf("bytes after refused update = %d, want 0", c.bytes())
+	}
+}
+
+// TestResultCacheAccountingNeverDrifts drives a deterministic mixed
+// workload (inserts, updates larger and smaller, evictions) and audits
+// the byte counter after every operation.
+func TestResultCacheAccountingNeverDrifts(t *testing.T) {
+	c := newResultCache(64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i%13)
+		cost := int64(1 + (i*7)%40)
+		c.add(key, i, cost)
+		auditBytes(t, c)
+		if i%3 == 0 {
+			c.get(fmt.Sprintf("k%d", (i*5)%13))
+		}
+	}
+}
+
+// TestResultCacheConcurrent hammers get/add from many goroutines; run
+// under -race it proves the locking discipline, and the final audit
+// proves no lost updates in the byte accounting.
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(1 << 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%17)
+				if i%2 == 0 {
+					c.add(key, i, int64(1+(i+w)%100))
+				} else {
+					c.get(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	auditBytes(t, c)
+}
+
+// TestWorkPoolRejectsDeadContext pins the fix for the admit-after-cancel
+// race: with free capacity and an already-cancelled context, acquire
+// must always reject — before the fix the two ready select arms were
+// chosen at random, nondeterministically admitting dead requests.
+func TestWorkPoolRejectsDeadContext(t *testing.T) {
+	p := newWorkPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 200; i++ {
+		if err := p.acquire(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: cancelled context admitted (err = %v)", i, err)
+		}
+	}
+	if p.inUse() != 0 {
+		t.Fatalf("inUse = %d after rejected acquires, want 0", p.inUse())
+	}
+	if p.rejected.Load() != 200 {
+		t.Errorf("rejected = %d, want 200", p.rejected.Load())
+	}
+}
+
 func TestFlightGroupCoalesces(t *testing.T) {
 	g := newFlightGroup()
 	var calls atomic.Int64
