@@ -41,9 +41,21 @@ type (
 	Technique = reorder.Technique
 	// Permutation maps original vertex IDs to new IDs.
 	Permutation = reorder.Permutation
-	// ReorderResult bundles the relabeled graph, the permutation and the
-	// measured reordering/rebuild times.
+	// ReorderResult bundles the relabeled graph, the permutation, the
+	// measured reordering/rebuild times and the new layout's
+	// ordering-quality report.
 	ReorderResult = reorder.Result
+	// Pipeline is a composable reordering plan: an ordered chain of
+	// techniques, each seeing the graph as relabeled by its predecessors.
+	// A Pipeline is itself a Technique.
+	Pipeline = reorder.Plan
+	// QualityReport measures how well a layout packs the hot working set:
+	// the paper's packing factor, hub working-set bytes and mean neighbor
+	// gap.
+	QualityReport = reorder.QualityReport
+	// Recommendation is the skew-gated advisor's verdict: a ready-to-run
+	// Pipeline plus the skew and packing evidence it rests on.
+	Recommendation = reorder.Recommendation
 )
 
 // BuildGraph converts an edge list into a Graph (neighbor lists sorted,
@@ -103,7 +115,7 @@ func DBG() Technique { return reorder.NewDBG() }
 
 // DBGWithGroups returns DBG with k geometric degree groups (k >= 2);
 // larger k packs hot vertices tighter at the cost of more structure
-// disruption.
+// disruption. Reachable by name as "dbg:<k>" in TechniqueByName.
 func DBGWithGroups(k int) (Technique, error) { return reorder.NewDBGGeometric(k, 0.5) }
 
 // Sort returns full descending-degree sorting.
@@ -121,10 +133,39 @@ func HubCluster() Technique { return reorder.HubCluster{} }
 // highest quality, prohibitive reordering cost.
 func Gorder() Technique { return reorder.Gorder{} }
 
-// TechniqueByName resolves a technique name (dbg, sort, hubsort,
+// TechniqueByName resolves a technique spec (dbg, sort, hubsort,
 // hubcluster, hubsort-o, hubcluster-o, gorder, gorder+dbg, rv, rcb-<n>,
-// dbg<k>, original).
+// dbg:<k>, auto, original), including "|"-chained pipeline specs such as
+// "dbg|gorder".
 func TechniqueByName(name string) (Technique, error) { return reorder.ByName(name) }
+
+// ComposeTechniques chains techniques into a Pipeline applied left to
+// right: each stage sees the graph as relabeled by the stages before it,
+// and the stage permutations compose into one.
+func ComposeTechniques(stages ...Technique) *Pipeline { return reorder.Compose(stages...) }
+
+// ParsePipeline parses a pipeline spec: one or more technique specs
+// joined by "|" (e.g. "dbg|gorder", "dbg:8|sort").
+func ParsePipeline(spec string) (*Pipeline, error) { return reorder.ParsePlan(spec) }
+
+// TechniqueAuto returns the skew-gated advisor as a technique: every
+// application consults Advise on the input graph and runs the recommended
+// pipeline — the identity on low-skew graphs, per the paper's
+// "reordering can hurt" finding. Registered as "auto" in TechniqueByName.
+func TechniqueAuto() Technique { return reorder.Auto{} }
+
+// Advise inspects g's degree skew (Table I) and current hot-vertex
+// packing (Table II) under the given degree kind and recommends a
+// reordering pipeline, or the identity when the skew gates say reordering
+// would not pay.
+func Advise(g *Graph, kind DegreeKind) Recommendation { return reorder.Advise(g, kind) }
+
+// EvaluateOrdering measures the ordering quality of g's current vertex
+// layout: packing factor, hub working-set bytes and mean neighbor gap.
+// Reordered graphs report this automatically via ReorderResult.Quality.
+func EvaluateOrdering(g *Graph, kind DegreeKind) QualityReport {
+	return reorder.Evaluate(g, kind, nil)
+}
 
 // Reorder applies a technique: it computes the permutation using degrees
 // of the given kind and relabels the graph, timing both phases.

@@ -255,3 +255,75 @@ func TestEndToEndReorderingImprovesSimulatedLocality(t *testing.T) {
 		t.Errorf("DBG did not reduce simulated L3 MPKI: %.2f -> %.2f", base.MPKI(3), dbg.MPKI(3))
 	}
 }
+
+func TestPipelineAndQualityFacade(t *testing.T) {
+	g, err := GenerateDataset("pl", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spec parsing, composition and the pipeline-as-Technique contract.
+	p, err := ParsePipeline("dbg|gorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "DBG|Gorder" {
+		t.Errorf("pipeline name = %q", p.Name())
+	}
+	if composed := ComposeTechniques(DBG(), Gorder()); composed.Name() != p.Name() {
+		t.Errorf("ComposeTechniques name = %q", composed.Name())
+	}
+	res, err := Reorder(g, p, OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := EvaluateOrdering(g, OutDegree)
+	if res.Quality.PackingFactor <= orig.PackingFactor {
+		t.Errorf("pipeline packing %v did not improve on original %v",
+			res.Quality.PackingFactor, orig.PackingFactor)
+	}
+	if res.Quality.PackingGain() > orig.PackingGain() {
+		t.Error("reordering increased the remaining packing headroom")
+	}
+	// Registry round-trips the parameterized DBG form.
+	if _, err := TechniqueByName("dbg:6"); err != nil {
+		t.Errorf("dbg:6 unresolvable: %v", err)
+	}
+	if _, err := TechniqueByName("dbg:1"); err == nil {
+		t.Error("dbg:1 accepted")
+	}
+}
+
+func TestAdvisorFacade(t *testing.T) {
+	pl, err := GenerateDataset("pl", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Advise(pl, OutDegree)
+	if !rec.Reorder() || rec.Spec != "dbg" {
+		t.Fatalf("power-law advice = %q (%s)", rec.Spec, rec.Reason)
+	}
+	uni, err := GenerateDataset("uni", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := Advise(uni, OutDegree); rec.Reorder() {
+		t.Errorf("uniform advice = %q (%s)", rec.Spec, rec.Reason)
+	}
+	// TechniqueAuto is the advisor as a technique, registry name "auto".
+	auto, err := TechniqueByName("auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Name() != TechniqueAuto().Name() {
+		t.Errorf("auto names diverge: %q vs %q", auto.Name(), TechniqueAuto().Name())
+	}
+	res, err := Reorder(uni, TechniqueAuto(), OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, id := range res.Perm {
+		if int(id) != v {
+			t.Fatalf("auto moved vertex %d on the uniform graph", v)
+		}
+	}
+}

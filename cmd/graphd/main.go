@@ -43,7 +43,7 @@ func main() {
 		scale    = flag.String("scale", "small", "tiny|small|medium|large (with -dataset)")
 		in       = flag.String("i", "", "graph file (text edge list or binary, auto-detected)")
 		name     = flag.String("name", "", "snapshot name (default: dataset or file base name)")
-		tech     = flag.String("technique", "dbg", "reordering technique for the initial snapshot (original = none)")
+		tech     = flag.String("technique", "dbg", "reordering spec for the initial snapshot: any registry name, a 'dbg|gorder'-style pipeline, 'auto' (skew-gated advisor) or 'original' (none)")
 		degree   = flag.String("degree", "out", "degree used for reordering: in|out")
 		workers  = flag.Int("workers", 0, "engine workers per traversal (0 = all cores)")
 		cacheMB  = flag.Int("cache-mb", 256, "result-cache budget in MiB")
@@ -53,6 +53,7 @@ func main() {
 		mutable  = flag.Bool("mutable", true, "serve the initial snapshot as a live graph accepting POST /v1/snapshots/{name}/edges")
 		refresh  = flag.Int("refresh-every", 8, "live snapshots: full re-reorder every N write batches (relabel reuse in between; <0 disables)")
 		hotDrift = flag.Float64("max-hot-drift", 0, "live snapshots: also re-reorder when this fraction of vertices changed hot/cold class (0 disables)")
+		minGain  = flag.Float64("min-refresh-gain", 0, "live snapshots: skip a policy-due re-reorder (cheap relabel instead) unless the predicted packing-factor gain is at least this factor (0 disables the advisor gate)")
 		selftest = flag.Bool("selftest", false, "run the in-process load test with a mid-run hot swap, then exit")
 		clients  = flag.Int("clients", 8, "selftest: concurrent clients")
 		duration = flag.Duration("duration", 3*time.Second, "selftest: load duration")
@@ -84,6 +85,7 @@ func main() {
 		AllowPathLoads: *allowFS,
 		RefreshEvery:   *refresh,
 		MaxHotDrift:    *hotDrift,
+		MinRefreshGain: *minGain,
 	})
 
 	spec := server.BuildSpec{
@@ -105,9 +107,13 @@ func main() {
 	}
 	info, _ := srv.Store().Info(snapName)
 	fmt.Fprintf(os.Stderr,
-		"graphd: snapshot %q ready in %v (%d vertices, %d edges, technique %s; load %.0fms reorder %.0fms rebuild %.0fms precompute %.0fms)\n",
+		"graphd: snapshot %q ready in %v (%d vertices, %d edges, technique %s; load %.0fms reorder %.0fms rebuild %.0fms precompute %.0fms; packing %.2f/%.2f)\n",
 		snapName, time.Since(start).Round(time.Millisecond), info.Vertices, info.Edges,
-		info.Technique, info.LoadMs, info.ReorderMs, info.RebuildMs, info.PrecomputeMs)
+		info.Technique, info.LoadMs, info.ReorderMs, info.RebuildMs, info.PrecomputeMs,
+		info.Quality.PackingFactor, info.Quality.Ideal)
+	if info.Advised != "" {
+		fmt.Fprintf(os.Stderr, "graphd: advisor chose %q: %s\n", info.Advised, info.AdviceReason)
+	}
 
 	if *selftest {
 		if *writeMix > 0 && !*mutable {

@@ -1,13 +1,22 @@
-// Command reorder applies a reordering technique to a graph file and
-// writes the relabeled graph.
+// Command reorder applies a reordering technique or pipeline to a graph
+// file and writes the relabeled graph.
 //
 // Usage:
 //
 //	reorder -technique dbg -degree out -i graph.txt -o graph.dbg.txt
+//	reorder -technique "dbg|gorder" -metrics -i graph.txt -o /dev/null
+//	reorder -technique auto -i graph.txt -o graph.auto.txt
 //
-// Input format is detected from content (binary magic) and output format
+// -technique accepts every registry spec: single techniques (dbg, sort,
+// hubsort, ...), parameterized forms (dbg:8, rcb-2), "|"-chained
+// pipelines (dbg|gorder), and "auto" — the skew-gated advisor, which
+// picks a hub-packing pipeline on skewed graphs and leaves low-skew
+// graphs untouched (the paper's "reordering can hurt" finding). Input
+// format is detected from content (binary magic) and output format
 // follows the input. Reordering and CSR-rebuild times are reported on
-// stderr, matching the cost accounting of the paper's Fig. 10.
+// stderr, matching the cost accounting of the paper's Fig. 10; -metrics
+// adds the ordering-quality report (packing factor, hub working set,
+// neighbor gap) of the original and produced layouts.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	graphreorder "graphreorder"
@@ -24,10 +34,11 @@ import (
 
 func main() {
 	var (
-		techName = flag.String("technique", "dbg", "dbg|sort|hubsort|hubcluster|hubsort-o|hubcluster-o|gorder|gorder+dbg|rv|rcb-<n>|dbg<k>")
+		techName = flag.String("technique", "dbg", "registry spec: dbg|sort|hubsort|hubcluster|hubsort-o|hubcluster-o|gorder|gorder+dbg|rv|rcb-<n>|dbg:<k>|auto, stages chained with '|'")
 		degree   = flag.String("degree", "out", "degree used for binning: in|out")
 		in       = flag.String("i", "", "input graph (text edge list or binary; default stdin)")
 		out      = flag.String("o", "", "output path (default stdout)")
+		metrics  = flag.Bool("metrics", false, "report ordering-quality metrics (packing factor, hub working set, neighbor gap) for the original and produced layouts")
 		timeout  = flag.Duration("timeout", 0, "abort reordering after this long (0 = no limit); checked at phase boundaries (permute/rebuild)")
 	)
 	flag.Parse()
@@ -43,10 +54,6 @@ func main() {
 		defer cancel()
 	}
 
-	tech, err := graphreorder.TechniqueByName(*techName)
-	if err != nil {
-		fatal(err)
-	}
 	var kind graphreorder.DegreeKind
 	switch *degree {
 	case "in":
@@ -71,12 +78,28 @@ func main() {
 		fatal(err)
 	}
 
+	// Resolve the technique after loading: "auto" needs the graph to
+	// advise on, and its verdict is worth a line either way. Match
+	// case-insensitively like the registry does.
+	var tech graphreorder.Technique
+	if strings.EqualFold(strings.TrimSpace(*techName), "auto") {
+		rec := graphreorder.Advise(g, kind)
+		fmt.Fprintf(os.Stderr, "reorder: advisor chose %q: %s\n", rec.Spec, rec.Reason)
+		tech = rec.Plan
+	} else if tech, err = graphreorder.TechniqueByName(*techName); err != nil {
+		fatal(err)
+	}
+
 	res, err := graphreorder.ReorderContext(ctx, g, tech, kind)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "reorder: %s on %d vertices / %d edges: permute %v, rebuild %v\n",
 		tech.Name(), g.NumVertices(), g.NumEdges(), res.ReorderTime, res.RebuildTime)
+	if *metrics {
+		printQuality("original", graphreorder.EvaluateOrdering(g, kind))
+		printQuality(tech.Name(), res.Quality)
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -95,6 +118,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+func printQuality(layout string, q graphreorder.QualityReport) {
+	fmt.Fprintf(os.Stderr,
+		"reorder: quality %-12s packing %.2f/%.2f (util %.0f%%), hub working set %d KiB (min %d), avg neighbor gap %.0f\n",
+		layout+":", q.PackingFactor, q.IdealPackingFactor, 100*q.PackingUtilization,
+		q.HubWorkingSetBytes>>10, q.MinHubWorkingSetBytes>>10, q.AvgNeighborGap)
 }
 
 func fatal(err error) {

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	graphreorder "graphreorder"
+)
+
+// TestReorderCommandEndToEnd runs the built command on a generated
+// power-law dataset with a composed pipeline spec and with the advisor,
+// asserting the quality metrics and advisor verdict reach stderr and the
+// output graph round-trips.
+func TestReorderCommandEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "pl.txt")
+	g, err := graphreorder.GenerateDataset("pl", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphreorder.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	run := func(args ...string) (string, string) {
+		t.Helper()
+		bin := filepath.Join(dir, "reorder.bin")
+		build := exec.Command("go", "build", "-o", bin, ".")
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("go build: %v\n%s", err, out)
+		}
+		cmd := exec.Command(bin, args...)
+		var stdout, stderr strings.Builder
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("reorder %v: %v\nstderr: %s", args, err, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+
+	outPath := filepath.Join(dir, "out.txt")
+	_, stderr := run("-technique", "dbg|gorder", "-metrics", "-i", in, "-o", outPath)
+	for _, marker := range []string{"DBG|Gorder", "quality original:", "quality DBG|Gorder:", "packing"} {
+		if !strings.Contains(stderr, marker) {
+			t.Errorf("pipeline stderr lacks %q:\n%s", marker, stderr)
+		}
+	}
+	of, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reordered, _, err := graphreorder.ReadGraphAuto(of)
+	of.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reordered.NumVertices() != g.NumVertices() || reordered.NumEdges() != g.NumEdges() {
+		t.Errorf("pipeline output %d/%d vertices/edges, want %d/%d",
+			reordered.NumVertices(), reordered.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+
+	_, stderr = run("-technique", "auto", "-metrics", "-i", in, "-o", filepath.Join(dir, "auto.txt"))
+	if !strings.Contains(stderr, `advisor chose "dbg"`) {
+		t.Errorf("auto stderr lacks the advisor verdict:\n%s", stderr)
+	}
+}

@@ -52,6 +52,41 @@
 // over Run with bit-identical results and ~0 dispatch overhead
 // (BenchmarkRunVsLegacy); see README.md for the migration table.
 //
+// # Reordering pipelines, quality metrics and the advisor
+//
+// Reordering techniques compose into pipelines: ComposeTechniques (or a
+// "dbg|gorder" registry spec via TechniqueByName/ParsePipeline) chains
+// stages left to right, each stage seeing the graph as relabeled by its
+// predecessors, with the stage permutations composed into one. A
+// Pipeline is itself a Technique; the single-technique entry points
+// (Reorder, ReorderContext, Engine.Reorder) are thin wrappers over
+// one-stage pipelines, so the two forms are interchangeable. Pipeline
+// cancellation is phase-grained like ReorderContext's: the context is
+// checked between stages and before the CSR rebuild, never mid-stage.
+//
+// Every executed reordering reports the quality of the layout it
+// produced in ReorderResult.Quality (standalone: EvaluateOrdering): the
+// paper's packing factor — hot vertices per cache block holding at least
+// one — against the contiguous-layout ideal, the hub working-set
+// footprint in bytes, and the mean neighbor ID gap. The contract: the
+// metrics describe the returned graph's physical layout, are computed
+// outside the timed ReorderTime/RebuildTime phases, and an edgeless
+// graph reports zeros (no working set to pack).
+//
+// Advise is the skew-gated ordering advisor. It measures degree skew
+// (hot-vertex fraction, hot edge coverage — Table I) and remaining
+// packing headroom (Table II) and recommends a hub-packing pipeline only
+// when all gates pass; otherwise it recommends the identity, encoding
+// the paper's finding that reordering low-skew graphs trades structure
+// for nothing. The Recommendation carries the ready-to-run Pipeline,
+// the measured evidence and a human-readable reason; TechniqueAuto()
+// (registry spec "auto") is the advisor as a Technique. The advisor is
+// deterministic: equal graphs yield equal recommendations. graphd
+// consults it for BuildSpec.Technique "auto" (recording the verdict in
+// the snapshot status), re-advises live snapshots on every policy
+// refresh, and RefreshPolicy.MinRefreshGain uses the same packing
+// prediction to skip re-reorders whose gain would not clear the bar.
+//
 // # Workers and the determinism contract
 //
 // The execution engine is multicore. The Workers knob appears on

@@ -1,7 +1,8 @@
-// Example graphdquery starts a graphd server in-process, builds two
-// snapshots of the same graph (original order and DBG-reordered),
-// queries both over real HTTP, and hot-swaps between them — a compact
-// tour of the serving API.
+// Example graphdquery starts a graphd server in-process, builds three
+// snapshots of the same graph (original order, DBG-reordered, and
+// advisor-chosen via "technique": "auto"), queries them over real HTTP,
+// hot-swaps between them, and prints each ordering's quality metrics —
+// a compact tour of the serving API.
 //
 // Run with: go run ./examples/graphdquery
 package main
@@ -66,6 +67,29 @@ func main() {
 	show("snapshots after the hot swap", "/v1/snapshots")
 	show("same query, reordered snapshot", "/v1/query/topk?k=5")
 	show("serving metrics", "/metrics")
+
+	// Let the skew-gated advisor pick the ordering: "auto" measures the
+	// graph's degree skew and hot-vertex packing at build time and picks
+	// a hub-packing pipeline (or leaves a low-skew graph untouched). The
+	// snapshot status records the verdict and the layout's quality.
+	spec, _ = json.Marshal(server.BuildSpec{
+		Name: "social-auto", Dataset: "lj", Scale: "tiny", Technique: "auto", Activate: true,
+	})
+	if resp, err = http.Post(ts.URL+"/v1/snapshots", "application/json", bytes.NewReader(spec)); err != nil {
+		fail(err)
+	}
+	resp.Body.Close()
+	srv.Store().WaitBuilds()
+	fmt.Println()
+	info, ok := srv.Store().Info("social-auto")
+	if !ok {
+		fail(fmt.Errorf("auto snapshot did not publish"))
+	}
+	fmt.Printf("auto snapshot: advisor chose %q (%s)\n", info.Advised, info.AdviceReason)
+	fmt.Printf("  quality: packing %.2f of ideal %.2f (util %.0f%%), hub working set %d B, avg neighbor gap %.0f\n",
+		info.Quality.PackingFactor, info.Quality.Ideal, 100*info.Quality.Utilization,
+		info.Quality.HubWorkingSetBytes, info.Quality.AvgNeighborGap)
+	show("advisor-built snapshot status", "/v1/snapshots/social-auto")
 }
 
 func fail(err error) {

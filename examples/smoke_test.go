@@ -23,7 +23,8 @@ var examplePrograms = []struct {
 	{"webrank", []string{"-scale", "tiny"}, []string{"web graph:", "technique", "DBG", "Gorder"}},
 	{"socialradii", []string{"-scale", "tiny"}, []string{"social graph:", "ordering", "original", "DBG"}},
 	{"cachesim", []string{"-scale", "tiny"}, []string{"dataset sd/tiny", "L1 MPKI", "original", "DBG"}},
-	{"graphdquery", nil, []string{"graphd serving at", "query/topk", "snapshots after the hot swap", "social-dbg"}},
+	{"graphdquery", nil, []string{"graphd serving at", "query/topk", "snapshots after the hot swap", "social-dbg",
+		"advisor chose \"dbg\"", "packing_factor"}},
 }
 
 func TestExamplesRun(t *testing.T) {

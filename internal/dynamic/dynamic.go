@@ -266,6 +266,15 @@ type Policy struct {
 	// directly: the stale ordering is kept exactly while the hot set it
 	// was built for still holds.
 	MaxHotDrift float64
+	// MinRefreshGain, when positive, consults the ordering-quality
+	// metrics before a policy-due refresh: the full re-reorder is skipped
+	// (the cheap stale-permutation relabel happens instead) unless the
+	// predicted packing-factor gain of a fresh hub-packing ordering over
+	// the current stale layout is at least this factor. This is the
+	// paper's skew gate applied over time — mutations that do not degrade
+	// hot-vertex packing never trigger the expensive recompute. Refreshes
+	// forced by a vertex-space change are never skipped.
+	MinRefreshGain float64
 }
 
 // Reorderer maintains a reordered view of a dynamic graph under a
@@ -276,6 +285,11 @@ type Reorderer struct {
 	kind   graph.DegreeKind
 	policy Policy
 
+	// Workers is the worker count for the CSR rebuilds a View performs
+	// (refresh relabel and stale-permutation relabel alike); 0 or 1 pins
+	// the sequential rebuild.
+	Workers int
+
 	perm            reorder.Permutation
 	view            *graph.Graph
 	batchesAtPerm   int
@@ -285,6 +299,14 @@ type Reorderer struct {
 	Refreshes int
 	// Relabels counts cheap stale-permutation relabels between refreshes.
 	Relabels int
+	// GainSkips counts policy-due refreshes skipped because the predicted
+	// packing-factor gain was below Policy.MinRefreshGain.
+	GainSkips int
+	// LastQuality is the ordering-quality report of the view produced by
+	// the most recent refresh (zero until the first refresh). Relabel
+	// reuses do not update it — consumers wanting the current layout's
+	// quality after a relabel evaluate the view themselves.
+	LastQuality reorder.QualityReport
 }
 
 // NewReorderer builds a Reorderer; the first View call performs the
@@ -330,19 +352,31 @@ func (r *Reorderer) View(d *Graph) (*graph.Graph, reorder.Permutation, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	due := r.batchesAtPerm < 0 || // never ordered
-		len(r.perm) != g.NumVertices() || // vertex space changed
+	// A missing ordering or a changed vertex space forces a refresh; the
+	// quality gate below must not override either.
+	forced := r.batchesAtPerm < 0 || len(r.perm) != g.NumVertices()
+	due := forced ||
 		(r.policy.Every > 0 && d.Batches()-r.batchesAtPerm >= r.policy.Every)
 	if !due && r.policy.MaxHotDrift > 0 && d.Batches() != r.batchesAtPerm {
 		due = r.hotDrift(d) > r.policy.MaxHotDrift
 	}
+	if due && !forced && r.policy.MinRefreshGain > 0 {
+		// Advisor gate: measure the snapshot's packing under the stale
+		// permutation; if a fresh hub-packing ordering cannot beat it by
+		// the configured factor, the cheap relabel below suffices.
+		if reorder.Evaluate(g, r.kind, r.perm).PackingGain() < r.policy.MinRefreshGain {
+			due = false
+			r.GainSkips++
+		}
+	}
 	if due {
-		res, err := reorder.Apply(g, r.tech, r.kind)
+		res, err := reorder.PlanOf(r.tech).ApplyWorkers(g, r.kind, r.Workers)
 		if err != nil {
 			return nil, nil, err
 		}
 		r.perm = res.Perm
 		r.view = res.Graph
+		r.LastQuality = res.Quality
 		r.batchesAtPerm = d.Batches()
 		r.lastViewBatches = d.Batches()
 		r.hotAtPerm = d.hotVector(r.kind)
@@ -353,7 +387,7 @@ func (r *Reorderer) View(d *Graph) (*graph.Graph, reorder.Permutation, error) {
 		// Stale permutation, fresh edges: relabel the current snapshot
 		// with the old permutation (cheap compared to recomputing it, and
 		// exactly the reuse §VIII-B argues for).
-		view, err := g.Relabel(r.perm)
+		view, err := g.RelabelWorkers(r.perm, r.Workers)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -31,7 +31,7 @@ func (r *Runner) AblationGenOrder() error {
 			return err
 		}
 		tGen := time.Since(start)
-		res, err := reorder.ApplyWorkers(g, d, graph.OutDegree, r.rebuildWorkers())
+		res, err := reorder.PlanOf(d).ApplyWorkers(g, graph.OutDegree, r.rebuildWorkers())
 		if err != nil {
 			return err
 		}

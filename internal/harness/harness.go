@@ -158,7 +158,7 @@ func (r *Runner) Reorder(name string, tech reorder.Technique, kind graph.DegreeK
 	if err != nil {
 		return nil, err
 	}
-	res, err := reorder.ApplyWorkers(g, tech, kind, r.rebuildWorkers())
+	res, err := reorder.PlanOf(tech).ApplyWorkers(g, kind, r.rebuildWorkers())
 	if err != nil {
 		return nil, err
 	}

@@ -177,8 +177,8 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig3", "fig5", "table11", "fig6", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "table12", "ablation-groups", "ablation-gorderdbg",
-		"ablation-genorder", "ablation-dynamic",
+		"fig10", "fig11", "table12", "quality", "ablation-groups",
+		"ablation-gorderdbg", "ablation-genorder", "ablation-dynamic",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
@@ -199,13 +199,16 @@ func TestTimingExperimentsSmoke(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	r := tinyRunner(&buf)
-	for _, id := range []string{"fig3", "table11", "fig9", "table12"} {
+	for _, id := range []string{"fig3", "table11", "fig9", "table12", "quality"} {
 		if err := r.RunByID(id); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 	}
 	if !strings.Contains(buf.String(), "Fig. 3") {
 		t.Error("fig3 output missing")
+	}
+	if !strings.Contains(buf.String(), "advisor: uni -> original") {
+		t.Error("quality experiment did not report the advisor's no-skew verdict")
 	}
 }
 

@@ -1,0 +1,136 @@
+package reorder
+
+import (
+	"fmt"
+
+	"graphreorder/internal/graph"
+	"graphreorder/internal/stats"
+)
+
+// The skew-gated advisor. The paper's finding is two-sided: lightweight
+// reordering pays off on graphs whose degree skew concentrates most edges
+// on a small hot vertex set (Fig. 6), and it is neutral-to-harmful when
+// the skew is absent (Fig. 7) or the hot set is already packed. Advise
+// encodes that decision procedure: measure the skew (Table I) and the
+// layout's remaining packing headroom (Table II), and recommend a
+// hub-aware pipeline only when both say reordering will pay.
+
+// AdvisorConfig tunes the advisor's gates. The zero value uses defaults
+// calibrated on the paper's dataset suite: the eight skewed datasets pass
+// all three gates, the no-skew pair (uniform, road) fails the skew gates.
+type AdvisorConfig struct {
+	// MaxHotFrac is the largest hot-vertex fraction still considered
+	// skewed; above it (uniform-ish degree distributions classify about
+	// half the vertices hot) reordering has nothing to concentrate.
+	// 0 means 1/3.
+	MaxHotFrac float64
+	// MinEdgeCoverage is the smallest fraction of edges the hot set must
+	// cover for reordering to matter; 0 means 0.6.
+	MinEdgeCoverage float64
+	// MinPackingGain is the smallest predicted packing-factor improvement
+	// (ideal / current) worth a reorder; below it the hot set is already
+	// packed. 0 means 1.25.
+	MinPackingGain float64
+	// Quality configures the block arithmetic of the packing estimate.
+	Quality QualityOptions
+}
+
+func (c AdvisorConfig) withDefaults() AdvisorConfig {
+	if c.MaxHotFrac <= 0 {
+		c.MaxHotFrac = 1.0 / 3
+	}
+	if c.MinEdgeCoverage <= 0 {
+		c.MinEdgeCoverage = 0.6
+	}
+	if c.MinPackingGain <= 0 {
+		c.MinPackingGain = 1.25
+	}
+	return c
+}
+
+// Recommendation is the advisor's verdict: a ready-to-run Plan plus the
+// evidence it was based on.
+type Recommendation struct {
+	// Spec is the registry spec of the recommended pipeline ("dbg",
+	// "original"), suitable for logs, BuildSpecs and ByName round-trips.
+	Spec string
+	// Plan executes the recommendation (the identity plan when Spec is
+	// "original").
+	Plan *Plan
+	// Reason explains the verdict in one sentence.
+	Reason string
+	// HotFrac and EdgeCoverage are the measured Table I skew statistics.
+	HotFrac, EdgeCoverage float64
+	// CurrentPacking is the layout's measured packing factor and
+	// PredictedPacking the contiguous ideal; PredictedGain is their
+	// ratio, clamped to >= 1.
+	CurrentPacking, PredictedPacking, PredictedGain float64
+}
+
+// Reorder reports whether the recommendation is an actual reordering
+// (false means serve the original order).
+func (r Recommendation) Reorder() bool { return r.Spec != "original" }
+
+// Advise inspects g's degree skew and current hot-vertex packing and
+// recommends a reordering pipeline — or the identity, per the paper's
+// "reordering can hurt" finding — using the default gates.
+func Advise(g *graph.Graph, kind graph.DegreeKind) Recommendation {
+	return AdviseConfig(g, kind, AdvisorConfig{})
+}
+
+// AdviseConfig is Advise with explicit gates.
+func AdviseConfig(g *graph.Graph, kind graph.DegreeKind, cfg AdvisorConfig) Recommendation {
+	cfg = cfg.withDefaults()
+	rec := Recommendation{Spec: "original", Plan: Compose(), PredictedGain: 1}
+
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		rec.Reason = "graph has no edges: nothing to reorder"
+		return rec
+	}
+	skew := stats.ComputeSkew(g, kind)
+	q := EvaluateOpts(g, kind, nil, cfg.Quality)
+	rec.HotFrac = skew.HotFrac
+	rec.EdgeCoverage = skew.EdgeCoverage
+	rec.CurrentPacking = q.PackingFactor
+	rec.PredictedPacking = q.IdealPackingFactor
+	rec.PredictedGain = q.PackingGain()
+
+	switch {
+	case skew.HotFrac > cfg.MaxHotFrac:
+		rec.Reason = fmt.Sprintf(
+			"degree distribution is not skewed (%.0f%% of vertices are hot, above the %.0f%% gate): hub packing would disrupt structure for no locality win",
+			100*skew.HotFrac, 100*cfg.MaxHotFrac)
+	case skew.EdgeCoverage < cfg.MinEdgeCoverage:
+		rec.Reason = fmt.Sprintf(
+			"hot vertices cover only %.0f%% of edges (below the %.0f%% gate): too little traffic concentrates on hubs to reward packing them",
+			100*skew.EdgeCoverage, 100*cfg.MinEdgeCoverage)
+	case rec.PredictedGain < cfg.MinPackingGain:
+		rec.Reason = fmt.Sprintf(
+			"hot vertices are already packed (packing factor %.2f of an ideal %.2f, gain %.2fx below the %.2fx gate)",
+			q.PackingFactor, q.IdealPackingFactor, rec.PredictedGain, cfg.MinPackingGain)
+	default:
+		rec.Spec = "dbg"
+		rec.Plan = Compose(NewDBG())
+		rec.Reason = fmt.Sprintf(
+			"skewed degrees (%.0f%% hot vertices cover %.0f%% of edges) and a %.2fx packing-factor headroom (%.2f -> %.2f): DBG packs hubs while preserving structure",
+			100*skew.HotFrac, 100*skew.EdgeCoverage, rec.PredictedGain, q.PackingFactor, q.IdealPackingFactor)
+	}
+	return rec
+}
+
+// Auto is the advisor as a Technique: each Permute call runs Advise on
+// the input graph and executes the recommended plan. Registered as
+// "auto" in the registry; on low-skew graphs it deliberately returns the
+// identity permutation.
+type Auto struct {
+	// Config tunes the advisor gates; the zero value uses defaults.
+	Config AdvisorConfig
+}
+
+// Name implements Technique.
+func (Auto) Name() string { return "Auto" }
+
+// Permute implements Technique.
+func (a Auto) Permute(g *graph.Graph, kind graph.DegreeKind) (Permutation, error) {
+	return AdviseConfig(g, kind, a.Config).Plan.Permute(g, kind)
+}

@@ -1,0 +1,162 @@
+package reorder
+
+import (
+	"strings"
+	"testing"
+
+	"graphreorder/internal/gen"
+	"graphreorder/internal/graph"
+)
+
+// TestAdvisorRoutesPowerLawToHubAware is the acceptance property: on a
+// generated power-law graph the advisor must pick a hub-aware technique,
+// and applying its plan must measurably improve the packing factor over
+// the original order.
+func TestAdvisorRoutesPowerLawToHubAware(t *testing.T) {
+	g, err := gen.Generate(gen.MustDataset("pl", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Advise(g, graph.OutDegree)
+	if !rec.Reorder() || rec.Spec != "dbg" {
+		t.Fatalf("power-law graph advised %q (%s), want dbg", rec.Spec, rec.Reason)
+	}
+	if rec.PredictedGain <= 1.25 {
+		t.Errorf("predicted gain %v suspiciously low for a power-law graph", rec.PredictedGain)
+	}
+	before := Evaluate(g, graph.OutDegree, nil)
+	res, err := rec.Plan.Apply(g, graph.OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality.PackingFactor <= before.PackingFactor {
+		t.Errorf("measured packing did not improve: %v -> %v",
+			before.PackingFactor, res.Quality.PackingFactor)
+	}
+	// The prediction must be honest: the realized packing reaches the
+	// advertised ideal (DBG packs all hot vertices contiguously).
+	if res.Quality.PackingFactor < rec.PredictedPacking*0.95 {
+		t.Errorf("realized packing %v fell short of predicted %v",
+			res.Quality.PackingFactor, rec.PredictedPacking)
+	}
+}
+
+// TestAdvisorRoutesUniformToIdentity is the other half of the acceptance
+// property: a uniform-degree graph must be left alone.
+func TestAdvisorRoutesUniformToIdentity(t *testing.T) {
+	g, err := gen.Generate(gen.MustDataset("uni", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Advise(g, graph.OutDegree)
+	if rec.Reorder() {
+		t.Fatalf("uniform graph advised %q (%s), want original", rec.Spec, rec.Reason)
+	}
+	if !strings.Contains(rec.Reason, "not skewed") {
+		t.Errorf("reason %q does not name the skew gate", rec.Reason)
+	}
+	// The identity plan really is the identity.
+	perm, err := rec.Plan.Permute(g, graph.OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, id := range perm {
+		if int(id) != v {
+			t.Fatalf("identity plan moved vertex %d to %d", v, id)
+		}
+	}
+}
+
+func TestAdvisorSkewedSuiteAndNoSkewSuite(t *testing.T) {
+	// Every skewed dataset passes the gates; both no-skew datasets fail.
+	for _, name := range gen.SkewedNames() {
+		g, err := gen.Generate(gen.MustDataset(name, gen.Tiny))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []graph.DegreeKind{graph.InDegree, graph.OutDegree} {
+			if rec := Advise(g, kind); !rec.Reorder() {
+				t.Errorf("%s/%v: advised %q (%s)", name, kind, rec.Spec, rec.Reason)
+			}
+		}
+	}
+	for _, name := range gen.NoSkewNames() {
+		g, err := gen.Generate(gen.MustDataset(name, gen.Tiny))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec := Advise(g, graph.OutDegree); rec.Reorder() {
+			t.Errorf("%s: advised %q (%s), want original", name, rec.Spec, rec.Reason)
+		}
+	}
+}
+
+func TestAdvisorConfigGates(t *testing.T) {
+	g, err := gen.Generate(gen.MustDataset("pl", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unreachable packing-gain gate turns even a skewed graph away.
+	rec := AdviseConfig(g, graph.OutDegree, AdvisorConfig{MinPackingGain: 100})
+	if rec.Reorder() {
+		t.Errorf("gain gate 100x still advised %q", rec.Spec)
+	}
+	if !strings.Contains(rec.Reason, "already packed") {
+		t.Errorf("reason %q does not name the packing gate", rec.Reason)
+	}
+	// Relaxing every gate flips a uniform graph to reorder.
+	uni, err := gen.Generate(gen.MustDataset("uni", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = AdviseConfig(uni, graph.OutDegree, AdvisorConfig{
+		MaxHotFrac: 0.99, MinEdgeCoverage: 0.01, MinPackingGain: 1.01,
+	})
+	if !rec.Reorder() {
+		t.Errorf("fully relaxed gates still advised original: %s", rec.Reason)
+	}
+}
+
+func TestAdvisorEmptyAndEdgeless(t *testing.T) {
+	empty, _ := graph.Build(nil)
+	if rec := Advise(empty, graph.OutDegree); rec.Reorder() {
+		t.Errorf("empty graph advised %q", rec.Spec)
+	}
+	iso, _ := graph.BuildWith(nil, graph.BuildOptions{NumVertices: 5})
+	if rec := Advise(iso, graph.OutDegree); rec.Reorder() {
+		t.Errorf("edgeless graph advised %q", rec.Spec)
+	}
+}
+
+func TestAutoTechnique(t *testing.T) {
+	pl, err := gen.Generate(gen.MustDataset("pl", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Apply(pl, Auto{}, graph.OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbg, err := Apply(pl, NewDBG(), graph.OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Quality.PackingFactor != dbg.Quality.PackingFactor {
+		t.Errorf("auto on a skewed graph (packing %v) != DBG (%v)",
+			auto.Quality.PackingFactor, dbg.Quality.PackingFactor)
+	}
+
+	uni, err := gen.Generate(gen.MustDataset("uni", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := Auto{}.Permute(uni, graph.OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, id := range perm {
+		if int(id) != v {
+			t.Fatalf("auto moved vertex %d on a uniform graph", v)
+		}
+	}
+}

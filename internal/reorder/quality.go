@@ -1,0 +1,185 @@
+package reorder
+
+import (
+	"math"
+
+	"graphreorder/internal/graph"
+	"graphreorder/internal/stats"
+)
+
+// Ordering-quality metrics. The paper's central measurement (Table II) is
+// the packing factor: how many hot vertices share each cache block that
+// holds at least one. A layout that packs hot vertices densely serves the
+// hot working set from few blocks; a layout that scatters them wastes most
+// of each block's capacity on cold neighbors. Evaluate computes that
+// metric — plus the hub working-set footprint and a structure-locality
+// proxy — for any graph under any candidate permutation, which is what
+// lets the advisor and the serving layer reason about whether a reordering
+// paid off (or would pay off) without running a single query.
+
+// QualityOptions configures the cache-block arithmetic of Evaluate.
+// The zero value uses the paper's constants: 64 B blocks, 8 B per-vertex
+// properties, and "hot" meaning degree >= the average degree.
+type QualityOptions struct {
+	// BlockBytes is the cache-line size; 0 means 64.
+	BlockBytes int
+	// PropertyBytes is the per-vertex property size; 0 means 8.
+	PropertyBytes int
+	// HotMultiple scales the hot threshold: a vertex is hot when its
+	// degree >= HotMultiple * average degree; 0 means 1.
+	HotMultiple float64
+}
+
+func (o QualityOptions) withDefaults() QualityOptions {
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = stats.CacheBlockBytes
+	}
+	if o.PropertyBytes <= 0 {
+		o.PropertyBytes = stats.DefaultPropertyBytes
+	}
+	if o.HotMultiple <= 0 {
+		o.HotMultiple = 1
+	}
+	return o
+}
+
+// verticesPerBlock returns how many vertex properties share a cache block
+// (at least 1).
+func (o QualityOptions) verticesPerBlock() int {
+	per := o.BlockBytes / o.PropertyBytes
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// QualityReport measures how well a vertex layout packs the hot working
+// set, per the paper's §IV analysis. All block arithmetic uses the options
+// the report was computed with (recorded in BlockBytes/PropertyBytes).
+type QualityReport struct {
+	// BlockBytes and PropertyBytes record the arithmetic used.
+	BlockBytes    int
+	PropertyBytes int
+	// HotThresholdDeg is the degree at and above which a vertex counted
+	// as hot (HotMultiple * average degree).
+	HotThresholdDeg float64
+	// HotVertices is how many vertices are hot under that threshold.
+	HotVertices int
+	// PackingFactor is the paper's Table II metric under this layout: the
+	// mean number of hot vertices per cache block, counting only blocks
+	// that hold at least one hot vertex. Higher is better; the ceiling is
+	// BlockBytes/PropertyBytes (8 with the defaults).
+	PackingFactor float64
+	// IdealPackingFactor is the packing factor a perfectly contiguous hot
+	// region would achieve for the same hot-vertex count — the best any
+	// reordering of this graph could do.
+	IdealPackingFactor float64
+	// PackingUtilization is PackingFactor / IdealPackingFactor in (0, 1];
+	// 0 when the graph has no hot vertices.
+	PackingUtilization float64
+	// HubWorkingSetBytes is the combined size of all cache blocks holding
+	// at least one hot vertex — the cache footprint the hot properties
+	// drag in under this layout.
+	HubWorkingSetBytes int64
+	// MinHubWorkingSetBytes is the footprint of the same hot set if
+	// packed contiguously (the Table III ideal).
+	MinHubWorkingSetBytes int64
+	// AvgNeighborGap is the mean |position(src) - position(dst)| over all
+	// edges — the structure-locality proxy: small gaps mean neighbors
+	// live nearby in memory.
+	AvgNeighborGap float64
+}
+
+// PackingGain returns the multiplicative packing-factor improvement still
+// available to a hub-packing reordering of this layout:
+// IdealPackingFactor / PackingFactor. 1 means the hot set is already
+// packed as tightly as possible (or there is nothing to pack).
+func (q QualityReport) PackingGain() float64 {
+	if q.PackingFactor <= 0 || q.IdealPackingFactor <= 0 {
+		return 1
+	}
+	gain := q.IdealPackingFactor / q.PackingFactor
+	if gain < 1 {
+		return 1
+	}
+	return gain
+}
+
+// Evaluate computes the ordering-quality report for g under perm, using
+// the paper's default block arithmetic. perm maps g's vertex IDs to
+// layout positions; nil means g's current ID order is the layout (the
+// common case after Relabel, where the reordered graph's IDs are the
+// layout). Cost is one O(V) pass over the degrees plus one O(E) pass over
+// the edges; nothing is materialized.
+func Evaluate(g *graph.Graph, kind graph.DegreeKind, perm Permutation) QualityReport {
+	return EvaluateOpts(g, kind, perm, QualityOptions{})
+}
+
+// EvaluateOpts is Evaluate with explicit block/hot-threshold options.
+func EvaluateOpts(g *graph.Graph, kind graph.DegreeKind, perm Permutation, opts QualityOptions) QualityReport {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	rep := QualityReport{
+		BlockBytes:      opts.BlockBytes,
+		PropertyBytes:   opts.PropertyBytes,
+		HotThresholdDeg: opts.HotMultiple * g.AvgDegree(),
+	}
+	// An edgeless graph has average degree 0, which would classify every
+	// vertex as hot; there is no working set to pack, so report zeros.
+	if n == 0 || g.NumEdges() == 0 {
+		return rep
+	}
+	perBlock := opts.verticesPerBlock()
+	degs := g.Degrees(kind)
+
+	// Hot-vertex count per block under the layout.
+	numBlocks := (n + perBlock - 1) / perBlock
+	hotInBlock := make([]int32, numBlocks)
+	hot := 0
+	for v, d := range degs {
+		if float64(d) < rep.HotThresholdDeg {
+			continue
+		}
+		hot++
+		pos := v
+		if perm != nil {
+			pos = int(perm[v])
+		}
+		hotInBlock[pos/perBlock]++
+	}
+	rep.HotVertices = hot
+	if hot > 0 {
+		blocksWithHot := 0
+		for _, c := range hotInBlock {
+			if c > 0 {
+				blocksWithHot++
+			}
+		}
+		minBlocks := (hot + perBlock - 1) / perBlock
+		rep.PackingFactor = float64(hot) / float64(blocksWithHot)
+		rep.IdealPackingFactor = float64(hot) / float64(minBlocks)
+		rep.PackingUtilization = rep.PackingFactor / rep.IdealPackingFactor
+		rep.HubWorkingSetBytes = int64(blocksWithHot) * int64(opts.BlockBytes)
+		rep.MinHubWorkingSetBytes = int64(minBlocks) * int64(opts.BlockBytes)
+	}
+
+	// Mean neighbor gap under the layout.
+	if e := g.NumEdges(); e > 0 {
+		var sum float64
+		for v := 0; v < n; v++ {
+			srcPos := int64(v)
+			if perm != nil {
+				srcPos = int64(perm[v])
+			}
+			for _, dst := range g.OutNeighbors(graph.VertexID(v)) {
+				dstPos := int64(dst)
+				if perm != nil {
+					dstPos = int64(perm[dst])
+				}
+				sum += math.Abs(float64(srcPos - dstPos))
+			}
+		}
+		rep.AvgNeighborGap = sum / float64(e)
+	}
+	return rep
+}

@@ -1,0 +1,191 @@
+package reorder
+
+import (
+	"math"
+	"testing"
+
+	"graphreorder/internal/gen"
+	"graphreorder/internal/graph"
+)
+
+// starGraph builds a graph whose hot set is exactly the given hub
+// vertices: every hub points at enough distinct cold vertices to stay hot.
+func qualityFixture(t testing.TB) *graph.Graph {
+	t.Helper()
+	// 16 vertices, hubs at 0 and 8 (one per cache block under the default
+	// 8-per-block layout). Hub degree 6, everyone else 0 or tiny.
+	var edges []graph.Edge
+	for _, hub := range []graph.VertexID{0, 8} {
+		for i := 1; i <= 6; i++ {
+			edges = append(edges, graph.Edge{Src: hub, Dst: graph.VertexID((int(hub) + i) % 16)})
+		}
+	}
+	// A couple of cold edges so avg degree stays below hub degree.
+	edges = append(edges, graph.Edge{Src: 3, Dst: 4})
+	g, err := graph.BuildWith(edges, graph.BuildOptions{NumVertices: 16, SortNeighbors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEvaluateHandExample(t *testing.T) {
+	g := qualityFixture(t)
+	// avg degree = 13/16 ≈ 0.81; hot = degree >= avg = every vertex with
+	// an out-edge. Vertices 0, 8 (deg 6) and 3 (deg 1) are hot.
+	q := Evaluate(g, graph.OutDegree, nil)
+	if q.HotVertices != 3 {
+		t.Fatalf("hot vertices = %d, want 3", q.HotVertices)
+	}
+	// Layout blocks (8 vertices each): block 0 holds hot {0, 3}, block 1
+	// holds hot {8} -> packing factor (2+1)/2 = 1.5; ideal packs all 3 in
+	// one block -> 3.
+	if q.PackingFactor != 1.5 {
+		t.Errorf("packing factor = %v, want 1.5", q.PackingFactor)
+	}
+	if q.IdealPackingFactor != 3 {
+		t.Errorf("ideal packing factor = %v, want 3", q.IdealPackingFactor)
+	}
+	if q.PackingUtilization != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", q.PackingUtilization)
+	}
+	if q.HubWorkingSetBytes != 128 || q.MinHubWorkingSetBytes != 64 {
+		t.Errorf("hub working set = %d (min %d), want 128 (min 64)",
+			q.HubWorkingSetBytes, q.MinHubWorkingSetBytes)
+	}
+	if got := q.PackingGain(); got != 2 {
+		t.Errorf("packing gain = %v, want 2", got)
+	}
+
+	// Packing the three hot vertices contiguously reaches the ideal.
+	perm := HubCluster{}.PermuteDegrees(g.Degrees(graph.OutDegree), g.AvgDegree())
+	packed := Evaluate(g, graph.OutDegree, perm)
+	if packed.PackingFactor != 3 || packed.PackingUtilization != 1 {
+		t.Errorf("packed layout: factor %v util %v, want 3 and 1",
+			packed.PackingFactor, packed.PackingUtilization)
+	}
+	if packed.PackingGain() != 1 {
+		t.Errorf("packed layout gain = %v, want 1", packed.PackingGain())
+	}
+}
+
+func TestEvaluateNeighborGap(t *testing.T) {
+	// A 4-vertex path 0->1->2->3 has every edge at gap 1.
+	g, err := graph.Build([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap := Evaluate(g, graph.OutDegree, nil).AvgNeighborGap; gap != 1 {
+		t.Errorf("path gap = %v, want 1", gap)
+	}
+	// Reversing the layout keeps the gap; scattering to {0,3,1,2} does not.
+	rev := Permutation{3, 2, 1, 0}
+	if gap := Evaluate(g, graph.OutDegree, rev).AvgNeighborGap; gap != 1 {
+		t.Errorf("reversed gap = %v, want 1", gap)
+	}
+	scramble := Permutation{0, 3, 1, 2}
+	if gap := Evaluate(g, graph.OutDegree, scramble).AvgNeighborGap; gap <= 1 {
+		t.Errorf("scrambled gap = %v, want > 1", gap)
+	}
+}
+
+func TestEvaluatePermMatchesRelabeled(t *testing.T) {
+	// Evaluating g under perm must agree with evaluating the physically
+	// relabeled graph under the identity: the layout is the same.
+	g, err := gen.Generate(gen.MustDataset("lj", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tech := range []Technique{NewDBG(), SortTechnique{}, RandomVertex{Seed: 9}} {
+		perm, err := tech.Permute(g, graph.OutDegree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relabeled, err := g.Relabel(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaPerm := Evaluate(g, graph.OutDegree, perm)
+		viaRelabel := Evaluate(relabeled, graph.OutDegree, nil)
+		if viaPerm.HotVertices != viaRelabel.HotVertices ||
+			viaPerm.PackingFactor != viaRelabel.PackingFactor ||
+			viaPerm.HubWorkingSetBytes != viaRelabel.HubWorkingSetBytes {
+			t.Errorf("%s: perm view %+v != relabeled view %+v", tech.Name(), viaPerm, viaRelabel)
+		}
+		if math.Abs(viaPerm.AvgNeighborGap-viaRelabel.AvgNeighborGap) > 1e-6 {
+			t.Errorf("%s: gap %v (perm) vs %v (relabeled)",
+				tech.Name(), viaPerm.AvgNeighborGap, viaRelabel.AvgNeighborGap)
+		}
+	}
+}
+
+func TestEvaluateOptionsAndDegenerateGraphs(t *testing.T) {
+	empty, _ := graph.Build(nil)
+	q := Evaluate(empty, graph.OutDegree, nil)
+	if q.PackingFactor != 0 || q.HotVertices != 0 || q.PackingGain() != 1 {
+		t.Errorf("empty graph report %+v", q)
+	}
+	single, _ := graph.BuildWith(nil, graph.BuildOptions{NumVertices: 1})
+	q = Evaluate(single, graph.OutDegree, nil)
+	if q.HotVertices != 0 || q.AvgNeighborGap != 0 {
+		t.Errorf("single-vertex report %+v", q)
+	}
+
+	g := qualityFixture(t)
+	// 16-byte properties: 4 vertices per block. Hubs 0 and 8 now sit in
+	// blocks 0 and 2; hot vertex 3 in block 0.
+	q = EvaluateOpts(g, graph.OutDegree, nil, QualityOptions{PropertyBytes: 16})
+	if q.PackingFactor != 1.5 || q.HubWorkingSetBytes != 128 {
+		t.Errorf("16B properties: %+v", q)
+	}
+	// Raising the hot threshold to 4x the average excludes vertex 3.
+	q = EvaluateOpts(g, graph.OutDegree, nil, QualityOptions{HotMultiple: 4})
+	if q.HotVertices != 2 {
+		t.Errorf("4x threshold: hot = %d, want 2", q.HotVertices)
+	}
+}
+
+func TestApplyAttachesQuality(t *testing.T) {
+	g, err := gen.Generate(gen.MustDataset("sd", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Evaluate(g, graph.OutDegree, nil)
+	res, err := Apply(g, NewDBG(), graph.OutDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality.PackingFactor <= orig.PackingFactor {
+		t.Errorf("DBG packing %v did not improve on original %v",
+			res.Quality.PackingFactor, orig.PackingFactor)
+	}
+	if res.Quality.HotVertices != orig.HotVertices {
+		t.Errorf("hot count changed: %d -> %d", orig.HotVertices, res.Quality.HotVertices)
+	}
+}
+
+// BenchmarkEvaluate pins the cost of the quality metrics on sd/small —
+// CI runs it so Evaluate stays cheap enough to attach to every Apply
+// without burdening the snapshot-build hot path.
+func BenchmarkEvaluate(b *testing.B) {
+	g, err := gen.Generate(gen.MustDataset("sd", gen.Small))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("identity", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Evaluate(g, graph.OutDegree, nil)
+		}
+	})
+	perm, err := NewDBG().Permute(g, graph.OutDegree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("perm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Evaluate(g, graph.OutDegree, perm)
+		}
+	})
+}

@@ -6,11 +6,41 @@ import (
 	"strings"
 )
 
-// ByName returns the technique for a CLI/harness name. Recognized names
-// (case-insensitive): original, sort, hubsort, hubcluster, hubsort-o,
-// hubcluster-o, dbg, gorder, gorder+dbg, rv, rcb-<n>, dbg<k> (DBG with k
-// geometric groups, e.g. dbg4).
+// ByName returns the technique (or pipeline) for a CLI/harness spec.
+// Recognized single-stage names (case-insensitive): original, sort,
+// hubsort, hubcluster, hubsort-o, hubcluster-o, dbg, gorder, gorder+dbg,
+// rv, rcb-<n>, auto (the skew-gated advisor), and the parameterized
+// dbg:<k> (DBG with k geometric groups, k >= 2; dbg<k> is the legacy
+// spelling). Stages chain with "|" into a pipeline: "dbg|gorder" runs
+// DBG's coarse grouping first, then Gorder over the grouped layout.
 func ByName(name string) (Technique, error) {
+	if strings.Contains(name, "|") {
+		return ParsePlan(name)
+	}
+	return byNameSingle(name)
+}
+
+// ParsePlan parses a pipeline spec: one or more single-stage specs joined
+// by "|", applied left to right. A single stage parses to a one-stage
+// plan, so ParsePlan accepts everything ByName does.
+func ParsePlan(spec string) (*Plan, error) {
+	parts := strings.Split(spec, "|")
+	stages := make([]Technique, 0, len(parts))
+	for _, part := range parts {
+		if strings.TrimSpace(part) == "" {
+			return nil, fmt.Errorf("reorder: empty stage in pipeline spec %q", spec)
+		}
+		t, err := byNameSingle(part)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, t)
+	}
+	return Compose(stages...), nil
+}
+
+// byNameSingle resolves one stage spec (no pipe).
+func byNameSingle(name string) (Technique, error) {
 	lower := strings.ToLower(strings.TrimSpace(name))
 	switch lower {
 	case "original", "identity", "none":
@@ -33,6 +63,8 @@ func ByName(name string) (Technique, error) {
 		return Composed{First: Gorder{}, Second: NewDBG(), DisplayName: "Gorder+DBG"}, nil
 	case "rv", "random":
 		return RandomVertex{Seed: 1}, nil
+	case "auto":
+		return Auto{}, nil
 	}
 	if rest, ok := strings.CutPrefix(lower, "rcb-"); ok {
 		n, err := strconv.Atoi(rest)
@@ -40,6 +72,14 @@ func ByName(name string) (Technique, error) {
 			return nil, fmt.Errorf("reorder: bad RCB granularity in %q", name)
 		}
 		return RandomCacheBlock{Seed: 1, Blocks: n}, nil
+	}
+	// dbg:<k> (and the legacy dbg<k>) selects DBG with k geometric groups.
+	if rest, ok := strings.CutPrefix(lower, "dbg:"); ok {
+		k, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("reorder: bad DBG group count %q in %q (want an integer >= 2)", rest, name)
+		}
+		return NewDBGGeometric(k, 0.5)
 	}
 	if rest, ok := strings.CutPrefix(lower, "dbg"); ok {
 		k, err := strconv.Atoi(rest)

@@ -14,6 +14,13 @@
 // implement DegreeBased, which both simplifies testing against the paper's
 // worked examples (Fig. 2 and Fig. 4) and makes the reordering cost model
 // transparent.
+//
+// Techniques compose into pipelines (Plan, Compose, ParsePlan — specs
+// like "dbg|gorder" or "dbg:8"), every executed plan reports its layout's
+// ordering quality (Evaluate, QualityReport: the paper's packing factor,
+// hub working-set bytes, neighbor gap), and a skew-gated advisor (Advise,
+// the "auto" technique) picks a pipeline — or the identity, when the
+// degree distribution does not reward reordering — from those metrics.
 package reorder
 
 import (
@@ -95,7 +102,7 @@ type DegreeBased interface {
 	PermuteDegrees(degs []uint32, avg float64) Permutation
 }
 
-// Result bundles the outcome of applying a technique to a graph.
+// Result bundles the outcome of applying a reordering plan to a graph.
 type Result struct {
 	// Graph is the relabeled graph.
 	Graph *graph.Graph
@@ -107,14 +114,21 @@ type Result struct {
 	ReorderTime time.Duration
 	// RebuildTime is the time spent rebuilding the CSR in the new order.
 	RebuildTime time.Duration
+	// Quality measures the new layout's hot-vertex packing and neighbor
+	// locality (computed outside the timed phases).
+	Quality QualityReport
 }
 
 // Apply computes the permutation for g under t and relabels the graph,
 // measuring both phases. The rebuild runs sequentially so the measured
 // RebuildTime does not depend on the host's core count; ApplyWorkers opts
 // into the multicore rebuild.
+//
+// Apply and its variants are thin wrappers over single-stage plans; new
+// code should build a Plan (Compose, PlanOf, ParsePlan) and use its
+// methods directly.
 func Apply(g *graph.Graph, t Technique, kind graph.DegreeKind) (Result, error) {
-	return ApplyWorkers(g, t, kind, 1)
+	return PlanOf(t).ApplyContext(context.Background(), g, kind, 1)
 }
 
 // ApplyWorkers is Apply with an explicit worker count for the CSR rebuild
@@ -123,7 +137,7 @@ func Apply(g *graph.Graph, t Technique, kind graph.DegreeKind) (Result, error) {
 // capped at 16 workers — see graph.BuildOptions.Workers). The rebuilt
 // graph is bit-identical at every worker count.
 func ApplyWorkers(g *graph.Graph, t Technique, kind graph.DegreeKind, workers int) (Result, error) {
-	return ApplyContext(context.Background(), g, t, kind, workers)
+	return PlanOf(t).ApplyContext(context.Background(), g, kind, workers)
 }
 
 // ApplyContext is ApplyWorkers under a context. Cancellation is
@@ -132,25 +146,7 @@ func ApplyWorkers(g *graph.Graph, t Technique, kind graph.DegreeKind, workers in
 // phases the paper's Fig. 10 cost accounting separates), so a deadline
 // aborts between phases with ctx.Err() but never tears a phase apart.
 func ApplyContext(ctx context.Context, g *graph.Graph, t Technique, kind graph.DegreeKind, workers int) (Result, error) {
-	if err := ctx.Err(); err != nil {
-		return Result{}, err
-	}
-	start := time.Now()
-	perm, err := t.Permute(g, kind)
-	reorderTime := time.Since(start)
-	if err != nil {
-		return Result{}, fmt.Errorf("reorder: %s: %w", t.Name(), err)
-	}
-	if err := ctx.Err(); err != nil {
-		return Result{}, err
-	}
-	start = time.Now()
-	relabeled, err := g.RelabelWorkers(perm, workers)
-	rebuildTime := time.Since(start)
-	if err != nil {
-		return Result{}, fmt.Errorf("reorder: %s: relabel: %w", t.Name(), err)
-	}
-	return Result{Graph: relabeled, Perm: perm, ReorderTime: reorderTime, RebuildTime: rebuildTime}, nil
+	return PlanOf(t).ApplyContext(ctx, g, kind, workers)
 }
 
 // degreeBasedPermute adapts a DegreeBased implementation to the Technique

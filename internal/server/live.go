@@ -121,6 +121,12 @@ type liveGraph struct {
 	maxIters int
 	workers  int
 
+	// advised/adviceReason mirror the snapshot fields for "auto" builds;
+	// a refresher re-reorder re-advises, so they track the live graph's
+	// current skew verdict.
+	advised      string
+	adviceReason string
+
 	dyn   *dynamic.Graph
 	reord *dynamic.Reorderer
 
@@ -141,18 +147,23 @@ type liveGraph struct {
 // first write does not redo it.
 func newLiveGraph(st *Store, spec BuildSpec, base *graph.Graph, snap *Snapshot, tech reorder.Technique, kind graph.DegreeKind) *liveGraph {
 	lg := &liveGraph{
-		store:    st,
-		name:     snap.name,
-		techName: snap.technique,
-		kind:     kind,
-		source:   snap.source,
-		maxIters: spec.MaxIters,
-		workers:  st.workers,
-		dyn:      dynamic.FromGraph(base),
-		reord:    dynamic.NewReorderer(tech, kind, st.livePolicy),
-		queue:    make(chan *mutateReq, liveQueueDepth),
-		stop:     make(chan struct{}),
+		store:        st,
+		name:         snap.name,
+		techName:     snap.technique,
+		kind:         kind,
+		source:       snap.source,
+		maxIters:     spec.MaxIters,
+		workers:      st.workers,
+		advised:      snap.advised,
+		adviceReason: snap.adviceReason,
+		dyn:          dynamic.FromGraph(base),
+		reord:        dynamic.NewReorderer(tech, kind, st.livePolicy),
+		queue:        make(chan *mutateReq, liveQueueDepth),
+		stop:         make(chan struct{}),
 	}
+	// Publishes run on the single refresher goroutine; their CSR rebuilds
+	// (refresh and relabel alike) may use the store's engine workers.
+	lg.reord.Workers = st.workers
 	perm := snap.perm
 	if perm == nil {
 		perm = reorder.Identity(base.NumVertices())
@@ -289,6 +300,22 @@ func (lg *liveGraph) publish() (*Snapshot, bool, error) {
 	viewTime := time.Since(viewStart)
 	refreshed := lg.reord.Refreshes > refreshesBefore
 
+	// Every published layout carries fresh quality metrics — reusing the
+	// report the refresh already computed, evaluating only on relabel
+	// publishes. An "auto" snapshot that just re-reordered also
+	// re-advises, so its recorded verdict follows the evolving degree
+	// distribution.
+	quality := lg.reord.LastQuality
+	if !refreshed {
+		quality = reorder.Evaluate(g, lg.kind, nil)
+	}
+	if refreshed && lg.techName == "auto" {
+		if pre, err := lg.dyn.Snapshot(); err == nil {
+			rec := reorder.Advise(pre, lg.kind)
+			lg.advised, lg.adviceReason = rec.Spec, rec.Reason
+		}
+	}
+
 	preStart := time.Now()
 	run, err := graphreorder.Run(context.Background(), g, graphreorder.AppPR,
 		graphreorder.WithMaxIters(lg.maxIters), graphreorder.WithWorkers(lg.workers))
@@ -305,6 +332,9 @@ func (lg *liveGraph) publish() (*Snapshot, bool, error) {
 		perm:           perm,
 		source:         lg.source,
 		live:           true,
+		quality:        quality,
+		advised:        lg.advised,
+		adviceReason:   lg.adviceReason,
 		ranks:          run.Ranks(),
 		rankIters:      run.Iterations,
 		rankSum:        run.Checksum,

@@ -81,11 +81,42 @@ type PoolStats struct {
 	Rejected uint64 `json:"rejected"`
 }
 
-// SnapshotStats reports snapshot lifecycle counters.
+// SnapshotStats reports snapshot lifecycle counters plus the current
+// snapshot's ordering quality, so packing degradation on a live graph is
+// visible from /metrics without walking the snapshot list.
 type SnapshotStats struct {
 	Published int    `json:"published"`
 	Draining  int    `json:"draining"`
 	Swaps     uint64 `json:"swaps"`
+	// Current describes the current snapshot's layout (absent before the
+	// first publish).
+	Current *CurrentSnapshotStats `json:"current,omitempty"`
+}
+
+// CurrentSnapshotStats is the /metrics digest of the current snapshot.
+type CurrentSnapshotStats struct {
+	Name      string      `json:"name"`
+	Epoch     uint64      `json:"epoch"`
+	Technique string      `json:"technique"`
+	Quality   QualityInfo `json:"quality"`
+}
+
+// snapshotStatsFor assembles SnapshotStats from a loaded table.
+func snapshotStatsFor(tab *snapTable, st *Store) SnapshotStats {
+	s := SnapshotStats{
+		Published: len(tab.byName),
+		Draining:  st.DrainingCount(),
+		Swaps:     st.Swaps(),
+	}
+	if cur := tab.current; cur != nil {
+		s.Current = &CurrentSnapshotStats{
+			Name:      cur.name,
+			Epoch:     cur.epoch,
+			Technique: cur.technique,
+			Quality:   qualityInfo(cur.quality),
+		}
+	}
+	return s
 }
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }

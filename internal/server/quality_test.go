@@ -1,0 +1,135 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBuildPipelineSpecEndToEnd proves a composed "dbg|gorder" pipeline
+// runs through BuildSpec with quality metrics visible in snapshot status.
+func TestBuildPipelineSpecEndToEnd(t *testing.T) {
+	st := NewStore(1)
+	if _, err := st.Build(BuildSpec{
+		Name: "orig", Dataset: "sd", Scale: "tiny", Technique: "original",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Build(BuildSpec{
+		Name: "piped", Dataset: "sd", Scale: "tiny", Technique: "dbg|gorder", Activate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.perm == nil {
+		t.Fatal("pipeline build produced no permutation")
+	}
+	info, ok := st.Info("piped")
+	if !ok {
+		t.Fatal("piped snapshot missing")
+	}
+	if info.Technique != "dbg|gorder" {
+		t.Errorf("technique = %q", info.Technique)
+	}
+	orig, _ := st.Info("orig")
+	if info.Quality.PackingFactor <= orig.Quality.PackingFactor {
+		t.Errorf("pipeline packing %v did not improve on original %v",
+			info.Quality.PackingFactor, orig.Quality.PackingFactor)
+	}
+	if info.Quality.HotVertices == 0 || info.Quality.HubWorkingSetBytes == 0 {
+		t.Errorf("quality metrics missing from snapshot status: %+v", info.Quality)
+	}
+	// Both orderings of the same graph agree on the rank checksum.
+	if d := info.RankChecksum - orig.RankChecksum; d > 1e-6 || d < -1e-6 {
+		t.Errorf("checksum drifted across orderings: %v vs %v", info.RankChecksum, orig.RankChecksum)
+	}
+}
+
+// TestBuildAutoTechnique proves "auto" routes by skew: hub-aware on a
+// power-law dataset, identity on the uniform one — verdict and quality
+// recorded in the snapshot status either way.
+func TestBuildAutoTechnique(t *testing.T) {
+	st := NewStore(1)
+	if _, err := st.Build(BuildSpec{
+		Name: "skewed", Dataset: "pl", Scale: "tiny", Technique: "auto",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := st.Info("skewed")
+	if info.Technique != "auto" || info.Advised != "dbg" {
+		t.Errorf("power-law auto build: technique %q advised %q, want auto/dbg",
+			info.Technique, info.Advised)
+	}
+	if !strings.Contains(info.AdviceReason, "skewed") {
+		t.Errorf("advice reason %q", info.AdviceReason)
+	}
+	if info.Quality.Utilization < 0.95 {
+		t.Errorf("advised reorder left packing utilization at %v", info.Quality.Utilization)
+	}
+
+	snap, err := st.Build(BuildSpec{
+		Name: "flat", Dataset: "uni", Scale: "tiny", Technique: "auto",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.perm != nil {
+		t.Error("auto on a uniform graph still permuted it")
+	}
+	info, _ = st.Info("flat")
+	if info.Advised != "original" {
+		t.Errorf("uniform auto build advised %q, want original", info.Advised)
+	}
+	if info.Quality.PackingFactor == 0 {
+		t.Error("identity snapshot missing quality metrics")
+	}
+}
+
+// TestMetricsReportCurrentQuality proves the current snapshot's ordering
+// quality is visible in /metrics.
+func TestMetricsReportCurrentQuality(t *testing.T) {
+	s := New(Config{Workers: 1})
+	if _, err := s.Store().Build(BuildSpec{
+		Name: "m", Dataset: "sd", Scale: "tiny", Technique: "dbg", Activate: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep MetricsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	cur := rep.Snapshots.Current
+	if cur == nil {
+		t.Fatal("metrics missing current snapshot")
+	}
+	if cur.Name != "m" || cur.Technique != "dbg" {
+		t.Errorf("current = %+v", cur)
+	}
+	if cur.Quality.PackingFactor <= 0 || cur.Quality.HotVertices == 0 {
+		t.Errorf("current quality empty: %+v", cur.Quality)
+	}
+}
+
+// TestBuildRejectsBadPipelineSpec pins the error path for malformed specs.
+func TestBuildRejectsBadPipelineSpec(t *testing.T) {
+	st := NewStore(1)
+	for _, spec := range []string{"dbg|bogus", "dbg:1", "dbg|"} {
+		if _, err := st.Build(BuildSpec{
+			Name: "bad", Dataset: "sd", Scale: "tiny", Technique: spec,
+		}); err == nil {
+			t.Errorf("technique %q accepted", spec)
+		}
+	}
+	if _, ok := st.Info("bad"); ok {
+		t.Error("failed build published a snapshot")
+	}
+}

@@ -64,6 +64,11 @@ type Config struct {
 	// the fraction of vertices whose hot/cold classification changed
 	// since the last reordering exceeds it (0 disables the check).
 	MaxHotDrift float64
+	// MinRefreshGain gates policy-due re-reorders of mutable snapshots on
+	// the ordering-quality advisor: the recompute is skipped (stale-
+	// permutation relabel instead) unless the predicted packing-factor
+	// gain is at least this factor (0 disables the gate).
+	MinRefreshGain float64
 }
 
 func (c Config) withDefaults() Config {
@@ -100,7 +105,11 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	store := NewStore(cfg.Workers)
-	store.SetRefreshPolicy(dynamic.Policy{Every: cfg.RefreshEvery, MaxHotDrift: cfg.MaxHotDrift})
+	store.SetRefreshPolicy(dynamic.Policy{
+		Every:          cfg.RefreshEvery,
+		MaxHotDrift:    cfg.MaxHotDrift,
+		MinRefreshGain: cfg.MinRefreshGain,
+	})
 	return &Server{
 		cfg:     cfg,
 		store:   store,
@@ -257,12 +266,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			InUse:    s.pool.inUse(),
 			Rejected: s.pool.rejected.Load(),
 		},
-		Snapshots: SnapshotStats{
-			Published: len(tab.byName),
-			Draining:  s.store.DrainingCount(),
-			Swaps:     s.store.Swaps(),
-		},
-		Writes: s.store.writeStatsReport(),
+		Snapshots: snapshotStatsFor(tab, s.store),
+		Writes:    s.store.writeStatsReport(),
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,12 @@ type Snapshot struct {
 	perm      reorder.Permutation // nil when serving the original order
 	source    string
 	live      bool // published by a mutable snapshot's refresher pipeline
+
+	// Ordering-quality metrics of the published layout, plus — for
+	// "auto" builds — what the advisor chose and why.
+	quality      reorder.QualityReport
+	advised      string
+	adviceReason string
 
 	// Precomputed at build time, immutable afterwards.
 	ranks     []float64
@@ -73,12 +80,49 @@ type SnapshotInfo struct {
 	RebuildMs    float64 `json:"rebuild_ms"`
 	PrecomputeMs float64 `json:"precompute_ms"`
 	RankIters    int     `json:"rank_iters"`
+	// Advised is the technique the skew-gated advisor picked when the
+	// snapshot was built with technique "auto"; AdviceReason explains the
+	// verdict.
+	Advised      string `json:"advised,omitempty"`
+	AdviceReason string `json:"advice_reason,omitempty"`
+	// Quality reports the published layout's ordering quality: the
+	// paper's packing factor plus locality metrics. Present on every
+	// snapshot, whatever its technique, so orderings are comparable from
+	// the admin API alone.
+	Quality QualityInfo `json:"quality"`
 	// RankChecksum is the ordering-invariant sum of all PageRank values:
 	// snapshots of the same graph under different orderings must agree on
 	// it (up to float summation order), which makes torn or mismatched
 	// snapshots visible from the outside.
 	RankChecksum  float64 `json:"rank_checksum"`
 	ActiveQueries int64   `json:"active_queries"`
+}
+
+// QualityInfo is the JSON view of a layout's ordering-quality report.
+type QualityInfo struct {
+	// PackingFactor is the mean number of hot vertices per cache block
+	// holding at least one (the paper's Table II metric); Ideal is the
+	// contiguous-layout ceiling and Utilization their ratio.
+	PackingFactor float64 `json:"packing_factor"`
+	Ideal         float64 `json:"ideal_packing_factor"`
+	Utilization   float64 `json:"packing_utilization"`
+	// HubWorkingSetBytes is the cache footprint of blocks holding hot
+	// vertices under this layout.
+	HubWorkingSetBytes int64 `json:"hub_working_set_bytes"`
+	// AvgNeighborGap is the mean |src-dst| ID distance over edges.
+	AvgNeighborGap float64 `json:"avg_neighbor_gap"`
+	HotVertices    int     `json:"hot_vertices"`
+}
+
+func qualityInfo(q reorder.QualityReport) QualityInfo {
+	return QualityInfo{
+		PackingFactor:      q.PackingFactor,
+		Ideal:              q.IdealPackingFactor,
+		Utilization:        q.PackingUtilization,
+		HubWorkingSetBytes: q.HubWorkingSetBytes,
+		AvgNeighborGap:     q.AvgNeighborGap,
+		HotVertices:        q.HotVertices,
+	}
 }
 
 func (s *Snapshot) info(current bool) SnapshotInfo {
@@ -99,6 +143,9 @@ func (s *Snapshot) info(current bool) SnapshotInfo {
 		RebuildMs:     float64(s.rebuildTime.Microseconds()) / 1000,
 		PrecomputeMs:  float64(s.precomputeTime.Microseconds()) / 1000,
 		RankIters:     s.rankIters,
+		Advised:       s.advised,
+		AdviceReason:  s.adviceReason,
+		Quality:       qualityInfo(s.quality),
 		RankChecksum:  s.rankSum,
 		ActiveQueries: s.refs.Load(),
 	}
@@ -512,25 +559,45 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 	loadTime := time.Since(start)
 
 	// Stage 2: reorder. base keeps the as-loaded order alive for the
-	// mutation pipeline of a mutable snapshot.
+	// mutation pipeline of a mutable snapshot. Technique "auto" consults
+	// the skew-gated advisor, recording its verdict; pipeline specs like
+	// "dbg|gorder" run through the same plan path.
 	base := g
-	techName := spec.Technique
+	// Normalize like the registry does, so "Auto"/"DBG" hit the same
+	// paths (and display the same) as their lowercase spellings.
+	techName := strings.ToLower(strings.TrimSpace(spec.Technique))
 	if techName == "" {
 		techName = "original"
 	}
 	var (
-		tech        reorder.Technique = reorder.IdentityTechnique{}
-		perm        reorder.Permutation
-		reorderTime time.Duration
-		rebuildTime time.Duration
+		tech         reorder.Technique = reorder.IdentityTechnique{}
+		perm         reorder.Permutation
+		reorderTime  time.Duration
+		rebuildTime  time.Duration
+		quality      reorder.QualityReport
+		advised      string
+		adviceReason string
 	)
-	if techName != "original" {
-		status.setStage("reordering")
-		tech, err = reorder.ByName(techName)
+	plan := reorder.Compose() // identity
+	if techName == "auto" {
+		rec := reorder.Advise(g, kind)
+		advised = rec.Spec
+		adviceReason = rec.Reason
+		plan = rec.Plan
+		// The mutation pipeline keeps re-advising on refresh, so a live
+		// graph whose skew grows into (or out of) the gate changes plan.
+		tech = reorder.Auto{}
+	} else if techName != "original" {
+		p, err := reorder.ParsePlan(techName)
 		if err != nil {
 			return nil, err
 		}
-		res, err := reorder.ApplyWorkers(g, tech, kind, st.workers)
+		plan = p
+		tech = p
+	}
+	if len(plan.Stages()) > 0 {
+		status.setStage("reordering")
+		res, err := plan.ApplyContext(context.Background(), g, kind, st.workers)
 		if err != nil {
 			return nil, err
 		}
@@ -538,6 +605,9 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 		perm = res.Perm
 		reorderTime = res.ReorderTime
 		rebuildTime = res.RebuildTime
+		quality = res.Quality
+	} else {
+		quality = reorder.Evaluate(g, kind, nil)
 	}
 
 	// Stage 3: precompute PageRank once; point rank lookups and top-k
@@ -564,6 +634,9 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 		perm:           perm,
 		source:         source,
 		live:           spec.Mutable,
+		quality:        quality,
+		advised:        advised,
+		adviceReason:   adviceReason,
 		ranks:          ranks,
 		rankIters:      iters,
 		rankSum:        rankSum,
