@@ -34,6 +34,7 @@ import (
 
 	"graphreorder/internal/server"
 	"graphreorder/internal/server/loadtest"
+	"graphreorder/internal/wal"
 )
 
 func main() {
@@ -54,10 +55,15 @@ func main() {
 		refresh  = flag.Int("refresh-every", 8, "live snapshots: full re-reorder every N write batches (relabel reuse in between; <0 disables)")
 		hotDrift = flag.Float64("max-hot-drift", 0, "live snapshots: also re-reorder when this fraction of vertices changed hot/cold class (0 disables)")
 		minGain  = flag.Float64("min-refresh-gain", 0, "live snapshots: skip a policy-due re-reorder (cheap relabel instead) unless the predicted packing-factor gain is at least this factor (0 disables the advisor gate)")
+		walDir   = flag.String("wal-dir", "", "durability directory for mutable snapshots (checkpoint + mutation WAL; empty = off). On startup, a mutable snapshot with durable state here is recovered from it instead of rebuilt")
+		fsync    = flag.String("fsync", "always", "WAL fsync policy: always|never|interval:<dur> (with -wal-dir)")
+		ckptN    = flag.Int("checkpoint-every", 16, "publishes between checkpoint rewrites (with -wal-dir; 1 = checkpoint every publish)")
+		grace    = flag.Duration("shutdown-grace", 10*time.Second, "SIGTERM/SIGINT: how long to drain in-flight requests and flush+fsync the WAL before giving up")
 		selftest = flag.Bool("selftest", false, "run the in-process load test with a mid-run hot swap, then exit")
 		clients  = flag.Int("clients", 8, "selftest: concurrent clients")
 		duration = flag.Duration("duration", 3*time.Second, "selftest: load duration")
 		writeMix = flag.Int("write-mix", 0, "selftest: relative weight of write batches in the query mix (0 = read-only)")
+		chaos    = flag.Bool("chaos", false, "selftest: crash the live graph mid-run, recover it from the WAL, and verify every acked write survived (implies a write mix and durability)")
 	)
 	flag.Parse()
 
@@ -87,6 +93,39 @@ func main() {
 		MaxHotDrift:    *hotDrift,
 		MinRefreshGain: *minGain,
 	})
+
+	// Chaos needs durability (the point is recovering from the WAL) and
+	// writes to lose; default both when the flags were left off. The temp
+	// dir is removed explicitly after the selftest — os.Exit skips defers.
+	var chaosTmp string
+	if *chaos {
+		*selftest = true
+		if *writeMix == 0 {
+			*writeMix = 4
+		}
+		if *walDir == "" {
+			dir, err := os.MkdirTemp("", "graphd-chaos-wal-")
+			if err != nil {
+				fatal(err)
+			}
+			chaosTmp = dir
+			*walDir = dir
+		}
+	}
+	if *walDir != "" {
+		policy, interval, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		if err := srv.Store().SetDurability(server.Durability{
+			Dir:             *walDir,
+			Fsync:           policy,
+			Interval:        interval,
+			CheckpointEvery: *ckptN,
+		}); err != nil {
+			fatal(err)
+		}
+	}
 
 	spec := server.BuildSpec{
 		Name:      snapName,
@@ -119,7 +158,11 @@ func main() {
 		if *writeMix > 0 && !*mutable {
 			fatal(fmt.Errorf("-write-mix needs -mutable"))
 		}
-		os.Exit(runSelftest(srv, spec, *clients, *duration, *writeMix))
+		code := runSelftest(srv, spec, *clients, *duration, *writeMix, *chaos)
+		if chaosTmp != "" {
+			os.RemoveAll(chaosTmp)
+		}
+		os.Exit(code)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -134,14 +177,18 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 	}
+	// Graceful shutdown: drain in-flight HTTP requests, then stop the
+	// live-graph pipelines — which folds each WAL into a final fsynced
+	// checkpoint, so a clean stop never relies on replay — all within
+	// -shutdown-grace.
 	fmt.Fprintln(os.Stderr, "graphd: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "graphd: listener drain:", err)
 	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "graphd: background builds:", err)
+		fmt.Fprintln(os.Stderr, "graphd: pipeline drain:", err)
 	}
 }
 
@@ -150,9 +197,14 @@ func main() {
 // writeMix > 0 the workload interleaves edge-mutation batches against
 // the live snapshot, and the run additionally proves that
 // policy-triggered re-reorders landed mid-run without losing a request
-// and that every read honored the write receipts' epochs. Returns the
-// process exit code: non-zero iff any request failed.
-func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duration time.Duration, writeMix int) int {
+// and that every read honored the write receipts' epochs. With chaos,
+// the live graph is additionally killed a third of the way in and
+// recovered from its checkpoint + WAL while the load keeps running:
+// reads must never fail, writes may be refused (503) only during the
+// outage, and after recovery every acked insertion must still be in the
+// graph. Returns the process exit code: non-zero iff any guarantee was
+// violated.
+func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duration time.Duration, writeMix int, chaos bool) int {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
@@ -205,11 +257,60 @@ func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duratio
 		swapDone <- swapReport{completed: time.Now()}
 	}()
 
+	// Chaos: kill the live graph a third of the way in, hold the outage
+	// open briefly (writes 503, reads keep serving the last published
+	// snapshot), then rebuild the same name — which recovers it from the
+	// checkpoint + WAL, not from the spec. Two single-edge writes land
+	// right before the kill so the WAL provably holds batches newer than
+	// the last checkpoint: the recovery must replay, not just reload.
+	type chaosReport struct {
+		completed time.Time
+		err       error
+	}
+	var chaosDone chan chaosReport
+	if chaos {
+		chaosDone = make(chan chaosReport, 1)
+		go func() {
+			time.Sleep(duration / 3)
+			for _, dst := range []int{1, 2} {
+				body := fmt.Sprintf(`{"updates":[{"src":0,"dst":%d,"weight":1}]}`, dst)
+				resp, err := http.Post(baseURL+"/v1/snapshots/"+base.Name+"/edges",
+					"application/json", strings.NewReader(body))
+				if err != nil {
+					chaosDone <- chaosReport{err: fmt.Errorf("pre-crash write: %w", err)}
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					chaosDone <- chaosReport{err: fmt.Errorf("pre-crash write rejected: %d", resp.StatusCode)}
+					return
+				}
+			}
+			if !srv.Store().CrashLive(base.Name) {
+				chaosDone <- chaosReport{err: fmt.Errorf("no live graph %q to crash", base.Name)}
+				return
+			}
+			fmt.Fprintf(os.Stderr, "graphd: chaos: crashed live graph %q (WAL abandoned unflushed beyond fsync)\n", base.Name)
+			time.Sleep(duration / 6) // keep the outage open under load
+			rebuild := base
+			// Republish under the same name without stealing "current":
+			// the concurrent hot-swap goroutine owns that assertion.
+			rebuild.Activate = false
+			if _, err := srv.Store().Build(rebuild); err != nil {
+				chaosDone <- chaosReport{err: fmt.Errorf("recovery build: %w", err)}
+				return
+			}
+			fmt.Fprintf(os.Stderr, "graphd: chaos: recovered %q from checkpoint + WAL\n", base.Name)
+			chaosDone <- chaosReport{completed: time.Now()}
+		}()
+	}
+
 	loadEnd := time.Now().Add(duration)
 	opts := loadtest.Options{
 		BaseURL:  baseURL,
 		Clients:  clients,
 		Duration: duration,
+		Chaos:    chaos,
 	}
 	if writeMix > 0 {
 		opts.Mix = loadtest.Mix{Neighbors: 60, Rank: 15, TopK: 10, SSSP: 5, Mutate: writeMix}
@@ -229,6 +330,20 @@ func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duratio
 			"graphd: SELFTEST FAILED: hot swap completed %v after the load ended — swap-under-load was not exercised; increase -duration\n",
 			swap.completed.Sub(loadEnd).Round(time.Millisecond))
 		return 1
+	}
+	var crash chaosReport
+	if chaos {
+		crash = <-chaosDone
+		if crash.err != nil {
+			fmt.Fprintln(os.Stderr, "graphd: SELFTEST FAILED: chaos:", crash.err)
+			return 1
+		}
+		if crash.completed.After(loadEnd) {
+			fmt.Fprintf(os.Stderr,
+				"graphd: SELFTEST FAILED: recovery completed %v after the load ended — recovery-under-load was not exercised; increase -duration\n",
+				crash.completed.Sub(loadEnd).Round(time.Millisecond))
+			return 1
+		}
 	}
 
 	fmt.Print(res.String())
@@ -254,6 +369,27 @@ func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duratio
 	if metrics.Snapshots.Swaps < 2 {
 		fmt.Fprintln(os.Stderr, "graphd: SELFTEST FAILED: hot swap did not happen during the run")
 		return 1
+	}
+	if chaos {
+		// Durability: every acked insertion (the load's survivors plus the
+		// two pre-crash sentinel edges) must be in the recovered graph.
+		ackedEdges := append(res.AckedEdges, [2]int{0, 1}, [2]int{0, 2})
+		if err := loadtest.VerifyAcked(baseURL, base.Name, ackedEdges); err != nil {
+			fmt.Fprintln(os.Stderr, "graphd: SELFTEST FAILED:", err)
+			return 1
+		}
+		if metrics.WAL.Recoveries == 0 || metrics.WAL.ReplayedBatches == 0 {
+			fmt.Fprintf(os.Stderr,
+				"graphd: SELFTEST FAILED: crash recovery did not replay the WAL (recoveries %d, batches replayed %d)\n",
+				metrics.WAL.Recoveries, metrics.WAL.ReplayedBatches)
+			return 1
+		}
+		if res.WriteUnavailable == 0 {
+			fmt.Fprintln(os.Stderr, "graphd: SELFTEST FAILED: no write was refused during the outage — the crash window was not exercised under load; increase -duration or -write-mix")
+			return 1
+		}
+		fmt.Printf("chaos: %d writes refused during the outage, %d acked edges verified after recovery (%d WAL batches replayed, %.1fms replay)\n",
+			res.WriteUnavailable, len(ackedEdges), metrics.WAL.ReplayedBatches, metrics.WAL.ReplayMs)
 	}
 	if writeMix > 0 {
 		if metrics.Writes.Batches == 0 {

@@ -155,4 +155,52 @@
 //   - Mutations address vertices in the snapshot's original (as-loaded)
 //     ID space — the stable space /resolve translates from — while query
 //     responses stay in the published serving order.
+//
+// # Durability and overload (graphd)
+//
+// With a durability directory configured (graphd -wal-dir, or
+// server.Store.SetDurability), every mutable snapshot is crash-safe:
+// each accepted batch is appended to a per-snapshot write-ahead log
+// (CRC-checked, length-prefixed records) before it is applied, each
+// publish seals its batches with an epoch record, and every
+// CheckpointEvery-th publish folds the log into a binary checkpoint
+// (whole-file checksum, atomic rename) and truncates it. Rebuilding a
+// mutable name that is not live in-process recovers checkpoint + WAL —
+// stopping cleanly at a torn or corrupt tail — and resumes the epoch
+// counter past every receipt ever issued.
+//
+// The mutation receipt's contract splits into visibility and
+// durability. Visibility is unconditional: a receipt means the batch
+// was applied and its snapshot published — reads at the receipt's epoch
+// (or newer) reflect it, durable or not. Durability depends on the
+// fsync policy at the moment the receipt was issued. Under "always"
+// (the default) the WAL was fsynced before the receipt returned, so an
+// acked batch survives kernel panic and power loss, not just process
+// death. Under "interval:<dur>" or "never" the append has reached the
+// operating system (a crashed or killed graphd process loses nothing)
+// but the tail since the last fsync can be lost by the machine itself;
+// recovery then truncates to the last intact record, keeping the acked
+// prefix. A WAL append or fsync failure refuses the batch's receipts
+// (500, durability unknown) and a failed publish rolls the in-memory
+// graph back to the last-good state, so memory and log never diverge.
+// Graceful shutdown (SIGTERM/SIGINT within -shutdown-grace) drains
+// in-flight requests and folds the WAL into a final fsynced checkpoint,
+// so a clean stop never replays.
+//
+// Under overload graphd degrades before it collapses. Admission of
+// traversal-heavy queries is deadline-aware: when the predicted queue
+// wait (EWMA service time x queue depth over pool width) exceeds the
+// request's remaining deadline, the request is refused immediately with
+// 503 + Retry-After instead of burning its deadline in line. A
+// per-route circuit breaker trips after consecutive server-owned
+// failures and probes half-open after a cooldown. Both refusal paths
+// fall back to graceful degradation first: if any epoch of the same
+// query is still cached, it is served marked "stale": true with the
+// metadata of the epoch that produced it. Worker panics are contained
+// to the failing request (500), and /metrics reports shed counts per
+// route, breaker states, stale serves and WAL activity. The
+// fault-injection points behind the chaos tests live in
+// internal/faultinject and compile to no-ops unless armed; `graphd
+// -selftest -chaos` kills and recovers the live graph mid-load and
+// fails if any acked write is missing afterwards.
 package graphreorder

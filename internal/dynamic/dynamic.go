@@ -222,6 +222,18 @@ func (d *Graph) remove(src, dst graph.VertexID) {
 	d.inDeg[dst]--
 }
 
+// RestoreBatches overrides the batch counter, aligning it with an
+// external mutation history: recovery replays write-ahead-log batches
+// onto a checkpointed graph and must resume numbering where the log
+// ended, and a rollback to a last-good snapshot must resume where that
+// snapshot's history ended — in both cases the graph was rebuilt via
+// FromGraph, whose counter starts at zero.
+func (d *Graph) RestoreBatches(n int) {
+	if n >= 0 {
+		d.batches = n
+	}
+}
+
 // Snapshot materializes the current graph as static CSR (cached until the
 // next mutation).
 func (d *Graph) Snapshot() (*graph.Graph, error) {

@@ -1,0 +1,146 @@
+// Package faultinject provides named fault-injection points for
+// robustness testing: a test arms a point with a fault (delay, error,
+// panic, or a point-specific parameter such as a torn-write byte count)
+// and production code fires the point at the matching site.
+//
+// The package is built to cost nothing when idle: Fire and Armed check a
+// single global atomic and return immediately unless at least one fault
+// is armed anywhere in the process, so instrumented hot paths stay
+// no-ops in production. Faults are armed per point name and consumed per
+// firing (Count bounds how many firings trigger; the default 0 means
+// exactly one), which lets a test inject, say, one torn WAL write and
+// then observe clean recovery.
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by Fire for faults armed without an
+// explicit Err. Callers that want to distinguish injected failures from
+// real ones can errors.Is against it.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Fault describes what happens when an armed point fires.
+type Fault struct {
+	// Delay is slept before anything else happens (0 = no delay).
+	Delay time.Duration
+	// Err is returned by Fire after the delay. A nil Err with Panic
+	// false and no Value makes Fire return ErrInjected, so arming a
+	// point always has an observable effect.
+	Err error
+	// Panic makes Fire panic (after the delay) — the panic-in-worker
+	// scenario. The panic value is ErrInjected.
+	Panic bool
+	// Value is a point-specific parameter consumed through Armed, e.g.
+	// how many trailing bytes a torn WAL write drops. Points read it
+	// with Armed instead of Fire.
+	Value int64
+	// Count is how many firings trigger before the point disarms
+	// itself: 0 means one, negative means unlimited.
+	Count int64
+}
+
+var (
+	armed atomic.Int64 // number of points currently armed, the fast-path gate
+	mu    sync.Mutex
+	table = map[string]*Fault{}
+)
+
+// Enable arms a point. Re-arming an already-armed point replaces its
+// fault.
+func Enable(name string, f Fault) {
+	if f.Count == 0 {
+		f.Count = 1
+	}
+	mu.Lock()
+	if _, exists := table[name]; !exists {
+		armed.Add(1)
+	}
+	table[name] = &f
+	mu.Unlock()
+}
+
+// Disable disarms a point; disarming an unarmed point is a no-op.
+func Disable(name string) {
+	mu.Lock()
+	if _, exists := table[name]; exists {
+		delete(table, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every point (test cleanup).
+func Reset() {
+	mu.Lock()
+	armed.Add(-int64(len(table)))
+	table = map[string]*Fault{}
+	mu.Unlock()
+}
+
+// take consumes one firing of name, disarming the point when its count
+// runs out. Returns a copy of the fault.
+func take(name string) (Fault, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	f, ok := table[name]
+	if !ok {
+		return Fault{}, false
+	}
+	out := *f
+	if f.Count > 0 {
+		f.Count--
+		if f.Count == 0 {
+			delete(table, name)
+			armed.Add(-1)
+		}
+	}
+	return out, true
+}
+
+// Fire triggers the point: it sleeps the armed delay, panics if the
+// fault says so, and returns the armed error (ErrInjected when none was
+// given). Unarmed points — and the entire package when nothing is armed
+// — return nil at the cost of one atomic load.
+func Fire(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	f, ok := take(name)
+	if !ok {
+		return nil
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic {
+		panic(ErrInjected)
+	}
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// Armed consumes one firing of a parameterized point and returns its
+// fault (for Value-style hooks like torn writes, where the caller — not
+// this package — performs the injected corruption). The armed delay is
+// applied; Err and Panic are returned untriggered for the caller to
+// interpret.
+func Armed(name string) (Fault, bool) {
+	if armed.Load() == 0 {
+		return Fault{}, false
+	}
+	f, ok := take(name)
+	if !ok {
+		return Fault{}, false
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	return f, true
+}

@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNoop(t *testing.T) {
+	Reset()
+	if err := Fire("nothing"); err != nil {
+		t.Fatalf("unarmed Fire returned %v", err)
+	}
+	if _, ok := Armed("nothing"); ok {
+		t.Fatal("unarmed Armed reported armed")
+	}
+}
+
+func TestFireConsumesCount(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("p", Fault{Count: 2})
+	if err := Fire("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first firing: %v", err)
+	}
+	if err := Fire("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second firing: %v", err)
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatalf("point should have disarmed itself: %v", err)
+	}
+}
+
+func TestFireCustomError(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	sentinel := errors.New("disk on fire")
+	Enable("p", Fault{Err: sentinel})
+	if err := Fire("p"); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+}
+
+func TestFirePanics(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("p", Fault{Panic: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Fire("p")
+}
+
+func TestFireDelay(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("p", Fault{Delay: 30 * time.Millisecond, Err: ErrInjected})
+	start := time.Now()
+	Fire("p")
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay not applied: %v", d)
+	}
+}
+
+func TestArmedValueHook(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("torn", Fault{Value: 7})
+	f, ok := Armed("torn")
+	if !ok || f.Value != 7 {
+		t.Fatalf("Armed = %+v, %v", f, ok)
+	}
+	if _, ok := Armed("torn"); ok {
+		t.Fatal("value hook should be consumed")
+	}
+}
+
+func TestUnlimitedCount(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("p", Fault{Count: -1})
+	for i := 0; i < 5; i++ {
+		if err := Fire("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d: %v", i, err)
+		}
+	}
+	Disable("p")
+	if err := Fire("p"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+}
+
+func TestReenableReplaces(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("p", Fault{Value: 1, Count: -1})
+	Enable("p", Fault{Value: 2, Count: -1})
+	if f, _ := Armed("p"); f.Value != 2 {
+		t.Fatalf("re-arm did not replace: %+v", f)
+	}
+}

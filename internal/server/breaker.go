@@ -1,0 +1,199 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// breaker is a per-route circuit breaker over the heavy-query path.
+// Server-owned failures (pool saturation, shed admissions, server
+// deadline burns, worker panics) trip it after a run of consecutive
+// failures; while open, requests skip the pool entirely and degrade to
+// the stale cache (or 503 + Retry-After), giving the backend a cooldown
+// to drain. After the cooldown a single probe request is let through:
+// its success closes the breaker, its failure re-opens it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+
+	transitions atomic.Uint64 // state changes (closed→open, open→half-open, ...)
+	opens       atomic.Uint64 // times the breaker tripped open
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// allow reports whether a request may attempt fresh compute. In the
+// open state it returns false until the cooldown elapses, then admits
+// exactly one probe at a time (half-open).
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		b.transitions.Add(1)
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record feeds one attempt's outcome back. Only server-owned failures
+// should be recorded as !ok — client cancellations and bad parameters
+// say nothing about the backend's health.
+func (b *breaker) record(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if ok {
+			b.consecutive = 0
+			return
+		}
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = breakerClosed
+			b.consecutive = 0
+			b.transitions.Add(1)
+		} else {
+			b.trip()
+		}
+	default: // open: a straggler from before the trip; nothing to learn
+	}
+}
+
+// trip moves to open. Callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = time.Now()
+	b.consecutive = 0
+	b.probing = false
+	b.transitions.Add(1)
+	b.opens.Add(1)
+}
+
+// retryAfter is the client hint while open: the cooldown remainder.
+func (b *breaker) retryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		return time.Second
+	}
+	d := b.cooldown - time.Since(b.openedAt)
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// currentState returns the state for /metrics.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Surface "would admit a probe" as half-open even before allow()
+	// performs the transition, so metrics do not show a stale "open".
+	if b.state == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		return breakerHalfOpen
+	}
+	return b.state
+}
+
+// breakerSet lazily creates one breaker per route. threshold <= 0
+// disables breakers entirely (allow always, record never trips).
+type breakerSet struct {
+	threshold int
+	cooldown  time.Duration
+	mu        sync.RWMutex
+	routes    map[string]*breaker
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{threshold: threshold, cooldown: cooldown, routes: make(map[string]*breaker)}
+}
+
+// route returns the breaker for a route, nil when breakers are off.
+func (bs *breakerSet) route(name string) *breaker {
+	if bs.threshold <= 0 {
+		return nil
+	}
+	bs.mu.RLock()
+	b, ok := bs.routes[name]
+	bs.mu.RUnlock()
+	if ok {
+		return b
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if b, ok = bs.routes[name]; ok {
+		return b
+	}
+	b = &breaker{threshold: bs.threshold, cooldown: bs.cooldown}
+	bs.routes[name] = b
+	return b
+}
+
+// BreakerStats is one route's breaker view for /metrics.
+type BreakerStats struct {
+	State       string `json:"state"`
+	Opens       uint64 `json:"opens"`
+	Transitions uint64 `json:"transitions"`
+}
+
+func (bs *breakerSet) report() map[string]BreakerStats {
+	bs.mu.RLock()
+	defer bs.mu.RUnlock()
+	out := make(map[string]BreakerStats, len(bs.routes))
+	for name, b := range bs.routes {
+		out[name] = BreakerStats{
+			State:       b.currentState().String(),
+			Opens:       b.opens.Load(),
+			Transitions: b.transitions.Load(),
+		}
+	}
+	return out
+}

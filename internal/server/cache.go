@@ -13,28 +13,48 @@ import (
 // the snapshot epoch, so entries for a replaced snapshot simply age
 // out — a hot-swap never serves stale answers and needs no
 // invalidation pass.
+//
+// A secondary index keyed by the epoch-free part of the key ("topk|10")
+// points at the most recently cached entry for those parameters,
+// whatever its epoch. That is the graceful-degradation fallback: when
+// fresh compute is shed or a breaker is open, the previous epoch's
+// result can still be served — explicitly marked stale, carrying the
+// metadata of the snapshot that actually produced it.
 type resultCache struct {
 	mu       sync.Mutex
 	maxBytes int64
 	curBytes int64
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
+	// stale maps epoch-free keys to the latest entry for those params;
+	// entries leave the index when they are evicted.
+	stale map[string]*cacheEntry
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	staleHits atomic.Uint64
 }
 
 type cacheEntry struct {
-	key  string
-	val  any
-	cost int64
+	key      string
+	staleKey string
+	val      any
+	cost     int64
+	// meta identifies the snapshot that produced val — stale serves
+	// report it so the client sees which epoch actually answered.
+	meta queryMeta
 }
 
 func newResultCache(maxBytes int64) *resultCache {
 	if maxBytes < 1 {
 		maxBytes = 1
 	}
-	return &resultCache{maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element)}
+	return &resultCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		stale:    make(map[string]*cacheEntry),
+	}
 }
 
 func (c *resultCache) get(key string) (any, bool) {
@@ -50,11 +70,25 @@ func (c *resultCache) get(key string) (any, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
+// getStale returns the most recent cached result for an epoch-free key,
+// along with the metadata of the (possibly old) snapshot it came from.
+func (c *resultCache) getStale(staleKey string) (any, queryMeta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.stale[staleKey]
+	if !ok {
+		return nil, queryMeta{}, false
+	}
+	c.staleHits.Add(1)
+	return e.val, e.meta, true
+}
+
 // add inserts val at the given approximate cost in bytes. Values larger
 // than the whole budget are not cached at all — and if the key was
 // already cached at a smaller cost, that entry is dropped rather than
-// left serving the superseded value.
-func (c *resultCache) add(key string, val any, cost int64) {
+// left serving the superseded value. A non-empty staleKey also indexes
+// the entry as the degradation fallback for its parameters.
+func (c *resultCache) add(key, staleKey string, val any, cost int64, meta queryMeta) {
 	if cost < 1 {
 		cost = 1
 	}
@@ -62,27 +96,40 @@ func (c *resultCache) add(key string, val any, cost int64) {
 	defer c.mu.Unlock()
 	if cost > c.maxBytes {
 		if el, ok := c.items[key]; ok {
-			c.ll.Remove(el)
-			delete(c.items, key)
-			c.curBytes -= el.Value.(*cacheEntry).cost
+			c.removeLocked(el)
 		}
 		return
 	}
 	if el, ok := c.items[key]; ok {
 		entry := el.Value.(*cacheEntry)
 		c.curBytes += cost - entry.cost
-		entry.val, entry.cost = val, cost
+		entry.val, entry.cost, entry.meta = val, cost, meta
+		if entry.staleKey != "" {
+			c.stale[entry.staleKey] = entry
+		}
 		c.ll.MoveToFront(el)
 	} else {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, cost: cost})
+		entry := &cacheEntry{key: key, staleKey: staleKey, val: val, cost: cost, meta: meta}
+		c.items[key] = c.ll.PushFront(entry)
 		c.curBytes += cost
+		if staleKey != "" {
+			c.stale[staleKey] = entry
+		}
 	}
 	for c.curBytes > c.maxBytes {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		entry := oldest.Value.(*cacheEntry)
-		delete(c.items, entry.key)
-		c.curBytes -= entry.cost
+		c.removeLocked(c.ll.Back())
+	}
+}
+
+// removeLocked evicts one entry, dropping its stale-index pointer if it
+// is still the latest for its parameters. Callers hold c.mu.
+func (c *resultCache) removeLocked(el *list.Element) {
+	entry := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, entry.key)
+	c.curBytes -= entry.cost
+	if entry.staleKey != "" && c.stale[entry.staleKey] == entry {
+		delete(c.stale, entry.staleKey)
 	}
 }
 

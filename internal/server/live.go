@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 
 	"graphreorder"
 	"graphreorder/internal/dynamic"
+	"graphreorder/internal/faultinject"
 	"graphreorder/internal/graph"
 	"graphreorder/internal/reorder"
 	"graphreorder/internal/stats"
@@ -130,6 +132,19 @@ type liveGraph struct {
 	dyn   *dynamic.Graph
 	reord *dynamic.Reorderer
 
+	// dur is the durable (WAL + checkpoint) state, nil when durability
+	// is off. Rollback targets live inside it when set; lastGoodBase &
+	// co. below mirror them for the durability-off case so a failed
+	// publish rolls back either way.
+	dur          *durableLog
+	lastGoodBase *graph.Graph
+	lastGoodSeq  int
+
+	// crashed marks a simulated crash (CrashLive): the refresher then
+	// abandons its WAL without flushing and skips the final checkpoint,
+	// exactly like a kill, so recovery must work from durable state.
+	crashed atomic.Bool
+
 	queue chan *mutateReq
 	stop  chan struct{}
 	wg    sync.WaitGroup
@@ -145,7 +160,7 @@ type liveGraph struct {
 // base is the graph in original order, snap the published (reordered)
 // snapshot. The Reorderer is seeded with the build's ordering so the
 // first write does not redo it.
-func newLiveGraph(st *Store, spec BuildSpec, base *graph.Graph, snap *Snapshot, tech reorder.Technique, kind graph.DegreeKind) *liveGraph {
+func newLiveGraph(st *Store, spec BuildSpec, base *graph.Graph, snap *Snapshot, tech reorder.Technique, kind graph.DegreeKind, recovered *recoveredState) *liveGraph {
 	lg := &liveGraph{
 		store:        st,
 		name:         snap.name,
@@ -169,6 +184,15 @@ func newLiveGraph(st *Store, spec BuildSpec, base *graph.Graph, snap *Snapshot, 
 		perm = reorder.Identity(base.NumVertices())
 	}
 	lg.reord.Seed(lg.dyn, snap.graph, perm)
+	if recovered != nil {
+		// The base graph already contains recovered.batches WAL batches;
+		// resume the mutation history there so new WAL records continue
+		// the sequence the on-disk log ended with.
+		lg.dyn.RestoreBatches(int(recovered.batches))
+	}
+	lg.dur = st.openDurableLog(lg.name, lg.dyn, lg.source, recovered == nil)
+	lg.lastGoodBase = base
+	lg.lastGoodSeq = lg.dyn.Batches()
 	lg.wg.Add(1)
 	go lg.loop()
 	return lg
@@ -198,6 +222,15 @@ func (lg *liveGraph) loop() {
 		select {
 		case <-lg.stop:
 			lg.drain()
+			if lg.dur != nil {
+				if lg.crashed.Load() {
+					lg.dur.abandon()
+				} else {
+					// Graceful stop: fold pending WAL records into a
+					// final checkpoint so a clean restart never replays.
+					lg.dur.finalize(lg.store, lg.dyn, lg.source)
+				}
+			}
 			return
 		case req := <-lg.queue:
 			reqs := []*mutateReq{req}
@@ -238,8 +271,26 @@ func (lg *liveGraph) process(reqs []*mutateReq) {
 	ok := make([]appliedReq, 0, len(reqs))
 	for _, req := range reqs {
 		start := time.Now()
+		// WAL first: the batch must be on the log before it can touch the
+		// in-memory graph, so no applied state is ever unlogged. A failed
+		// apply rewinds the log to keep the two in lockstep.
+		var preOff int64
+		if lg.dur != nil {
+			seq := uint64(lg.dyn.Batches()) + 1
+			off, err := lg.dur.log.AppendBatch(seq, req.addVertices, req.updates)
+			if err != nil {
+				lg.store.writes.failed.Add(1)
+				req.reply <- mutateReply{err: fmt.Errorf("write-ahead log: %w", err),
+					status: http.StatusInternalServerError}
+				continue
+			}
+			preOff = off
+		}
 		first, err := lg.dyn.ApplyGrow(req.addVertices, req.updates)
 		if err != nil {
+			if lg.dur != nil {
+				lg.dur.log.Rewind(preOff)
+			}
 			lg.store.writes.failed.Add(1)
 			req.reply <- mutateReply{err: err, status: http.StatusBadRequest}
 			continue
@@ -263,16 +314,34 @@ func (lg *liveGraph) process(reqs []*mutateReq) {
 	snap, refreshed, err := lg.publish()
 	pubMs := msSince(pubStart)
 	if err != nil {
-		// Publishing failed (snapshot build or precompute): the batches
-		// are applied in the dynamic graph and will reach readers on the
-		// next successful publish, but the write cannot be acknowledged
-		// as visible.
+		// Publishing failed (snapshot build or precompute): roll the
+		// dynamic graph — and the WAL — back to the last successfully
+		// published state, so the refresher stays healthy and the failed
+		// batches neither linger unacknowledged in memory nor replay
+		// after a crash.
+		lg.rollback()
 		for _, a := range ok {
 			lg.store.writes.failed.Add(1)
 			a.req.reply <- mutateReply{err: err, status: http.StatusInternalServerError}
 		}
 		return
 	}
+	if lg.dur != nil {
+		if err := lg.dur.commit(lg.store, snap.epoch, lg.dyn, lg.source); err != nil {
+			// The publish is visible but its durability is unknown: the
+			// receipts' guarantee cannot be issued. The graph stays as
+			// published (readers may already see it); clients treat the
+			// error like any other unacknowledged write.
+			for _, a := range ok {
+				lg.store.writes.failed.Add(1)
+				a.req.reply <- mutateReply{err: fmt.Errorf("write-ahead log: %w", err),
+					status: http.StatusInternalServerError}
+			}
+			lg.noteGood()
+			return
+		}
+	}
+	lg.noteGood()
 	for _, a := range ok {
 		a.res.Epoch = snap.epoch
 		a.res.Vertices = snap.graph.NumVertices()
@@ -286,11 +355,47 @@ func (lg *liveGraph) process(reqs []*mutateReq) {
 	}
 }
 
+// rollback restores the dynamic graph to the last successfully
+// published (and durably committed) state after a failed publish, and
+// rewinds the WAL to match. The reorderer keeps its permutation: if the
+// vertex space rolled back underneath it, the next View detects the
+// size mismatch and forces a refresh.
+func (lg *liveGraph) rollback() {
+	base, seq := lg.lastGoodBase, lg.lastGoodSeq
+	if lg.dur != nil && lg.dur.lastGoodBase != nil {
+		base, seq = lg.dur.lastGoodBase, lg.dur.lastGoodSeq
+	}
+	if base == nil {
+		return
+	}
+	lg.dyn = dynamic.FromGraph(base)
+	lg.dyn.RestoreBatches(seq)
+	if lg.dur != nil {
+		lg.dur.log.Rewind(lg.dur.lastGoodOff)
+	}
+}
+
+// noteGood records the just-published state as the rollback target.
+func (lg *liveGraph) noteGood() {
+	if base, err := lg.dyn.Snapshot(); err == nil {
+		lg.lastGoodBase = base
+	}
+	lg.lastGoodSeq = lg.dyn.Batches()
+	if lg.dur != nil {
+		lg.dur.noteGood(lg.dyn)
+	}
+}
+
 // publish materializes the current dynamic state as an immutable
 // snapshot — re-reordered if the policy says so, relabeled with the
 // stale permutation otherwise — precomputes its ranks, and hot-swaps it
 // into the store under a fresh epoch.
 func (lg *liveGraph) publish() (*Snapshot, bool, error) {
+	// The "live.publish" point lets robustness tests force a publish
+	// failure and observe the rollback path.
+	if err := faultinject.Fire("live.publish"); err != nil {
+		return nil, false, err
+	}
 	refreshesBefore := lg.reord.Refreshes
 	viewStart := time.Now()
 	g, perm, err := lg.reord.View(lg.dyn)
@@ -401,6 +506,26 @@ func (st *Store) registerLive(lg *liveGraph) {
 	if old != nil {
 		old.shutdown()
 	}
+}
+
+// CrashLive simulates a crash of a mutable snapshot's write pipeline:
+// the refresher is stopped abruptly — queued writes get 503, the WAL is
+// abandoned without a flush, no final checkpoint is written — leaving
+// exactly the durable state a kill would. The published snapshot keeps
+// serving reads. A subsequent Build of the same name recovers from
+// checkpoint + WAL, which is how chaos testing proves recovery works.
+// Reports whether the name had a live pipeline.
+func (st *Store) CrashLive(name string) bool {
+	st.liveMu.Lock()
+	lg := st.live[name]
+	delete(st.live, name)
+	st.liveMu.Unlock()
+	if lg == nil {
+		return false
+	}
+	lg.crashed.Store(true)
+	lg.shutdown()
+	return true
 }
 
 // stopLive retires a snapshot's mutation pipeline. Safe to call for

@@ -46,6 +46,13 @@ type Options struct {
 	// (default 4). Each batch occasionally also removes an edge the
 	// same client inserted earlier, exercising the deletion path.
 	MutateBatch int
+	// Chaos tolerates write unavailability: a write batch refused with
+	// 503 (the live pipeline is down, crashed or recovering) is counted
+	// in WriteUnavailable instead of Failures — the write was never
+	// acked, so losing it is correct behavior. Reads are never excused.
+	// Chaos runs also record every acked insertion in AckedEdges so the
+	// caller can verify durability after a crash+recovery.
+	Chaos bool
 }
 
 // Mix holds relative weights for the query kinds. Mutate operations POST
@@ -89,6 +96,14 @@ type Result struct {
 	ByKind     map[string]KindStats
 	// FirstErrors holds up to a handful of failure descriptions.
 	FirstErrors []string
+	// WriteUnavailable counts write batches refused with 503 during a
+	// chaos run's outage window; never-acked writes are not failures.
+	WriteUnavailable uint64
+	// AckedEdges holds every edge insertion a receipt acknowledged and
+	// the same client did not later remove, in original vertex-ID space
+	// (chaos runs only). After a crash+recovery, each must still be in
+	// the graph — see VerifyAcked.
+	AckedEdges [][2]int
 }
 
 // String renders the result as a small report.
@@ -176,8 +191,10 @@ func Run(opts Options) (Result, error) {
 		"neighbors": {}, "rank": {}, "topk": {}, "sssp": {}, "mutate": {},
 	}
 	var overall stats.LatencyHist
-	var requests, failures atomic.Uint64
+	var requests, failures, writeUnavailable atomic.Uint64
 	errCh := make(chan string, 8)
+	var ackedMu sync.Mutex
+	var acked [][2]int
 
 	// published records every write receipt's (epoch, edge count); any
 	// read reporting a recorded epoch with a different edge count saw a
@@ -195,6 +212,14 @@ func Run(opts Options) (Result, error) {
 			w := &writer{
 				client: client, baseURL: opts.BaseURL, snapshot: mutName,
 				batchSize: opts.MutateBatch, published: &published,
+				chaos: opts.Chaos,
+			}
+			if opts.Chaos {
+				defer func() {
+					ackedMu.Lock()
+					acked = append(acked, w.inserted...)
+					ackedMu.Unlock()
+				}()
 			}
 			for time.Now().Before(deadline) {
 				// Zipf-distributed vertices model hot-vertex traffic.
@@ -218,10 +243,13 @@ func Run(opts Options) (Result, error) {
 				}
 				tracker := kinds[kind]
 				start := time.Now()
-				var ok bool
+				var ok, tolerated bool
 				var desc string
 				if kind == "mutate" {
-					ok, desc = w.writeBatch(r, n)
+					ok, tolerated, desc = w.writeBatch(r, n)
+					if tolerated {
+						writeUnavailable.Add(1)
+					}
 				} else {
 					var meta respMeta
 					ok, desc, meta = fetch(client, url)
@@ -252,15 +280,17 @@ func Run(opts Options) (Result, error) {
 	wg.Wait()
 
 	res := Result{
-		Duration: opts.Duration,
-		Requests: requests.Load(),
-		Failures: failures.Load(),
-		Mean:     overall.Mean(),
-		P50:      overall.Quantile(0.50),
-		P90:      overall.Quantile(0.90),
-		P99:      overall.Quantile(0.99),
-		Max:      overall.Max(),
-		ByKind:   make(map[string]KindStats, len(kinds)),
+		Duration:         opts.Duration,
+		Requests:         requests.Load(),
+		Failures:         failures.Load(),
+		WriteUnavailable: writeUnavailable.Load(),
+		AckedEdges:       acked,
+		Mean:             overall.Mean(),
+		P50:              overall.Quantile(0.50),
+		P90:              overall.Quantile(0.90),
+		P99:              overall.Quantile(0.99),
+		Max:              overall.Max(),
+		ByKind:           make(map[string]KindStats, len(kinds)),
 	}
 	res.Throughput = float64(res.Requests) / opts.Duration.Seconds()
 	for name, tr := range kinds {
@@ -315,8 +345,12 @@ type writer struct {
 	snapshot  string
 	batchSize int
 	published *sync.Map
+	chaos     bool
 
-	inserted [][2]int // ring of edges this client inserted
+	// inserted holds edges this client inserted and has not removed: the
+	// removal pool, and on chaos runs the acked-edge record (uncapped
+	// there, so every surviving acked insertion can be verified).
+	inserted [][2]int
 }
 
 type mutateUpdate struct {
@@ -326,7 +360,10 @@ type mutateUpdate struct {
 	Remove bool `json:"remove,omitempty"`
 }
 
-func (w *writer) writeBatch(r *rng.Rand, n int) (bool, string) {
+// writeBatch posts one mutation batch. It returns ok for an acked,
+// verified write; tolerated for a chaos-run write refused with 503
+// (live pipeline down — the write was never acked, nothing is owed).
+func (w *writer) writeBatch(r *rng.Rand, n int) (ok, tolerated bool, desc string) {
 	batch := make([]mutateUpdate, 0, w.batchSize+1)
 	for i := 0; i < w.batchSize; i++ {
 		e := mutateUpdate{Src: r.Intn(n), Dst: r.Intn(n), Weight: 1 + r.Intn(8)}
@@ -334,6 +371,8 @@ func (w *writer) writeBatch(r *rng.Rand, n int) (bool, string) {
 	}
 	// Occasionally remove an edge this client inserted earlier; writes
 	// are serialized per client, so the instance is provably present.
+	// (The edge leaves the pool even if this batch fails: skipping its
+	// verification is safe, re-verifying a removed edge would not be.)
 	if len(w.inserted) > 0 && r.Intn(4) == 0 {
 		e := w.inserted[len(w.inserted)-1]
 		w.inserted = w.inserted[:len(w.inserted)-1]
@@ -343,42 +382,121 @@ func (w *writer) writeBatch(r *rng.Rand, n int) (bool, string) {
 	url := fmt.Sprintf("%s/v1/snapshots/%s/edges", w.baseURL, w.snapshot)
 	resp, err := w.client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return false, fmt.Sprintf("POST %s: %v", url, err)
+		return false, false, fmt.Sprintf("POST %s: %v", url, err)
 	}
 	raw, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Sprintf("POST %s: %d %s", url, resp.StatusCode, string(raw))
+		if w.chaos && resp.StatusCode == http.StatusServiceUnavailable {
+			return true, true, ""
+		}
+		return false, false, fmt.Sprintf("POST %s: %d %s", url, resp.StatusCode, string(raw))
 	}
 	var receipt struct {
 		Epoch uint64 `json:"epoch"`
 		Edges int    `json:"edges"`
 	}
 	if err := json.Unmarshal(raw, &receipt); err != nil || receipt.Epoch == 0 {
-		return false, fmt.Sprintf("POST %s: bad receipt %q", url, string(raw))
+		return false, false, fmt.Sprintf("POST %s: bad receipt %q", url, string(raw))
 	}
 	w.published.Store(receipt.Epoch, receipt.Edges)
 	for _, u := range batch {
-		if !u.Remove && len(w.inserted) < 128 {
+		if !u.Remove && (w.chaos || len(w.inserted) < 128) {
 			w.inserted = append(w.inserted, [2]int{u.Src, u.Dst})
 		}
 	}
 	// Read-your-writes: a read pinned to the mutated snapshot must see
 	// the receipt's publish (or a newer one).
 	readURL := fmt.Sprintf("%s/v1/query/degree?v=%d&snapshot=%s", w.baseURL, batch[0].Src, w.snapshot)
-	ok, desc, meta := fetch(w.client, readURL)
-	if !ok {
-		return false, "read-after-write: " + desc
+	rok, rdesc, meta := fetch(w.client, readURL)
+	if !rok {
+		return false, false, "read-after-write: " + rdesc
 	}
 	if meta.Epoch < receipt.Epoch {
-		return false, fmt.Sprintf("stale read after publish: read epoch %d < receipt epoch %d",
+		return false, false, fmt.Sprintf("stale read after publish: read epoch %d < receipt epoch %d",
 			meta.Epoch, receipt.Epoch)
 	}
 	if e, loaded := w.published.Load(meta.Epoch); loaded && e.(int) != meta.Edges {
-		return false, fmt.Sprintf("torn read-after-write: epoch %d served %d edges, receipt said %d",
+		return false, false, fmt.Sprintf("torn read-after-write: epoch %d served %d edges, receipt said %d",
 			meta.Epoch, meta.Edges, e.(int))
 	}
-	return true, ""
+	return true, false, ""
+}
+
+// VerifyAcked proves durability after a crash+recovery: every acked,
+// surviving edge insertion must be present in the named snapshot. Vertex
+// IDs are in original (as-loaded) order — the space mutations use — so
+// both endpoints go through /v1/snapshots/{name}/resolve before the
+// serving-order neighbor lists are consulted. Returns an error naming
+// the first missing edge (an acked write the recovery lost).
+func VerifyAcked(baseURL, snapshot string, edges [][2]int) error {
+	client := &http.Client{}
+	resolved := make(map[int]int)
+	resolve := func(v int) (int, error) {
+		if cur, ok := resolved[v]; ok {
+			return cur, nil
+		}
+		var out struct {
+			Current int `json:"current"`
+		}
+		url := fmt.Sprintf("%s/v1/snapshots/%s/resolve?v=%d", baseURL, snapshot, v)
+		if err := fetchJSON(client, url, &out); err != nil {
+			return 0, err
+		}
+		resolved[v] = out.Current
+		return out.Current, nil
+	}
+	// Group by source: one neighbor fetch per distinct src covers every
+	// acked edge out of it.
+	bySrc := make(map[int]map[int]bool)
+	for _, e := range edges {
+		dsts := bySrc[e[0]]
+		if dsts == nil {
+			dsts = make(map[int]bool)
+			bySrc[e[0]] = dsts
+		}
+		dsts[e[1]] = true
+	}
+	for src, dsts := range bySrc {
+		cur, err := resolve(src)
+		if err != nil {
+			return err
+		}
+		var nb struct {
+			Neighbors []int `json:"neighbors"`
+		}
+		url := fmt.Sprintf("%s/v1/query/neighbors?v=%d&dir=out&snapshot=%s", baseURL, cur, snapshot)
+		if err := fetchJSON(client, url, &nb); err != nil {
+			return err
+		}
+		present := make(map[int]bool, len(nb.Neighbors))
+		for _, n := range nb.Neighbors {
+			present[n] = true
+		}
+		for dst := range dsts {
+			curDst, err := resolve(dst)
+			if err != nil {
+				return err
+			}
+			if !present[curDst] {
+				return fmt.Errorf("acked edge (%d -> %d) missing after recovery", src, dst)
+			}
+		}
+	}
+	return nil
+}
+
+func fetchJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, string(body))
+	}
+	return json.Unmarshal(body, out)
 }
 
 // snapInfo is the slice of the snapshot listing the load generator needs.

@@ -15,6 +15,7 @@ import (
 type routeMetrics struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
+	shed     atomic.Uint64 // admissions refused by load shedding / open breaker
 	lat      stats.LatencyHist
 }
 
@@ -46,23 +47,29 @@ func (m *metricsSet) route(name string) *routeMetrics {
 
 // RouteStats is the JSON view of one route's metrics.
 type RouteStats struct {
-	Requests uint64  `json:"requests"`
-	Errors   uint64  `json:"errors"`
-	MeanUs   float64 `json:"mean_us"`
-	P50Us    float64 `json:"p50_us"`
-	P90Us    float64 `json:"p90_us"`
-	P99Us    float64 `json:"p99_us"`
-	MaxUs    float64 `json:"max_us"`
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	// Shed counts requests this route refused at admission (predicted
+	// queue wait past the deadline, or breaker open) — including the
+	// ones that were then answered from the stale cache.
+	Shed   uint64  `json:"shed,omitempty"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P90Us  float64 `json:"p90_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
 }
 
 // MetricsReport is the /metrics payload.
 type MetricsReport struct {
-	UptimeSeconds float64               `json:"uptime_seconds"`
-	Routes        map[string]RouteStats `json:"routes"`
-	Cache         CacheStats            `json:"cache"`
-	Pool          PoolStats             `json:"pool"`
-	Snapshots     SnapshotStats         `json:"snapshots"`
-	Writes        WriteStats            `json:"writes"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Routes        map[string]RouteStats   `json:"routes"`
+	Cache         CacheStats              `json:"cache"`
+	Pool          PoolStats               `json:"pool"`
+	Breakers      map[string]BreakerStats `json:"breakers,omitempty"`
+	Snapshots     SnapshotStats           `json:"snapshots"`
+	Writes        WriteStats              `json:"writes"`
+	WAL           WALStats                `json:"wal"`
 }
 
 // CacheStats reports result-cache and coalescing effectiveness.
@@ -72,6 +79,9 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced"`
+	// StaleServes counts degraded answers served from an older epoch's
+	// cached result while fresh compute was refused.
+	StaleServes uint64 `json:"stale_serves"`
 }
 
 // PoolStats reports heavy-query pool pressure.
@@ -79,6 +89,9 @@ type PoolStats struct {
 	Capacity int    `json:"capacity"`
 	InUse    int    `json:"in_use"`
 	Rejected uint64 `json:"rejected"`
+	// Shed counts admissions refused because the predicted queue wait
+	// exceeded the request deadline (or a breaker was open).
+	Shed uint64 `json:"shed"`
 }
 
 // SnapshotStats reports snapshot lifecycle counters plus the current
@@ -136,6 +149,7 @@ func (m *metricsSet) report() map[string]RouteStats {
 		out[name] = RouteStats{
 			Requests: rm.requests.Load(),
 			Errors:   rm.errors.Load(),
+			Shed:     rm.shed.Load(),
 			MeanUs:   us(snap.Mean),
 			P50Us:    us(snap.P50),
 			P90Us:    us(snap.P90),

@@ -22,6 +22,10 @@ type queryMeta struct {
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
 	Cached   bool   `json:"cached,omitempty"`
+	// Stale marks a graceful-degradation answer: fresh compute was shed
+	// (or the route's breaker is open) and the response was served from
+	// an older epoch's cached result — Epoch above is that older epoch.
+	Stale bool `json:"stale,omitempty"`
 }
 
 func metaFor(s *Snapshot) queryMeta {
@@ -231,9 +235,9 @@ func computeSSSP(ctx context.Context, s *Snapshot, src graph.VertexID, workers i
 	return d, nil
 }
 
-func (d ssspDistances) result(s *Snapshot, src graph.VertexID) ssspResult {
+func (d ssspDistances) summary(meta queryMeta, src graph.VertexID) ssspResult {
 	return ssspResult{
-		queryMeta:   metaFor(s),
+		queryMeta:   meta,
 		Source:      src,
 		Rounds:      d.rounds,
 		Reached:     d.reached,

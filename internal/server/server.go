@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"graphreorder/internal/dynamic"
+	"graphreorder/internal/faultinject"
 	"graphreorder/internal/graph"
 )
 
@@ -69,6 +70,14 @@ type Config struct {
 	// permutation relabel instead) unless the predicted packing-factor
 	// gain is at least this factor (0 disables the gate).
 	MinRefreshGain float64
+	// BreakerThreshold is how many consecutive server-owned failures
+	// (pool saturation, sheds, server deadline burns, worker panics)
+	// trip a route's circuit breaker open; 0 means 5, negative disables
+	// breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses fresh compute
+	// before admitting a probe; 0 means 5s.
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -86,19 +95,28 @@ func (c Config) withDefaults() Config {
 	} else if c.RefreshEvery < 0 {
 		c.RefreshEvery = 0 // dynamic.Policy: 0 disables periodic refresh
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	} else if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0 // breakerSet: 0 disables
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	return c
 }
 
 // Server is the graphd HTTP service. Create with New, expose via
 // Handler, stop with Shutdown.
 type Server struct {
-	cfg     Config
-	store   *Store
-	cache   *resultCache
-	flight  *flightGroup
-	pool    *workPool
-	metrics *metricsSet
-	started time.Time
+	cfg      Config
+	store    *Store
+	cache    *resultCache
+	flight   *flightGroup
+	pool     *workPool
+	metrics  *metricsSet
+	breakers *breakerSet
+	started  time.Time
 }
 
 // New creates a Server with an empty snapshot store.
@@ -111,13 +129,14 @@ func New(cfg Config) *Server {
 		MinRefreshGain: cfg.MinRefreshGain,
 	})
 	return &Server{
-		cfg:     cfg,
-		store:   store,
-		cache:   newResultCache(cfg.CacheBytes),
-		flight:  newFlightGroup(),
-		pool:    newWorkPool(cfg.MaxConcurrent),
-		metrics: newMetricsSet(),
-		started: time.Now(),
+		cfg:      cfg,
+		store:    store,
+		cache:    newResultCache(cfg.CacheBytes),
+		flight:   newFlightGroup(),
+		pool:     newWorkPool(cfg.MaxConcurrent),
+		metrics:  newMetricsSet(),
+		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		started:  time.Now(),
 	}
 }
 
@@ -255,19 +274,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Routes:        s.metrics.report(),
 		Cache: CacheStats{
-			Entries:   s.cache.len(),
-			Bytes:     s.cache.bytes(),
-			Hits:      s.cache.hits.Load(),
-			Misses:    s.cache.misses.Load(),
-			Coalesced: s.flight.coalesced.Load(),
+			Entries:     s.cache.len(),
+			Bytes:       s.cache.bytes(),
+			Hits:        s.cache.hits.Load(),
+			Misses:      s.cache.misses.Load(),
+			Coalesced:   s.flight.coalesced.Load(),
+			StaleServes: s.cache.staleHits.Load(),
 		},
 		Pool: PoolStats{
 			Capacity: s.pool.capacity(),
 			InUse:    s.pool.inUse(),
 			Rejected: s.pool.rejected.Load(),
+			Shed:     s.pool.shed.Load(),
 		},
+		Breakers:  s.breakers.report(),
 		Snapshots: snapshotStatsFor(tab, s.store),
 		Writes:    s.store.writeStatsReport(),
+		WAL:       s.store.WALStatsReport(),
 	})
 }
 
@@ -493,17 +516,16 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad k (want 1..10000)")
 		return
 	}
-	key := fmt.Sprintf("%d|topk|%d", snap.epoch, k)
-	val, cached, err := s.runHeavy(r.Context(), snap, key, func(context.Context) (any, int64, error) {
-		top := topKRanks(snap.ranks, k)
-		return top, int64(len(top)) * 16, nil
-	})
+	out, err := s.runHeavy(r.Context(), snap, "query.topk", fmt.Sprintf("topk|%d", k),
+		func(context.Context) (any, int64, error) {
+			top := topKRanks(snap.ranks, k)
+			return top, int64(len(top)) * 16, nil
+		})
 	if err != nil {
-		writeError(w, heavyStatus(err), "%v", err)
+		writeHeavyError(w, err)
 		return
 	}
-	res := topKResult{queryMeta: metaFor(snap), K: k, Top: val.([]rankedVertex)}
-	res.Cached = cached
+	res := topKResult{queryMeta: out.meta, K: k, Top: out.val.([]rankedVertex)}
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -530,29 +552,31 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	key := fmt.Sprintf("%d|sssp|%d", snap.epoch, src)
-	val, cached, err := s.runHeavy(r.Context(), snap, key, func(ctx context.Context) (any, int64, error) {
-		d, err := computeSSSP(ctx, snap, src, s.cfg.Workers)
-		if err != nil {
-			return nil, 0, err
-		}
-		return d, int64(len(d.dist)) * 8, nil
-	})
+	out, err := s.runHeavy(r.Context(), snap, "query.sssp", fmt.Sprintf("sssp|%d", src),
+		func(ctx context.Context) (any, int64, error) {
+			d, err := computeSSSP(ctx, snap, src, s.cfg.Workers)
+			if err != nil {
+				return nil, 0, err
+			}
+			return d, int64(len(d.dist)) * 8, nil
+		})
 	if err != nil {
-		writeError(w, heavyStatus(err), "%v", err)
+		writeHeavyError(w, err)
 		return
 	}
-	d := val.(ssspDistances)
-	summary := d.result(snap, src)
-	summary.Cached = cached
+	d := out.val.(ssspDistances)
+	summary := d.summary(out.meta, src)
 	if !hasTarget {
 		writeJSON(w, http.StatusOK, summary)
 		return
 	}
 	res := ssspTargetResult{ssspResult: summary, Target: target}
-	if dv := d.dist[target]; dv != infDistance {
-		res.Reachable = true
-		res.Distance = dv
+	// A stale (older-epoch) vector may predate the target vertex.
+	if int(target) < len(d.dist) {
+		if dv := d.dist[target]; dv != infDistance {
+			res.Reachable = true
+			res.Distance = dv
+		}
 	}
 	writeJSON(w, http.StatusOK, res)
 }
@@ -577,24 +601,34 @@ func (s *Server) handleRadii(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad seed")
 		return
 	}
-	key := fmt.Sprintf("%d|radii|%d|%d", snap.epoch, samples, seed)
-	val, cached, err := s.runHeavy(r.Context(), snap, key, func(ctx context.Context) (any, int64, error) {
-		res, err := computeRadii(ctx, snap, samples, uint64(seed), s.cfg.Workers)
-		if err != nil {
-			return nil, 0, err
-		}
-		return res, 128, nil
-	})
+	out, err := s.runHeavy(r.Context(), snap, "query.radii", fmt.Sprintf("radii|%d|%d", samples, seed),
+		func(ctx context.Context) (any, int64, error) {
+			res, err := computeRadii(ctx, snap, samples, uint64(seed), s.cfg.Workers)
+			if err != nil {
+				return nil, 0, err
+			}
+			return res, 128, nil
+		})
 	if err != nil {
-		writeError(w, heavyStatus(err), "%v", err)
+		writeHeavyError(w, err)
 		return
 	}
-	res := val.(radiiResult)
-	res.Cached = cached
+	res := out.val.(radiiResult)
+	res.queryMeta = out.meta
 	writeJSON(w, http.StatusOK, res)
 }
 
+// heavyOutcome is what the heavy-query path hands back to a handler:
+// the payload plus the metadata of the snapshot that actually produced
+// it — for a stale (degraded) serve that is an older epoch's snapshot,
+// with meta.Stale set.
+type heavyOutcome struct {
+	val  any
+	meta queryMeta
+}
+
 // runHeavy is the serving path for traversal queries: result cache, then
+// admission control (circuit breaker, deadline-aware shedding), then
 // singleflight coalescing, then the bounded pool, then the traversal
 // itself — all under the request's own context. fn receives that context
 // (QueryTimeout derived from it, so a tighter client deadline wins) and
@@ -604,11 +638,27 @@ func (s *Server) handleRadii(w http.ResponseWriter, r *http.Request) {
 // share the leader's computation and therefore its fate — if the leader's
 // context dies mid-traversal they see its error and the next request
 // recomputes. fn returns the result and its approximate size in bytes
-// (the cache charge). The returned bool reports whether the result came
-// from the cache.
-func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, key string, fn func(ctx context.Context) (any, int64, error)) (any, bool, error) {
+// (the cache charge).
+//
+// route names the caller for the per-route breaker and shed counters;
+// kindKey is the epoch-free cache key ("topk|10"). When fresh compute
+// is refused — predicted queue wait past the deadline, or breaker open
+// — the previous epoch's cached result is served marked stale; with no
+// fallback cached, the request fails fast with 503 + Retry-After
+// instead of burning its deadline in the queue.
+func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, route, kindKey string, fn func(ctx context.Context) (any, int64, error)) (heavyOutcome, error) {
+	key := fmt.Sprintf("%d|%s", snap.epoch, kindKey)
 	if v, ok := s.cache.get(key); ok {
-		return v, true, nil
+		meta := metaFor(snap)
+		meta.Cached = true
+		return heavyOutcome{val: v, meta: meta}, nil
+	}
+	br := s.breakers.route(route)
+	if !br.allow() {
+		return s.degrade(route, kindKey, &shedError{
+			reason:     "circuit breaker open",
+			retryAfter: br.retryAfter(),
+		})
 	}
 	parentDeadline, hasParentDeadline := ctx.Deadline()
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.QueryTimeout)
@@ -620,6 +670,16 @@ func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, key string, fn fu
 	// retry below instead of inheriting a 503.
 	effectiveDeadline, _ := ctx.Deadline()
 	serverOwnsDeadline := !hasParentDeadline || parentDeadline.After(effectiveDeadline)
+	// Deadline-aware shedding: if the predicted queue wait already
+	// exceeds what is left of the deadline, queueing can only end in a
+	// timeout — shed now, before the wait burns the client's budget.
+	if wait := s.pool.predictWait(); wait > 0 && time.Until(effectiveDeadline) < wait {
+		br.record(false)
+		return s.degrade(route, kindKey, &shedError{
+			reason:     "predicted queue wait exceeds deadline",
+			retryAfter: wait,
+		})
+	}
 	// The leader computation runs on its own goroutine (so coalesced
 	// waiters can abandon the wait individually), hence it holds its own
 	// snapshot reference: drain accounting stays truthful for the brief
@@ -637,10 +697,14 @@ func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, key string, fn fu
 				}
 				return nil, err
 			}
-			defer s.pool.release()
-			v, cost, err := fn(ctx)
+			busy := time.Now()
+			defer func() {
+				s.pool.observe(time.Since(busy))
+				s.pool.release()
+			}()
+			v, cost, err := runWorker(ctx, fn)
 			if err == nil {
-				s.cache.add(key, v, cost)
+				s.cache.add(key, kindKey, v, cost, metaFor(snap))
 			}
 			return v, err
 		})
@@ -656,29 +720,118 @@ func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, key string, fn fu
 			if !leader && isContextErr(call.err) && ctx.Err() == nil {
 				continue
 			}
-			return call.val, false, call.err
+			br.record(!isServerFault(call.err, serverOwnsDeadline))
+			if call.err != nil {
+				return heavyOutcome{}, call.err
+			}
+			meta := metaFor(snap)
+			if !leader {
+				// Coalesced onto the leader's computation: same epoch,
+				// shared result — report it as served from cache.
+				meta.Cached = true
+			}
+			return heavyOutcome{val: call.val, meta: meta}, nil
 		case <-ctx.Done():
-			return nil, false, ctx.Err()
+			if serverOwnsDeadline {
+				br.record(false)
+			}
+			return heavyOutcome{}, ctx.Err()
 		}
 	}
+}
+
+// runWorker executes fn with panic containment: a panicking traversal
+// (or an injected "pool.worker" fault) becomes an ordinary 500 for this
+// request instead of killing the process. The "pool.worker.delay" point
+// injects latency without failing, for shed tests that need a busy pool
+// with known service times.
+func runWorker(ctx context.Context, fn func(ctx context.Context) (any, int64, error)) (v any, cost int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", errWorkerPanic, r)
+		}
+	}()
+	faultinject.Armed("pool.worker.delay") // applies the armed delay, if any
+	if ferr := faultinject.Fire("pool.worker"); ferr != nil {
+		return nil, 0, fmt.Errorf("%w: %v", errWorkerPanic, ferr)
+	}
+	return fn(ctx)
+}
+
+// degrade is the refused-admission path: serve the previous epoch's
+// cached result marked stale if one exists, otherwise surface the shed.
+func (s *Server) degrade(route, kindKey string, shed *shedError) (heavyOutcome, error) {
+	s.pool.shed.Add(1)
+	s.metrics.route(route).shed.Add(1)
+	if v, meta, ok := s.cache.getStale(kindKey); ok {
+		meta.Cached = true
+		meta.Stale = true
+		return heavyOutcome{val: v, meta: meta}, nil
+	}
+	return heavyOutcome{}, shed
 }
 
 func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// isServerFault classifies an error for the circuit breaker: pool
+// saturation, worker panics and server-owned deadline burns are the
+// server's fault; client cancellations and bad inputs are not.
+func isServerFault(err error, serverOwnsDeadline bool) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, errPoolSaturated), errors.Is(err, errWorkerPanic):
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		return serverOwnsDeadline
+	default:
+		return false
+	}
+}
+
 var (
 	errPoolSaturated = errors.New("server overloaded: heavy-query pool saturated")
+	errWorkerPanic   = errors.New("server: worker failed")
 	errDropCurrent   = errors.New("server: cannot drop the current snapshot; activate another first")
 )
 
+// shedError reports a request refused by admission control, with the
+// Retry-After hint clients should honor.
+type shedError struct {
+	reason     string
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("server overloaded: %s; retry after %s", e.reason, e.retryAfter.Round(time.Millisecond))
+}
+
 func heavyStatus(err error) int {
+	var shed *shedError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, errPoolSaturated):
+	case errors.Is(err, errPoolSaturated), errors.As(err, &shed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errWorkerPanic):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeHeavyError maps a heavy-path error to its status, attaching the
+// Retry-After header on shed responses so well-behaved clients back off.
+func writeHeavyError(w http.ResponseWriter, err error) {
+	var shed *shedError
+	if errors.As(err, &shed) {
+		secs := int(shed.retryAfter.Seconds() + 0.999)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeError(w, heavyStatus(err), "%v", err)
 }

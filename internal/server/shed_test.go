@@ -1,0 +1,256 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"graphreorder/internal/faultinject"
+)
+
+// shedServer builds a server with a single-slot heavy pool so one
+// in-flight query saturates it — the shape every shedding test needs.
+func shedServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(Config{Workers: 1, MaxConcurrent: 1, QueryTimeout: 30 * time.Second})
+	if _, err := s.store.Build(BuildSpec{Name: "main", Dataset: "uni", Scale: "tiny", Technique: "dbg"}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// getWithDeadline issues a GET whose context carries a client deadline,
+// returning the status code, the Retry-After header and elapsed time.
+func getWithDeadline(t *testing.T, h http.Handler, url string, d time.Duration, out any) (int, string, time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	req := httptest.NewRequest("GET", url, nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	h.ServeHTTP(rec, req)
+	elapsed := time.Since(start)
+	if out != nil && rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("bad JSON %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec.Code, rec.Header().Get("Retry-After"), elapsed
+}
+
+// TestShedFailsFastBeforeDeadlineBurns pins the core shedding contract:
+// with the single pool slot held and a known service time, a request
+// whose deadline is shorter than the predicted queue wait gets 503 +
+// Retry-After immediately — instead of queueing until its deadline
+// expires and answering with 504 only after the full wait.
+func TestShedFailsFastBeforeDeadlineBurns(t *testing.T) {
+	s := shedServer(t)
+	h := s.Handler()
+
+	// Teach the pool that heavy queries take ~300ms, then saturate it.
+	for i := 0; i < 4; i++ {
+		s.pool.observe(300 * time.Millisecond)
+	}
+	if err := s.pool.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.release()
+
+	const deadline = 80 * time.Millisecond
+	code, retryAfter, elapsed := getWithDeadline(t, h, "/v1/query/sssp?src=0", deadline, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", code)
+	}
+	if retryAfter == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+	// The whole point: the refusal must not have burned the deadline.
+	if elapsed >= deadline {
+		t.Fatalf("shed took %v, deadline was %v — request queued instead of failing fast", elapsed, deadline)
+	}
+
+	// The shed shows up in /metrics, attributed to its route.
+	var rep MetricsReport
+	if codeM := get(t, h, "/metrics", &rep); codeM != http.StatusOK {
+		t.Fatal("metrics failed")
+	}
+	if rep.Pool.Shed == 0 {
+		t.Error("pool shed counter not incremented")
+	}
+	if rep.Routes["query.sssp"].Shed == 0 {
+		t.Error("route shed counter not incremented")
+	}
+}
+
+// TestShedWithAmpleDeadlineAdmits is the negative control: the same
+// saturated pool admits a request whose deadline comfortably covers the
+// predicted wait.
+func TestShedWithAmpleDeadlineAdmits(t *testing.T) {
+	s := shedServer(t)
+	h := s.Handler()
+	for i := 0; i < 4; i++ {
+		s.pool.observe(time.Millisecond)
+	}
+	if err := s.pool.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		s.pool.release()
+		close(release)
+	}()
+	code, _, _ := getWithDeadline(t, h, "/v1/query/sssp?src=0", 5*time.Second, nil)
+	<-release
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (predicted wait well under deadline)", code)
+	}
+}
+
+// TestStaleDegradationServesPreviousEpoch: when fresh compute is shed,
+// the previous epoch's cached result still answers — explicitly marked
+// stale and carrying the producing epoch — so read availability survives
+// overload.
+func TestStaleDegradationServesPreviousEpoch(t *testing.T) {
+	s := New(Config{Workers: 1, MaxConcurrent: 1, QueryTimeout: 30 * time.Second, RefreshEvery: 1000})
+	t.Cleanup(func() { s.store.CloseLive() })
+	if _, err := s.store.Build(BuildSpec{
+		Name: "live", Dataset: "uni", Scale: "tiny", Technique: "original", Mutable: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	// Warm the cache at the current epoch.
+	var warm struct {
+		Epoch uint64 `json:"epoch"`
+		Stale bool   `json:"stale"`
+	}
+	if code := get(t, h, "/v1/query/topk?k=3", &warm); code != http.StatusOK {
+		t.Fatal("warmup topk failed")
+	}
+	oldEpoch := warm.Epoch
+
+	// Publish a new epoch so the fresh-cache key no longer matches.
+	var res MutateResult
+	code, body := postJSON(t, h, "/v1/snapshots/live/edges", MutateRequest{
+		Updates: []MutateUpdate{{Src: 0, Dst: 1, Weight: 1}},
+	}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", code, body)
+	}
+	if res.Epoch <= oldEpoch {
+		t.Fatalf("epoch did not advance: %d -> %d", oldEpoch, res.Epoch)
+	}
+
+	// Saturate the pool and shed: the old epoch's entry must answer.
+	for i := 0; i < 4; i++ {
+		s.pool.observe(300 * time.Millisecond)
+	}
+	if err := s.pool.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.release()
+
+	var degraded struct {
+		Epoch  uint64 `json:"epoch"`
+		Cached bool   `json:"cached"`
+		Stale  bool   `json:"stale"`
+	}
+	codeD, _, _ := getWithDeadline(t, h, "/v1/query/topk?k=3", 50*time.Millisecond, &degraded)
+	if codeD != http.StatusOK {
+		t.Fatalf("degraded status = %d, want 200 (stale fallback cached)", codeD)
+	}
+	if !degraded.Stale || !degraded.Cached {
+		t.Fatalf("degraded response not marked stale+cached: %+v", degraded)
+	}
+	if degraded.Epoch != oldEpoch {
+		t.Fatalf("degraded epoch = %d, want producing epoch %d", degraded.Epoch, oldEpoch)
+	}
+
+	var rep MetricsReport
+	get(t, h, "/metrics", &rep)
+	if rep.Cache.StaleServes == 0 {
+		t.Error("stale_serves counter not incremented")
+	}
+}
+
+// TestBreakerTripsAndRecovers drives the per-route breaker through its
+// full lifecycle: consecutive worker failures open it, an open breaker
+// refuses with 503 + Retry-After without touching the pool, and after
+// the cooldown a half-open probe success closes it again.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	s := New(Config{
+		Workers: 1, QueryTimeout: 30 * time.Second,
+		BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond,
+	})
+	if _, err := s.store.Build(BuildSpec{Name: "main", Dataset: "uni", Scale: "tiny", Technique: "dbg"}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	// Two injected worker failures (distinct sources dodge the cache).
+	faultinject.Enable("pool.worker", faultinject.Fault{Err: faultinject.ErrInjected, Count: 2})
+	defer faultinject.Reset()
+	for src := 0; src < 2; src++ {
+		code := get(t, h, "/v1/query/sssp?src="+strconv.Itoa(src), nil)
+		if code != http.StatusInternalServerError {
+			t.Fatalf("injected failure %d: status = %d, want 500", src, code)
+		}
+	}
+
+	// Breaker is now open: refused at admission, Retry-After attached.
+	req := httptest.NewRequest("GET", "/v1/query/sssp?src=2", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("open breaker 503 without Retry-After")
+	}
+
+	var rep MetricsReport
+	get(t, h, "/metrics", &rep)
+	bs, ok := rep.Breakers["query.sssp"]
+	if !ok {
+		t.Fatal("breaker missing from /metrics")
+	}
+	if bs.Opens == 0 {
+		t.Errorf("breaker opens = 0 after trip")
+	}
+
+	// After the cooldown the half-open probe (fault exhausted) succeeds
+	// and the breaker closes; subsequent requests flow normally.
+	time.Sleep(80 * time.Millisecond)
+	if code := get(t, h, "/v1/query/sssp?src=3", nil); code != http.StatusOK {
+		t.Fatalf("half-open probe: status = %d, want 200", code)
+	}
+	if code := get(t, h, "/v1/query/sssp?src=4", nil); code != http.StatusOK {
+		t.Fatalf("post-recovery request: status = %d, want 200", code)
+	}
+	get(t, h, "/metrics", &rep)
+	if got := rep.Breakers["query.sssp"].State; got != "closed" {
+		t.Errorf("breaker state = %q after recovery, want closed", got)
+	}
+}
+
+// TestWorkerPanicContained proves a panicking traversal worker becomes a
+// 500 for that request only — the process survives and the next request
+// succeeds.
+func TestWorkerPanicContained(t *testing.T) {
+	s := shedServer(t)
+	h := s.Handler()
+	faultinject.Enable("pool.worker", faultinject.Fault{Panic: true, Count: 1})
+	defer faultinject.Reset()
+	if code := get(t, h, "/v1/query/sssp?src=0", nil); code != http.StatusInternalServerError {
+		t.Fatalf("panicking worker: status = %d, want 500", code)
+	}
+	if code := get(t, h, "/v1/query/sssp?src=1", nil); code != http.StatusOK {
+		t.Fatalf("request after contained panic: status = %d, want 200", code)
+	}
+}

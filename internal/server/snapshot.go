@@ -182,6 +182,10 @@ type Store struct {
 	live       map[string]*liveGraph
 	writes     writeStats
 
+	// durable is the crash-safety configuration for mutable snapshots
+	// (see durability.go); nil when durability is off.
+	durable *durability
+
 	buildMu sync.Mutex
 	builds  map[string]*BuildStatus
 	buildWG sync.WaitGroup
@@ -345,6 +349,9 @@ func (st *Store) Drop(name string) error {
 	st.mu.Unlock()
 
 	st.stopLive(name)
+	// Dropping is explicit deletion: its durable state must not be
+	// resurrected by a later build of the same name.
+	st.removeDurable(name)
 	st.mu.Lock()
 	delete(st.dropping, name)
 	st.mu.Unlock()
@@ -515,6 +522,17 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 		return nil, fmt.Errorf("server: bad degree %q (want in|out)", spec.Degree)
 	}
 
+	// Stage 0: recovery. A mutable name that is not currently live but
+	// left durable state behind (crash, restart) resumes from its last
+	// checkpoint + WAL instead of reloading the spec's source — that is
+	// the crash-safety contract: acknowledged batches survive. A rebuild
+	// of a *live* name is an explicit operator request for a fresh
+	// build, so it skips recovery.
+	var recovered *recoveredState
+	if spec.Mutable && st.durable != nil && st.Live(spec.Name) == nil {
+		recovered = st.recoverDurable(spec.Name)
+	}
+
 	// Stage 1: load or generate.
 	start := time.Now()
 	var (
@@ -522,6 +540,13 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 		source string
 		err    error
 	)
+	if recovered != nil {
+		g = recovered.base
+		source = recovered.source
+		st.bumpEpochFloor(recovered.epochFloor)
+		loadTime := time.Since(start)
+		return st.buildFrom(spec, status, g, source, kind, loadTime, recovered)
+	}
 	switch {
 	case spec.Dataset != "" && spec.Path != "":
 		return nil, errors.New("server: build spec sets both dataset and path")
@@ -556,8 +581,13 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 	default:
 		return nil, errors.New("server: build spec needs dataset or path")
 	}
-	loadTime := time.Since(start)
+	return st.buildFrom(spec, status, g, source, kind, time.Since(start), nil)
+}
 
+// buildFrom runs the reorder/precompute/publish stages on an already
+// loaded (or recovered) graph.
+func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, source string,
+	kind graph.DegreeKind, loadTime time.Duration, recovered *recoveredState) (*Snapshot, error) {
 	// Stage 2: reorder. base keeps the as-loaded order alive for the
 	// mutation pipeline of a mutable snapshot. Technique "auto" consults
 	// the skew-gated advisor, recording its verdict; pipeline specs like
@@ -615,7 +645,7 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 	// run to completion (background context): a half-built snapshot is
 	// useless.
 	status.setStage("precomputing")
-	start = time.Now()
+	start := time.Now()
 	run, err := graphreorder.Run(context.Background(), g, graphreorder.AppPR,
 		graphreorder.WithMaxIters(spec.MaxIters), graphreorder.WithWorkers(st.workers))
 	if err != nil {
@@ -657,7 +687,7 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 		return nil, fmt.Errorf("server: snapshot %q was dropped during the build", spec.Name)
 	}
 	if spec.Mutable {
-		st.registerLive(newLiveGraph(st, spec, base, snap, tech, kind))
+		st.registerLive(newLiveGraph(st, spec, base, snap, tech, kind, recovered))
 	}
 	return snap, nil
 }

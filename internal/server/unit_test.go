@@ -10,14 +10,20 @@ import (
 	"time"
 )
 
+// addT inserts without a stale index or metadata — shorthand for the
+// accounting tests, which only care about LRU/byte behavior.
+func (c *resultCache) addT(key string, val any, cost int64) {
+	c.add(key, "", val, cost, queryMeta{})
+}
+
 func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2) // byte budget of 2; unit-cost entries below
-	c.add("a", 1, 1)
-	c.add("b", 2, 1)
+	c.addT("a", 1, 1)
+	c.addT("b", 2, 1)
 	if v, ok := c.get("a"); !ok || v != 1 {
 		t.Fatal("a missing")
 	}
-	c.add("c", 3, 1) // evicts b (a was just touched)
+	c.addT("c", 3, 1) // evicts b (a was just touched)
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
@@ -30,7 +36,7 @@ func TestResultCacheLRU(t *testing.T) {
 	if c.len() != 2 || c.bytes() != 2 {
 		t.Fatalf("len = %d bytes = %d, want 2/2", c.len(), c.bytes())
 	}
-	c.add("a", 10, 1) // update in place
+	c.addT("a", 10, 1) // update in place
 	if v, _ := c.get("a"); v != 10 {
 		t.Fatal("update lost")
 	}
@@ -44,8 +50,8 @@ func TestResultCacheLRU(t *testing.T) {
 
 func TestResultCacheByteBudget(t *testing.T) {
 	c := newResultCache(100)
-	c.add("big", "x", 60)
-	c.add("mid", "y", 50) // 110 > 100: evicts big
+	c.addT("big", "x", 60)
+	c.addT("mid", "y", 50) // 110 > 100: evicts big
 	if _, ok := c.get("big"); ok {
 		t.Fatal("budget not enforced")
 	}
@@ -53,7 +59,7 @@ func TestResultCacheByteBudget(t *testing.T) {
 		t.Fatalf("bytes = %d, want 50", c.bytes())
 	}
 	// An entry larger than the whole budget is refused outright.
-	c.add("huge", "z", 1000)
+	c.addT("huge", "z", 1000)
 	if _, ok := c.get("huge"); ok {
 		t.Fatal("over-budget entry cached")
 	}
@@ -61,7 +67,7 @@ func TestResultCacheByteBudget(t *testing.T) {
 		t.Fatal("mid evicted by refused entry")
 	}
 	// Updating an entry re-charges its cost.
-	c.add("mid", "y2", 90)
+	c.addT("mid", "y2", 90)
 	if c.bytes() != 90 {
 		t.Fatalf("bytes after recharge = %d, want 90", c.bytes())
 	}
@@ -93,12 +99,12 @@ func auditBytes(t *testing.T, c *resultCache) {
 // LRU entries if the new total exceeds the budget.
 func TestResultCacheUpdateEviction(t *testing.T) {
 	c := newResultCache(10)
-	c.add("a", 1, 4)
-	c.add("b", 2, 4)
+	c.addT("a", 1, 4)
+	c.addT("b", 2, 4)
 	auditBytes(t, c)
 	// Re-add "a" at cost 8: total would be 12 > 10, and since the update
 	// moved "a" to the front, "b" is the LRU victim.
-	c.add("a", 3, 8)
+	c.addT("a", 3, 8)
 	auditBytes(t, c)
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted by a's recharge")
@@ -110,14 +116,14 @@ func TestResultCacheUpdateEviction(t *testing.T) {
 		t.Fatalf("bytes = %d, want 8", c.bytes())
 	}
 	// Shrinking an entry's cost must release budget.
-	c.add("a", 4, 2)
+	c.addT("a", 4, 2)
 	auditBytes(t, c)
 	if c.bytes() != 2 {
 		t.Fatalf("bytes after shrink = %d, want 2", c.bytes())
 	}
 	// An update that itself exceeds the whole budget is refused and must
 	// drop the now-superseded cached value rather than keep serving it.
-	c.add("a", 5, 100)
+	c.addT("a", 5, 100)
 	auditBytes(t, c)
 	if _, ok := c.get("a"); ok {
 		t.Fatal("over-budget update left a stale value cached")
@@ -135,7 +141,7 @@ func TestResultCacheAccountingNeverDrifts(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		key := fmt.Sprintf("k%d", i%13)
 		cost := int64(1 + (i*7)%40)
-		c.add(key, i, cost)
+		c.addT(key, i, cost)
 		auditBytes(t, c)
 		if i%3 == 0 {
 			c.get(fmt.Sprintf("k%d", (i*5)%13))
@@ -156,7 +162,7 @@ func TestResultCacheConcurrent(t *testing.T) {
 			for i := 0; i < 1000; i++ {
 				key := fmt.Sprintf("k%d", (w*31+i)%17)
 				if i%2 == 0 {
-					c.add(key, i, int64(1+(i+w)%100))
+					c.addT(key, i, int64(1+(i+w)%100))
 				} else {
 					c.get(key)
 				}
