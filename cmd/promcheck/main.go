@@ -1,0 +1,77 @@
+// Command promcheck validates a Prometheus text-format exposition
+// (version 0.0.4): HELP/TYPE grammar, metric-name and label syntax,
+// sample values, and TYPE-before-sample ordering. It is the CI gate for
+// graphd's /metrics Prometheus output — a pure-stdlib checker, so the
+// format contract is enforced without vendoring a Prometheus client.
+//
+// Usage:
+//
+//	curl -s -H 'Accept: text/plain' localhost:8090/metrics | promcheck
+//	promcheck -url http://localhost:8090/metrics
+//	promcheck -url ... -require graphd_requests_total,graphd_uptime_seconds
+//
+// Exits non-zero on any format violation, on an empty exposition, or
+// when a -require'd metric family is missing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"graphreorder/internal/obs"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "scrape this URL (with a text/plain Accept header) instead of reading stdin")
+		require = flag.String("require", "", "comma-separated metric families that must be present")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *url != "" {
+		req, err := http.NewRequest(http.MethodGet, *url, nil)
+		if err != nil {
+			fatal(err)
+		}
+		req.Header.Set("Accept", "text/plain; version=0.0.4")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("GET %s: %s", *url, resp.Status))
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			fatal(fmt.Errorf("GET %s: Content-Type %q is not a text exposition", *url, ct))
+		}
+		in = resp.Body
+	}
+
+	samples, families, err := obs.ValidateExposition(in)
+	if err != nil {
+		fatal(err)
+	}
+	var missing []string
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			if _, ok := families[name]; !ok {
+				missing = append(missing, name)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		fatal(fmt.Errorf("missing required families: %s", strings.Join(missing, ", ")))
+	}
+	fmt.Printf("promcheck: ok (%d samples, %d families)\n", samples, len(families))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+package obs
+
+import "context"
+
+type traceKey struct{}
+
+// WithTrace returns ctx carrying t. A nil t returns ctx unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. All Trace
+// methods accept a nil receiver, so callers use the result directly.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

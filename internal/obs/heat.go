@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// Heat is a low-overhead per-vertex touch-count accumulator: the query
+// layer records which snapshot vertices live queries actually read, so
+// the serving layer can compare the *observed* hot set against the
+// degree-predicted one the reordering advisor uses (the paper treats
+// degree as a static hotness proxy; Heat measures the real thing).
+//
+// Two mechanisms keep the write path cheap enough to leave on:
+//
+//   - Sharding: counters are striped across up to maxHeatLanes
+//     independent lanes; each request's Toucher picks one lane
+//     round-robin, so concurrent requests hammering the same hub vertex
+//     spread across distinct cache lines. Lane count shrinks as the
+//     vertex count grows, capping the total footprint near
+//     maxHeatBytes.
+//   - Sampling: with SampleN > 1 each Toucher records only every N-th
+//     touch (random phase, so short requests are not systematically
+//     dropped); reads scale raw counts back up by N.
+//
+// A touch is then one uncontended atomic add; reads (TopK, Histogram)
+// pay an O(n·lanes) merge, which is /heat-endpoint and /metrics-scrape
+// territory, not query-path territory.
+type Heat struct {
+	n       int
+	sampleN uint32
+	rr      atomic.Uint32
+	lanes   [][]atomic.Uint32
+}
+
+const (
+	// maxHeatLanes bounds the sharding width.
+	maxHeatLanes = 8
+	// maxHeatBytes is the approximate per-snapshot counter budget the
+	// lane count is fitted to (the first lane always exists, so very
+	// large graphs degrade to a single shared stripe rather than
+	// losing telemetry).
+	maxHeatBytes = 32 << 20
+)
+
+// heatLanes picks the lane count (a power of two in [1, maxHeatLanes])
+// for an n-vertex accumulator.
+func heatLanes(n int) int {
+	lanes := maxHeatLanes
+	for lanes > 1 && lanes*n*4 > maxHeatBytes {
+		lanes /= 2
+	}
+	return lanes
+}
+
+// NewHeat creates an accumulator for n vertices recording every
+// sampleN-th touch (sampleN < 1 means 1: record everything).
+func NewHeat(n int, sampleN int) *Heat {
+	if n < 0 {
+		n = 0
+	}
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	h := &Heat{n: n, sampleN: uint32(sampleN)}
+	h.lanes = make([][]atomic.Uint32, heatLanes(n))
+	for i := range h.lanes {
+		h.lanes[i] = make([]atomic.Uint32, n)
+	}
+	return h
+}
+
+// SampleN returns the configured touch-sampling stride.
+func (h *Heat) SampleN() int {
+	if h == nil {
+		return 0
+	}
+	return int(h.sampleN)
+}
+
+// Vertices returns the accumulator's vertex-space size.
+func (h *Heat) Vertices() int {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Toucher records one request's touches into a single lane. The zero
+// value (and any Toucher from a nil Heat) discards everything, so call
+// sites need no enabled checks.
+type Toucher struct {
+	lane    []atomic.Uint32
+	sampleN uint32
+	phase   uint32
+}
+
+// Recorder returns a Toucher for one request, assigned to a lane
+// round-robin. Cost: one atomic add (plus one cheap random draw when
+// sampling is on).
+func (h *Heat) Recorder() Toucher {
+	if h == nil || h.n == 0 {
+		return Toucher{}
+	}
+	t := Toucher{
+		lane:    h.lanes[int(h.rr.Add(1))&(len(h.lanes)-1)],
+		sampleN: h.sampleN,
+	}
+	if t.sampleN > 1 {
+		// Random phase: a request touching fewer than sampleN vertices
+		// still records with probability touches/sampleN.
+		t.phase = rand.Uint32N(t.sampleN)
+	}
+	return t
+}
+
+// Touch records one vertex read. Out-of-range vertices (a stale cached
+// vector predating growth, or shrinkage across epochs) are ignored.
+func (t *Toucher) Touch(v int) {
+	if t.lane == nil || v < 0 || v >= len(t.lane) {
+		return
+	}
+	if t.sampleN > 1 {
+		t.phase++
+		if t.phase%t.sampleN != 0 {
+			return
+		}
+	}
+	t.lane[v].Add(1)
+}
+
+// VertexHeat is one vertex's estimated touch count.
+type VertexHeat struct {
+	Vertex  int    `json:"vertex"`
+	Touches uint64 `json:"touches"`
+}
+
+// HeatReport is a merged read of the accumulator.
+type HeatReport struct {
+	// Touches is the estimated total touch count (raw recorded touches
+	// scaled by SampleN).
+	Touches uint64 `json:"touches"`
+	// Distinct is how many vertices were touched at least once.
+	Distinct int `json:"distinct"`
+	// Top holds the K hottest vertices, descending by touches (ties
+	// break toward the lower vertex ID).
+	Top []VertexHeat `json:"top"`
+	// Histogram buckets vertices by estimated touch count: bucket i
+	// holds vertices with touches in [2^i, 2^(i+1)). Trailing empty
+	// buckets are trimmed; untouched vertices are not counted.
+	Histogram []uint64 `json:"histogram"`
+}
+
+// Report merges the lanes and returns the top-k hottest vertices plus
+// the touch-count histogram. One O(n·lanes) pass.
+func (h *Heat) Report(k int) HeatReport {
+	var rep HeatReport
+	if h == nil || h.n == 0 {
+		return rep
+	}
+	if k < 0 {
+		k = 0
+	}
+	var hist [33]uint64
+	maxBucket := -1
+	top := newHeatHeap(k)
+	for v := 0; v < h.n; v++ {
+		var c uint64
+		for _, lane := range h.lanes {
+			c += uint64(lane[v].Load())
+		}
+		if c == 0 {
+			continue
+		}
+		c *= uint64(h.sampleN)
+		rep.Touches += c
+		rep.Distinct++
+		b := bits.Len64(c) - 1
+		hist[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+		top.offer(VertexHeat{Vertex: v, Touches: c})
+	}
+	rep.Top = top.sorted()
+	rep.Histogram = append([]uint64(nil), hist[:maxBucket+1]...)
+	return rep
+}
+
+// TopSet returns the hottest vertices as a set, capped at limit — the
+// observed hot set the divergence metric compares against the
+// degree-predicted one.
+func (rep HeatReport) TopSet(limit int) map[int]bool {
+	if limit > len(rep.Top) {
+		limit = len(rep.Top)
+	}
+	set := make(map[int]bool, limit)
+	for _, vh := range rep.Top[:limit] {
+		set[vh.Vertex] = true
+	}
+	return set
+}
+
+// heatHeap is a size-bounded min-heap keeping the k hottest vertices.
+type heatHeap struct {
+	k     int
+	items []VertexHeat
+}
+
+func newHeatHeap(k int) *heatHeap {
+	return &heatHeap{k: k, items: make([]VertexHeat, 0, min(k, 1024))}
+}
+
+// worse reports whether a ranks strictly below b (fewer touches, ties
+// toward the higher vertex ID so results are deterministic).
+func worse(a, b VertexHeat) bool {
+	if a.Touches != b.Touches {
+		return a.Touches < b.Touches
+	}
+	return a.Vertex > b.Vertex
+}
+
+func (hh *heatHeap) offer(v VertexHeat) {
+	if hh.k == 0 {
+		return
+	}
+	if len(hh.items) < hh.k {
+		hh.items = append(hh.items, v)
+		i := len(hh.items) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse(hh.items[i], hh.items[parent]) {
+				break
+			}
+			hh.items[i], hh.items[parent] = hh.items[parent], hh.items[i]
+			i = parent
+		}
+		return
+	}
+	if !worse(hh.items[0], v) {
+		return
+	}
+	hh.items[0] = v
+	hh.down(0)
+}
+
+func (hh *heatHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(hh.items) && worse(hh.items[l], hh.items[small]) {
+			small = l
+		}
+		if r < len(hh.items) && worse(hh.items[r], hh.items[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		hh.items[i], hh.items[small] = hh.items[small], hh.items[i]
+		i = small
+	}
+}
+
+// sorted drains the heap into descending touch order.
+func (hh *heatHeap) sorted() []VertexHeat {
+	out := make([]VertexHeat, len(hh.items))
+	for i := len(hh.items) - 1; i >= 0; i-- {
+		out[i] = hh.items[0]
+		hh.items[0] = hh.items[len(hh.items)-1]
+		hh.items = hh.items[:len(hh.items)-1]
+		hh.down(0)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHeatBasic(t *testing.T) {
+	h := NewHeat(10, 1)
+	rec := h.Recorder()
+	for i := 0; i < 5; i++ {
+		rec.Touch(3)
+	}
+	rec.Touch(7)
+	rec.Touch(-1) // ignored
+	rec.Touch(10) // out of range, ignored
+
+	rep := h.Report(2)
+	if rep.Touches != 6 || rep.Distinct != 2 {
+		t.Fatalf("touches=%d distinct=%d, want 6/2", rep.Touches, rep.Distinct)
+	}
+	if len(rep.Top) != 2 || rep.Top[0] != (VertexHeat{Vertex: 3, Touches: 5}) || rep.Top[1] != (VertexHeat{Vertex: 7, Touches: 1}) {
+		t.Fatalf("top = %+v", rep.Top)
+	}
+	// 5 touches -> bucket 2 ([4,8)), 1 touch -> bucket 0.
+	if len(rep.Histogram) != 3 || rep.Histogram[0] != 1 || rep.Histogram[2] != 1 {
+		t.Fatalf("histogram = %v", rep.Histogram)
+	}
+}
+
+func TestHeatNilAndZero(t *testing.T) {
+	var h *Heat
+	rec := h.Recorder()
+	rec.Touch(0)
+	if rep := h.Report(4); rep.Touches != 0 || len(rep.Top) != 0 {
+		t.Fatalf("nil heat report = %+v", rep)
+	}
+	if h.SampleN() != 0 || h.Vertices() != 0 {
+		t.Fatal("nil heat accessors leaked state")
+	}
+	var zero Toucher
+	zero.Touch(5) // must not panic
+
+	empty := NewHeat(0, 1)
+	emptyRec := empty.Recorder()
+	emptyRec.Touch(0)
+	if rep := empty.Report(4); rep.Distinct != 0 {
+		t.Fatalf("empty heat report = %+v", rep)
+	}
+}
+
+func TestHeatTopKOrderAndTies(t *testing.T) {
+	h := NewHeat(100, 1)
+	rec := h.Recorder()
+	// 40 and 60 tie at 2 touches; ties break toward the lower vertex.
+	for _, v := range []int{5, 5, 5, 40, 40, 60, 60, 9} {
+		rec.Touch(v)
+	}
+	rep := h.Report(3)
+	want := []VertexHeat{{5, 3}, {40, 2}, {60, 2}}
+	if len(rep.Top) != 3 {
+		t.Fatalf("top = %+v", rep.Top)
+	}
+	for i := range want {
+		if rep.Top[i] != want[i] {
+			t.Fatalf("top[%d] = %+v, want %+v", i, rep.Top[i], want[i])
+		}
+	}
+	set := rep.TopSet(2)
+	if len(set) != 2 || !set[5] || !set[40] {
+		t.Fatalf("top set = %v", set)
+	}
+	if got := rep.TopSet(99); len(got) != 3 {
+		t.Fatalf("over-limit top set = %v", got)
+	}
+}
+
+func TestHeatSamplingScalesCounts(t *testing.T) {
+	const stride = 4
+	h := NewHeat(4, stride)
+	if h.SampleN() != stride {
+		t.Fatalf("SampleN = %d, want %d", h.SampleN(), stride)
+	}
+	rec := h.Recorder()
+	const touches = 4000
+	for i := 0; i < touches; i++ {
+		rec.Touch(1)
+	}
+	rep := h.Report(1)
+	// Exactly touches/stride raw records, each scaled back up by stride.
+	if rep.Touches != touches {
+		t.Fatalf("scaled touches = %d, want %d", rep.Touches, touches)
+	}
+}
+
+func TestHeatSamplingRandomPhase(t *testing.T) {
+	// Many single-touch requests under stride N must record ~1/N of the
+	// time thanks to the random phase, not zero.
+	const stride, reqs = 8, 8000
+	h := NewHeat(2, stride)
+	for i := 0; i < reqs; i++ {
+		rec := h.Recorder()
+		rec.Touch(0)
+	}
+	rep := h.Report(1)
+	want := uint64(reqs)
+	if rep.Touches < want/2 || rep.Touches > want*2 {
+		t.Fatalf("scaled touches = %d, want ~%d (random phase broken)", rep.Touches, want)
+	}
+}
+
+func TestHeatLanes(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, maxHeatLanes},
+		{1000, maxHeatLanes},
+		{maxHeatBytes / 4, 1},     // 8M vertices: one lane fits the budget
+		{maxHeatBytes / 4 / 4, 4}, // 2M vertices: 4 lanes
+		{maxHeatBytes / 4 / 8, 8}, // 1M vertices: full width
+		{maxHeatBytes, 1},         // huge graph still gets one lane
+	}
+	for _, tc := range cases {
+		if got := heatLanes(tc.n); got != tc.want {
+			t.Errorf("heatLanes(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestHeatConcurrent(t *testing.T) {
+	h := NewHeat(64, 1)
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := h.Recorder()
+			for i := 0; i < perWorker; i++ {
+				rec.Touch(i % 64)
+			}
+		}()
+	}
+	wg.Wait()
+	rep := h.Report(64)
+	if rep.Touches != workers*perWorker {
+		t.Fatalf("touches = %d, want %d", rep.Touches, workers*perWorker)
+	}
+	if rep.Distinct != 64 {
+		t.Fatalf("distinct = %d, want 64", rep.Distinct)
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4): the de-facto
+// scrape format. The writer is deliberately tiny — families are
+// declared once (HELP + TYPE), then samples stream out with ordered,
+// escaped labels — and its output is held to the same grammar the
+// in-repo validator (ValidateExposition) enforces, so the writer and
+// the CI gate cannot drift apart.
+
+// Label is one name="value" pair on a sample.
+type Label struct{ Name, Value string }
+
+// Prom writes Prometheus text exposition. Errors are sticky: check Err
+// (or Flush) once at the end.
+type Prom struct {
+	w     *bufio.Writer
+	err   error
+	typed map[string]string // family -> declared type
+}
+
+// NewProm returns a writer targeting w.
+func NewProm(w io.Writer) *Prom {
+	return &Prom{w: bufio.NewWriter(w), typed: make(map[string]string)}
+}
+
+// Counter declares a counter family.
+func (p *Prom) Counter(name, help string) { p.family(name, "counter", help) }
+
+// Gauge declares a gauge family.
+func (p *Prom) Gauge(name, help string) { p.family(name, "gauge", help) }
+
+// Summary declares a summary family (quantile samples plus the _sum
+// and _count series).
+func (p *Prom) Summary(name, help string) { p.family(name, "summary", help) }
+
+func (p *Prom) family(name, typ, help string) {
+	if p.err != nil || p.typed[name] != "" {
+		return
+	}
+	p.typed[name] = typ
+	p.writeString("# HELP " + name + " " + escapeHelp(help) + "\n")
+	p.writeString("# TYPE " + name + " " + typ + "\n")
+}
+
+// Sample emits one sample of a declared family. Labels are written in
+// the order given; values are rendered in Go's shortest-roundtrip form.
+func (p *Prom) Sample(name string, labels []Label, v float64) {
+	p.series(name, "", labels, v)
+}
+
+// SummarySample emits one series of a summary family: suffix "" with a
+// quantile label, or "_sum"/"_count".
+func (p *Prom) SummarySample(name, suffix string, labels []Label, v float64) {
+	p.series(name, suffix, labels, v)
+}
+
+func (p *Prom) series(name, suffix string, labels []Label, v float64) {
+	if p.err != nil {
+		return
+	}
+	p.writeString(name + suffix)
+	if len(labels) > 0 {
+		p.writeString("{")
+		for i, l := range labels {
+			if i > 0 {
+				p.writeString(",")
+			}
+			p.writeString(l.Name + "=\"" + escapeLabel(l.Value) + "\"")
+		}
+		p.writeString("}")
+	}
+	p.writeString(" " + formatValue(v) + "\n")
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (p *Prom) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+// Err returns the first write error (nil if healthy).
+func (p *Prom) Err() error { return p.err }
+
+func (p *Prom) writeString(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = p.w.WriteString(s)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, "\\", `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, "\\", `\\`)
+	s = strings.ReplaceAll(s, "\"", `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// SortedKeys returns a map's keys in sorted order — exposition helpers
+// emit per-route series deterministically so scrapes diff cleanly.
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition is the in-repo Prometheus text-format checker: it
+// parses an exposition stream line by line and enforces the grammar a
+// real scraper relies on — valid metric and label names, TYPE declared
+// before a family's first sample, no duplicate TYPE/HELP, parseable
+// values, balanced label syntax. CI scrapes a running graphd and feeds
+// the body through this (via cmd/promcheck), so a formatting regression
+// fails the build instead of a production scrape.
+//
+// It returns the number of samples parsed and the families seen.
+func ValidateExposition(r io.Reader) (samples int, families map[string]string, err error) {
+	families = make(map[string]string)
+	helped := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, families, helped); err != nil {
+				return samples, families, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, families); err != nil {
+			return samples, families, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, families, err
+	}
+	if samples == 0 {
+		return samples, families, fmt.Errorf("no samples in exposition")
+	}
+	return samples, families, nil
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "summary": true,
+	"histogram": true, "untyped": true,
+}
+
+func validateComment(line string, families map[string]string, helped map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("bad metric name %q in TYPE", name)
+		}
+		if !validTypes[typ] {
+			return fmt.Errorf("bad type %q for %q", typ, name)
+		}
+		if _, dup := families[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		families[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("bad metric name %q in HELP", name)
+		}
+		if helped[name] {
+			return fmt.Errorf("duplicate HELP for %q", name)
+		}
+		helped[name] = true
+	}
+	return nil
+}
+
+func validateSample(line string, families map[string]string) error {
+	rest := line
+	// Metric name runs to the first '{' or space.
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd < 0 {
+		return fmt.Errorf("sample %q has no value", line)
+	}
+	name := rest[:nameEnd]
+	if !validMetricName(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	family := familyOf(name, families)
+	if family == "" {
+		return fmt.Errorf("sample %q has no preceding TYPE declaration", name)
+	}
+	rest = rest[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		close := strings.LastIndex(rest, "}")
+		if close < 0 {
+			return fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := validateLabels(rest[1:close]); err != nil {
+			return fmt.Errorf("sample %q: %w", name, err)
+		}
+		rest = rest[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		// One value, optionally followed by a timestamp.
+		return fmt.Errorf("sample %q: want value [timestamp], got %q", name, rest)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		if fields[0] != "NaN" && fields[0] != "+Inf" && fields[0] != "-Inf" {
+			return fmt.Errorf("sample %q: bad value %q", name, fields[0])
+		}
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %q: bad timestamp %q", name, fields[1])
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family, accounting
+// for the _sum/_count/_bucket series of summaries and histograms.
+func familyOf(name string, families map[string]string) string {
+	if typ, ok := families[name]; ok {
+		return typ
+	}
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		base, found := strings.CutSuffix(name, suffix)
+		if !found {
+			continue
+		}
+		typ := families[base]
+		if typ == "summary" || typ == "histogram" {
+			if suffix == "_bucket" && typ != "histogram" {
+				continue
+			}
+			return typ
+		}
+	}
+	return ""
+}
+
+func validateLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("label %q missing '='", s)
+		}
+		lname := s[:eq]
+		if !validLabelName(lname) {
+			return fmt.Errorf("bad label name %q", lname)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, "\"") {
+			return fmt.Errorf("label %q value not quoted", lname)
+		}
+		s = s[1:]
+		// Scan the quoted value honoring escapes.
+		end := -1
+		for i := 0; i < len(s); i++ {
+			switch s[i] {
+			case '\\':
+				i++
+			case '"':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("label %q value unterminated", lname)
+		}
+		s = s[end+1:]
+		if s == "" {
+			return nil
+		}
+		if !strings.HasPrefix(s, ",") {
+			return fmt.Errorf("junk after label %q", lname)
+		}
+		s = s[1:]
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

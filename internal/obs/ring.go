@@ -1,0 +1,58 @@
+package obs
+
+import "sync"
+
+// SlowRing is a bounded ring buffer of finished trace views: the
+// serving layer records every request slower than its threshold (and
+// every server-fault response), newest entries evicting the oldest.
+// It is the backing store of graphd's /debug/slow endpoint — a crash
+// cart for "what was slow in the last few minutes" that needs no
+// external collector.
+type SlowRing struct {
+	mu    sync.Mutex
+	buf   []TraceView
+	next  int
+	count uint64
+}
+
+// NewSlowRing returns a ring holding up to n entries (n < 1 means 128).
+func NewSlowRing(n int) *SlowRing {
+	if n < 1 {
+		n = 128
+	}
+	return &SlowRing{buf: make([]TraceView, 0, n)}
+}
+
+// Add records one trace view, evicting the oldest entry when full.
+func (r *SlowRing) Add(v TraceView) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.next] = v
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.count++
+	r.mu.Unlock()
+}
+
+// Total returns how many traces have ever been recorded (including
+// evicted ones).
+func (r *SlowRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *SlowRing) Snapshot() []TraceView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceView, 0, len(r.buf))
+	// Walk backwards from the most recently written slot.
+	for i := 0; i < len(r.buf); i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Observe("cache", time.Now())
+	tr.Round(10)
+	tr.Finish(200, time.Millisecond)
+	if tr.ID() != 0 || tr.IDString() != "" || tr.Detailed() || tr.Total() != 0 {
+		t.Fatalf("nil trace leaked state: id=%d str=%q", tr.ID(), tr.IDString())
+	}
+	if v := tr.View(); v.ID != "" || len(v.Spans) != 0 {
+		t.Fatalf("nil trace view not empty: %+v", v)
+	}
+}
+
+func TestTraceSpansAndView(t *testing.T) {
+	tr := NewTrace("neighbors", true)
+	if len(tr.IDString()) != 16 {
+		t.Fatalf("IDString length = %d, want 16", len(tr.IDString()))
+	}
+	start := time.Now()
+	tr.Observe("cache", start)
+	tr.Observe("compute", start)
+	tr.Round(100)
+	tr.Round(250)
+	tr.Finish(200, 3*time.Millisecond)
+
+	v := tr.View()
+	if v.Route != "neighbors" || v.Status != 200 || !v.Detailed {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.TotalUs != 3000 {
+		t.Fatalf("TotalUs = %v, want 3000", v.TotalUs)
+	}
+	if len(v.Spans) != 2 || v.Spans[0].Name != "cache" || v.Spans[1].Name != "compute" {
+		t.Fatalf("spans = %+v", v.Spans)
+	}
+	if v.Rounds != 2 || v.Edges != 350 {
+		t.Fatalf("rounds=%d edges=%d, want 2/350", v.Rounds, v.Edges)
+	}
+	// View must be a snapshot, not an alias.
+	tr.Observe("encode", start)
+	if len(v.Spans) != 2 {
+		t.Fatal("view aliases live span slice")
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace("r", false)
+	for i := 0; i < maxSpans+10; i++ {
+		tr.Observe(fmt.Sprintf("s%d", i), time.Now())
+	}
+	if n := len(tr.View().Spans); n != maxSpans {
+		t.Fatalf("span count = %d, want cap %d", n, maxSpans)
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTrace("r", false).ID()
+		if id == 0 || seen[id] {
+			t.Fatalf("duplicate or zero trace ID %#x at draw %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceConcurrentObserve(t *testing.T) {
+	tr := NewTrace("r", true)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Round(1)
+				_ = tr.View()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := tr.View(); v.Rounds != 800 {
+		t.Fatalf("rounds = %d, want 800", v.Rounds)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context returned a trace")
+	}
+	tr := NewTrace("r", false)
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	if WithTrace(context.Background(), nil) != context.Background() {
+		t.Fatal("nil trace should not wrap the context")
+	}
+}
+
+func TestSamplerRates(t *testing.T) {
+	const draws = 20000
+	cases := []struct {
+		rate     float64
+		min, max int
+	}{
+		{-1, 0, 0},
+		{0, 0, 0},
+		{1, draws, draws},
+		{2, draws, draws},
+		{0.5, draws * 4 / 10, draws * 6 / 10},
+		{0.05, draws * 2 / 100, draws * 10 / 100},
+	}
+	for _, tc := range cases {
+		s := NewSampler(tc.rate)
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if s.Sample() {
+				hits++
+			}
+		}
+		if hits < tc.min || hits > tc.max {
+			t.Errorf("rate %v: %d/%d sampled, want [%d, %d]", tc.rate, hits, draws, tc.min, tc.max)
+		}
+	}
+	var nilSampler *Sampler
+	if nilSampler.Sample() {
+		t.Fatal("nil sampler sampled")
+	}
+}
+
+func TestSlowRingWraparound(t *testing.T) {
+	r := NewSlowRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(TraceView{Status: i})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained = %d, want 3", len(got))
+	}
+	for i, want := range []int{4, 3, 2} {
+		if got[i].Status != want {
+			t.Fatalf("snapshot[%d].Status = %d, want %d (newest first)", i, got[i].Status, want)
+		}
+	}
+}
+
+func TestSlowRingPartial(t *testing.T) {
+	r := NewSlowRing(8)
+	r.Add(TraceView{Status: 1})
+	r.Add(TraceView{Status: 2})
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].Status != 2 || got[1].Status != 1 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	if NewSlowRing(0).Snapshot() == nil {
+		t.Fatal("default-sized ring snapshot should be non-nil empty")
+	}
+}
+
+func TestSlowRingConcurrent(t *testing.T) {
+	r := NewSlowRing(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Add(TraceView{})
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("total = %d, want 800", r.Total())
+	}
+}

@@ -1,0 +1,72 @@
+// Package server implements graphd: an HTTP/JSON graph-analytics query
+// service on top of the repository's reordering library and multicore
+// execution engine.
+//
+// The serving model follows the paper's economics: reordering a graph is
+// a one-time cost paid at snapshot-build time (DBG by default — cheap,
+// skew-aware), and the locality win is then amortized over every query
+// served from that snapshot. Snapshots are immutable and hot-swappable:
+// the store publishes a fresh table behind an atomic pointer, queries
+// acquire their snapshot once at entry, and replaced snapshots drain
+// naturally as in-flight queries finish — a swap never blocks or drops a
+// request.
+//
+// Traversal queries (SSSP, Radii, top-k) run on a bounded worker pool
+// under context deadlines, with duplicate in-flight requests coalesced
+// (singleflight) and results kept in an LRU keyed by
+// (snapshot epoch, app, params).
+//
+// # Instrumentation contract
+//
+// Every route is registered through Server.instrument, which owns the
+// whole per-request observability pipeline; handlers never instrument
+// themselves. The contract, for anyone adding a route or a pipeline
+// stage:
+//
+//   - Tracing is two-tier. Unless Config.TraceSample is negative, every
+//     request carries an *obs.Trace in its context (obs.FromContext) and
+//     returns its ID in the X-Trace-Id header. The base tier records the
+//     span breakdown only; the sampled "detailed" tier — a TraceSample
+//     fraction of requests, forced by ?debug=trace — additionally
+//     collects per-round traversal stats and emits one structured log
+//     line per request.
+//
+//   - Spans name pipeline stages, not handlers. The stages a request can
+//     cross are "cache" (result-cache lookup), "admit" (breaker +
+//     predicted-wait admission), "queue" (waiting for a worker slot),
+//     "compute" (the traversal itself), "flight" (a coalesced follower
+//     waiting on the singleflight leader) and "encode" (JSON
+//     serialization and socket write, measured from the first response
+//     write). A stage that adds a new wait point must wrap it in
+//     tr.Observe(name, start) — obs.Trace methods are nil-safe, so no
+//     guard is needed. Spans attribute to the request whose closure ran
+//     the work: the singleflight leader gets queue/compute, followers
+//     get flight.
+//
+//   - ?debug=trace returns the finished trace inline, wrapping the
+//     ordinary payload as {"trace": ..., "response": ...}; the inner
+//     response stays byte-identical to the unwrapped one. Requests
+//     slower than Config.SlowThreshold (or answered >= 500) land in the
+//     bounded /debug/slow ring as obs.TraceView values.
+//
+//   - /metrics serves two representations of one dataset: JSON (the
+//     stable, additive-only schema in MetricsReport) and Prometheus text
+//     exposition 0.0.4 under content negotiation (Accept: text/plain or
+//     ?format=prometheus). A new counter must appear in both, and the
+//     Prometheus side must keep passing obs.ValidateExposition — the
+//     in-repo checker CI scrapes through cmd/promcheck.
+//
+//   - Per-vertex heat telemetry is opt-out (Config.HeatSample < 0).
+//     Handlers that resolve real vertices record them through
+//     snap.heat.Recorder()/Touch — bounded per request, sampled by
+//     stride, never on the error path. The accumulator is recreated at
+//     every publish so /v1/snapshots/{name}/heat always describes the
+//     serving layout's epoch, and its divergence against the
+//     degree-predicted hot set (reorder.QualityReport) is the live
+//     signal that the workload no longer matches what the layout was
+//     optimized for.
+//
+// The obs package holds the building blocks (Trace, Sampler, SlowRing,
+// Heat, the Prometheus writer and validator); this package decides
+// where they hook in.
+package server

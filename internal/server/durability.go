@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -247,13 +246,13 @@ func (st *Store) recoverDurable(name string) *recoveredState {
 	ck, err := readCheckpoint(d.ckptPath(name))
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
-			log.Printf("server: snapshot %q: checkpoint unusable, building fresh: %v", name, err)
+			st.logger.Warn("checkpoint unusable, building fresh", "snapshot", name, "err", err)
 		}
 		return nil
 	}
 	res, err := wal.Replay(d.walPath(name), ck.batches)
 	if err != nil {
-		log.Printf("server: snapshot %q: WAL unreadable, recovering checkpoint only: %v", name, err)
+		st.logger.Warn("WAL unreadable, recovering checkpoint only", "snapshot", name, "err", err)
 		res = wal.ReplayResult{}
 	}
 	dyn := dynamic.FromGraph(ck.graph)
@@ -267,8 +266,8 @@ func (st *Store) recoverDurable(name string) *recoveredState {
 		if _, err := dyn.ApplyGrow(b.AddVertices, b.Updates); err != nil {
 			// A batch that no longer applies means log and checkpoint
 			// diverged; everything after it is untrustworthy.
-			log.Printf("server: snapshot %q: WAL batch %d does not apply, stopping replay: %v",
-				name, b.Seq, err)
+			st.logger.Warn("WAL batch does not apply, stopping replay",
+				"snapshot", name, "batch", b.Seq, "err", err)
 			rec.torn = true
 			break
 		}
@@ -277,7 +276,7 @@ func (st *Store) recoverDurable(name string) *recoveredState {
 	}
 	base, err := dyn.Snapshot()
 	if err != nil {
-		log.Printf("server: snapshot %q: recovered state unusable, building fresh: %v", name, err)
+		st.logger.Warn("recovered state unusable, building fresh", "snapshot", name, "err", err)
 		return nil
 	}
 	rec.base = base
@@ -287,6 +286,9 @@ func (st *Store) recoverDurable(name string) *recoveredState {
 	d.replayUs.Add(uint64(time.Since(start).Microseconds()))
 	d.replayed.Add(uint64(rec.replayed))
 	d.recoveries.Add(1)
+	st.logger.Info("recovered durable state",
+		"snapshot", name, "batches", rec.batches, "replayed", rec.replayed,
+		"torn", rec.torn, "ms", float64(time.Since(start).Microseconds())/1000)
 	return rec
 }
 
@@ -335,12 +337,12 @@ func (st *Store) openDurableLog(name string, dyn *dynamic.Graph, source string, 
 		Stats:    &d.walStats,
 	})
 	if err != nil {
-		log.Printf("server: snapshot %q: WAL unavailable, running without durability: %v", name, err)
+		st.logger.Error("WAL unavailable, running without durability", "snapshot", name, "err", err)
 		return nil
 	}
 	dl := &durableLog{d: d, name: name, log: l}
 	if err := dl.writeCheckpoint(st, dyn, source); err != nil {
-		log.Printf("server: snapshot %q: initial checkpoint failed: %v", name, err)
+		st.logger.Warn("initial checkpoint failed", "snapshot", name, "err", err)
 	}
 	base, err := dyn.Snapshot()
 	if err == nil {
@@ -391,7 +393,7 @@ func (dl *durableLog) commit(st *Store, epoch uint64, dyn *dynamic.Graph, source
 	dl.sinceCkpt++
 	if dl.sinceCkpt >= dl.d.cfg.CheckpointEvery {
 		if err := dl.writeCheckpoint(st, dyn, source); err != nil {
-			log.Printf("server: snapshot %q: checkpoint failed (WAL retained): %v", dl.name, err)
+			st.logger.Warn("checkpoint failed (WAL retained)", "snapshot", dl.name, "err", err)
 		}
 	}
 	return nil
@@ -410,11 +412,11 @@ func (dl *durableLog) noteGood(dyn *dynamic.Graph) {
 // checkpoint so a clean stop never relies on replay, then close.
 func (dl *durableLog) finalize(st *Store, dyn *dynamic.Graph, source string) {
 	if err := dl.writeCheckpoint(st, dyn, source); err != nil {
-		log.Printf("server: snapshot %q: shutdown checkpoint failed (WAL retained): %v", dl.name, err)
+		st.logger.Warn("shutdown checkpoint failed (WAL retained)", "snapshot", dl.name, "err", err)
 		// Leave the WAL: checkpoint + WAL still reconstruct this state.
 	}
 	if err := dl.log.Close(); err != nil {
-		log.Printf("server: snapshot %q: WAL close: %v", dl.name, err)
+		st.logger.Warn("WAL close failed", "snapshot", dl.name, "err", err)
 	}
 }
 

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"net/http"
+
+	"graphreorder/internal/obs"
+)
+
+// handleSlow serves the slow-query ring: the most recent traces that
+// crossed the slow threshold (or failed with a server fault), newest
+// first — graphd's built-in answer to "what was slow just now" with no
+// external collector in the loop.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_ms": float64(s.cfg.SlowThreshold.Microseconds()) / 1000,
+		"total":        s.slow.Total(),
+		"traces":       s.slow.Snapshot(),
+	})
+}
+
+// maxHotSetSize caps the observed hot set used for divergence so the
+// comparison stays bounded on huge graphs.
+const maxHotSetSize = 65536
+
+// heatResult is the GET /v1/snapshots/{name}/heat payload.
+type heatResult struct {
+	Snapshot string `json:"snapshot"`
+	Epoch    uint64 `json:"epoch"`
+	Vertices int    `json:"vertices"`
+	// Enabled is false when heat telemetry is off (negative HeatSample);
+	// the remaining fields are then zero.
+	Enabled bool `json:"enabled"`
+	// SampleN is the configured touch-sampling stride; Touches below are
+	// scaled estimates when it exceeds 1.
+	SampleN   int               `json:"sample_n,omitempty"`
+	Touches   uint64            `json:"touches"`
+	Distinct  int               `json:"distinct"`
+	Top       []obs.VertexHeat  `json:"top"`
+	Histogram []uint64          `json:"histogram,omitempty"`
+	HotSet    *hotSetComparison `json:"hot_set,omitempty"`
+}
+
+// hotSetComparison contrasts the degree-predicted hot set — what the
+// reordering advisor optimizes the layout for — with the hot set live
+// queries actually produced. A high divergence means the workload's
+// skew no longer matches the degree distribution, and the layout's
+// packing of "hot" vertices is optimizing for the wrong set.
+type hotSetComparison struct {
+	// PredictedThresholdDegree is the hot-vertex degree bar from the
+	// snapshot's quality report; PredictedSize counts vertices at or
+	// above it.
+	PredictedThresholdDegree float64 `json:"predicted_threshold_degree"`
+	PredictedSize            int     `json:"predicted_size"`
+	// ObservedSize is the size of the observed (touch-ranked) hot set:
+	// min(PredictedSize, touched vertices, an internal cap).
+	ObservedSize int `json:"observed_size"`
+	// Overlap counts observed-hot vertices that are also predicted-hot;
+	// Divergence is 1 - Overlap/ObservedSize.
+	Overlap    int     `json:"overlap"`
+	Divergence float64 `json:"hot_set_divergence"`
+}
+
+func (s *Server) handleHeat(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	snap, release := s.store.AcquireNamed(name)
+	if snap == nil {
+		writeError(w, http.StatusNotFound, "unknown snapshot %q", name)
+		return
+	}
+	defer release()
+	k, err := intParam(r, "k", 32)
+	if err != nil || k < 1 || k > 4096 {
+		writeError(w, http.StatusBadRequest, "bad k (want 1..4096)")
+		return
+	}
+	res := heatResult{
+		Snapshot: snap.name,
+		Epoch:    snap.epoch,
+		Vertices: snap.graph.NumVertices(),
+		Top:      []obs.VertexHeat{},
+	}
+	if snap.heat == nil {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	res.Enabled = true
+	res.SampleN = snap.heat.SampleN()
+	// One merged pass sized to cover both the requested top-k and the
+	// divergence comparison set.
+	want := k
+	if hot := hotSetLimit(snap); hot > want {
+		want = hot
+	}
+	rep := snap.heat.Report(want)
+	res.Touches = rep.Touches
+	res.Distinct = rep.Distinct
+	res.Histogram = rep.Histogram
+	if len(rep.Top) > 0 {
+		top := rep.Top
+		if len(top) > k {
+			top = top[:k]
+		}
+		res.Top = top
+	}
+	res.HotSet = hotSetComparisonFor(snap, rep)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// hotSetLimit is the observed-hot-set size the divergence metric uses:
+// the predicted hot count, bounded by the cap.
+func hotSetLimit(snap *Snapshot) int {
+	hot := snap.quality.HotVertices
+	if hot > maxHotSetSize {
+		hot = maxHotSetSize
+	}
+	return hot
+}
+
+// hotSetComparisonFor computes the divergence between the
+// degree-predicted hot set and the touch-ranked observed one. Returns
+// nil when either set is empty (no traffic yet, or no hot vertices).
+func hotSetComparisonFor(snap *Snapshot, rep obs.HeatReport) *hotSetComparison {
+	limit := hotSetLimit(snap)
+	observed := rep.TopSet(limit)
+	if limit == 0 || len(observed) == 0 {
+		return nil
+	}
+	cmp := &hotSetComparison{
+		PredictedThresholdDegree: snap.quality.HotThresholdDeg,
+		PredictedSize:            snap.quality.HotVertices,
+		ObservedSize:             len(observed),
+	}
+	threshold := snap.quality.HotThresholdDeg
+	degrees := snap.graph.Degrees(snap.degree)
+	for v := range observed {
+		if v < len(degrees) && float64(degrees[v]) >= threshold {
+			cmp.Overlap++
+		}
+	}
+	cmp.Divergence = 1 - float64(cmp.Overlap)/float64(cmp.ObservedSize)
+	return cmp
+}

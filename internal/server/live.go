@@ -319,6 +319,8 @@ func (lg *liveGraph) process(reqs []*mutateReq) {
 		// published state, so the refresher stays healthy and the failed
 		// batches neither linger unacknowledged in memory nor replay
 		// after a crash.
+		lg.store.logger.Warn("publish failed, rolled back",
+			"snapshot", lg.name, "batches", len(ok), "err", err)
 		lg.rollback()
 		for _, a := range ok {
 			lg.store.writes.failed.Add(1)
@@ -342,6 +344,12 @@ func (lg *liveGraph) process(reqs []*mutateReq) {
 		}
 	}
 	lg.noteGood()
+	if refreshed {
+		lg.store.logger.Info("ordering refreshed",
+			"snapshot", lg.name, "epoch", snap.epoch,
+			"vertices", snap.graph.NumVertices(), "edges", snap.graph.NumEdges(),
+			"publish_ms", pubMs)
+	}
 	for _, a := range ok {
 		a.res.Epoch = snap.epoch
 		a.res.Vertices = snap.graph.NumVertices()

@@ -53,6 +53,12 @@ type Options struct {
 	// Chaos runs also record every acked insertion in AckedEdges so the
 	// caller can verify durability after a crash+recovery.
 	Chaos bool
+	// TraceEvery sends every N-th read with ?debug=trace and parses the
+	// inline span breakdown, splitting observed latency into queue wait
+	// vs compute time (0 disables). Only traversal queries that actually
+	// computed (cache misses that won the singleflight race) carry those
+	// spans, so the split describes real work, not cache hits.
+	TraceEvery int
 }
 
 // Mix holds relative weights for the query kinds. Mutate operations POST
@@ -104,6 +110,17 @@ type Result struct {
 	// (chaos runs only). After a crash+recovery, each must still be in
 	// the graph — see VerifyAcked.
 	AckedEdges [][2]int
+	// TraceSamples counts traced reads whose span breakdown included a
+	// queue or compute span (TraceEvery > 0 only); the quantiles below
+	// split server-side latency into time spent waiting for a worker
+	// slot vs time spent traversing.
+	TraceSamples uint64
+	QueueP50     time.Duration
+	QueueP95     time.Duration
+	QueueP99     time.Duration
+	ComputeP50   time.Duration
+	ComputeP95   time.Duration
+	ComputeP99   time.Duration
 }
 
 // String renders the result as a small report.
@@ -122,6 +139,11 @@ func (r Result) String() string {
 		ks := r.ByKind[k]
 		fmt.Fprintf(&b, "%-10s %8d reqs  %3d fail  mean %10v  p50 %10v  p99 %10v\n",
 			k, ks.Requests, ks.Failures, ks.Mean, ks.P50, ks.P99)
+	}
+	if r.TraceSamples > 0 {
+		fmt.Fprintf(&b, "trace split (%d samples): queue p50 %v  p95 %v  p99 %v | compute p50 %v  p95 %v  p99 %v\n",
+			r.TraceSamples, r.QueueP50, r.QueueP95, r.QueueP99,
+			r.ComputeP50, r.ComputeP95, r.ComputeP99)
 	}
 	for _, e := range r.FirstErrors {
 		fmt.Fprintf(&b, "error: %s\n", e)
@@ -191,7 +213,8 @@ func Run(opts Options) (Result, error) {
 		"neighbors": {}, "rank": {}, "topk": {}, "sssp": {}, "mutate": {},
 	}
 	var overall stats.LatencyHist
-	var requests, failures, writeUnavailable atomic.Uint64
+	var queueLat, computeLat stats.LatencyHist
+	var requests, failures, writeUnavailable, traceSamples atomic.Uint64
 	errCh := make(chan string, 8)
 	var ackedMu sync.Mutex
 	var acked [][2]int
@@ -221,6 +244,7 @@ func Run(opts Options) (Result, error) {
 					ackedMu.Unlock()
 				}()
 			}
+			var reads uint64
 			for time.Now().Before(deadline) {
 				// Zipf-distributed vertices model hot-vertex traffic.
 				v := r.Zipf(n, 1.1)
@@ -252,7 +276,14 @@ func Run(opts Options) (Result, error) {
 					}
 				} else {
 					var meta respMeta
-					ok, desc, meta = fetch(client, url)
+					if opts.TraceEvery > 0 && reads%uint64(opts.TraceEvery) == 0 {
+						// Every read URL already carries a query string.
+						ok, desc, meta = fetchTraced(client, url+"&debug=trace",
+							&queueLat, &computeLat, &traceSamples)
+					} else {
+						ok, desc, meta = fetch(client, url)
+					}
+					reads++
 					if ok && meta.Snapshot == mutName {
 						if e, loaded := published.Load(meta.Epoch); loaded && e.(int) != meta.Edges {
 							ok = false
@@ -293,6 +324,15 @@ func Run(opts Options) (Result, error) {
 		ByKind:           make(map[string]KindStats, len(kinds)),
 	}
 	res.Throughput = float64(res.Requests) / opts.Duration.Seconds()
+	if ts := traceSamples.Load(); ts > 0 {
+		res.TraceSamples = ts
+		res.QueueP50 = queueLat.Quantile(0.50)
+		res.QueueP95 = queueLat.Quantile(0.95)
+		res.QueueP99 = queueLat.Quantile(0.99)
+		res.ComputeP50 = computeLat.Quantile(0.50)
+		res.ComputeP95 = computeLat.Quantile(0.95)
+		res.ComputeP99 = computeLat.Quantile(0.99)
+	}
 	for name, tr := range kinds {
 		snap := tr.lat.Snapshot()
 		res.ByKind[name] = KindStats{
@@ -333,6 +373,59 @@ func fetch(client *http.Client, url string) (bool, string, respMeta) {
 		return false, fmt.Sprintf("GET %s: %d %s", url, resp.StatusCode, string(body)), meta
 	}
 	json.Unmarshal(body, &meta)
+	return true, "", meta
+}
+
+// traceEnvelope is the ?debug=trace wrapper the server returns: the
+// finished trace alongside the original response verbatim.
+type traceEnvelope struct {
+	Trace struct {
+		Spans []struct {
+			Name  string  `json:"name"`
+			DurUs float64 `json:"dur_us"`
+		} `json:"spans"`
+	} `json:"trace"`
+	Response json.RawMessage `json:"response"`
+}
+
+// fetchTraced issues a ?debug=trace read and splits its span breakdown
+// into queue-wait and compute time. Reads answered from cache (or by a
+// coalesced singleflight follower) carry neither span and contribute no
+// sample — the split describes requests that did real traversal work.
+// If the server runs with tracing disabled the wrapper is absent and the
+// body is parsed as a plain response.
+func fetchTraced(client *http.Client, url string, queue, compute *stats.LatencyHist, samples *atomic.Uint64) (bool, string, respMeta) {
+	var meta respMeta
+	resp, err := client.Get(url)
+	if err != nil {
+		return false, fmt.Sprintf("GET %s: %v", url, err), meta
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Sprintf("GET %s: %d %s", url, resp.StatusCode, string(body)), meta
+	}
+	var env traceEnvelope
+	if json.Unmarshal(body, &env) != nil || env.Response == nil {
+		json.Unmarshal(body, &meta)
+		return true, "", meta
+	}
+	json.Unmarshal(env.Response, &meta)
+	var sampled bool
+	for _, sp := range env.Trace.Spans {
+		d := time.Duration(sp.DurUs * float64(time.Microsecond))
+		switch sp.Name {
+		case "queue":
+			queue.Observe(d)
+			sampled = true
+		case "compute":
+			compute.Observe(d)
+			sampled = true
+		}
+	}
+	if sampled {
+		samples.Add(1)
+	}
 	return true, "", meta
 }
 

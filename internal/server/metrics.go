@@ -1,12 +1,17 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"graphreorder/internal/obs"
 	"graphreorder/internal/stats"
 )
 
@@ -70,6 +75,21 @@ type MetricsReport struct {
 	Snapshots     SnapshotStats           `json:"snapshots"`
 	Writes        WriteStats              `json:"writes"`
 	WAL           WALStats                `json:"wal"`
+	Runtime       RuntimeStats            `json:"runtime"`
+	// SlowTraces counts traces recorded in the /debug/slow ring (slower
+	// than the threshold, or server-fault responses), including evicted
+	// ones.
+	SlowTraces uint64 `json:"slow_traces"`
+}
+
+// RuntimeStats reports Go runtime gauges alongside the service counters,
+// so a scrape correlates latency shifts with GC and heap pressure.
+type RuntimeStats struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	GCPauseTotalMs float64 `json:"gc_pause_total_ms"`
+	NumGC          uint32  `json:"num_gc"`
 }
 
 // CacheStats reports result-cache and coalescing effectiveness.
@@ -112,6 +132,10 @@ type CurrentSnapshotStats struct {
 	Epoch     uint64      `json:"epoch"`
 	Technique string      `json:"technique"`
 	Quality   QualityInfo `json:"quality"`
+	// HotSetDivergence is the fraction of the observed (touch-ranked) hot
+	// set outside the degree-predicted one — absent until heat telemetry
+	// has seen traffic on this snapshot.
+	HotSetDivergence *float64 `json:"hot_set_divergence,omitempty"`
 }
 
 // snapshotStatsFor assembles SnapshotStats from a loaded table.
@@ -160,28 +184,136 @@ func (m *metricsSet) report() map[string]RouteStats {
 	return out
 }
 
-// statusWriter captures the response status for error accounting.
+// statusWriter captures the response status for error accounting, and
+// the first-write instant so the trace's encode span covers JSON
+// serialization and the socket write.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status     int
+	firstWrite time.Time
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	if w.firstWrite.IsZero() {
+		w.firstWrite = time.Now()
+	}
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with per-route metrics collection.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.firstWrite.IsZero() {
+		w.firstWrite = time.Now()
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with per-route metrics collection and
+// request tracing. Every request gets span timing (unless tracing is
+// disabled); the sampled detailed tier — forced by ?debug=trace — adds
+// per-round traversal stats and a structured request log. ?debug=trace
+// additionally returns the trace inline, wrapped around the response.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	rm := s.metrics.route(route)
 	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.tracingEnabled() {
+			start := time.Now()
+			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+			h(sw, r)
+			rm.requests.Add(1)
+			if sw.status >= 400 {
+				rm.errors.Add(1)
+			}
+			rm.lat.Observe(time.Since(start))
+			return
+		}
+		debug := wantsDebugTrace(r)
+		tr := obs.NewTrace(route, debug || s.sampler.Sample())
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		w.Header().Set("X-Trace-Id", tr.IDString())
+		sw := &statusWriter{status: http.StatusOK}
+		var buf *debugBuffer
+		if debug {
+			// Buffer the response so the trace (complete, encode span
+			// included for the buffered body) can wrap it.
+			buf = &debugBuffer{inner: w}
+			sw.ResponseWriter = buf
+		} else {
+			sw.ResponseWriter = w
+		}
 		h(sw, r)
+		total := time.Since(start)
+		if !sw.firstWrite.IsZero() {
+			tr.Observe("encode", sw.firstWrite)
+		}
+		tr.Finish(sw.status, total)
 		rm.requests.Add(1)
 		if sw.status >= 400 {
 			rm.errors.Add(1)
 		}
-		rm.lat.Observe(time.Since(start))
+		rm.lat.Observe(total)
+		if s.cfg.SlowThreshold > 0 && (total >= s.cfg.SlowThreshold || sw.status >= 500) {
+			s.slow.Add(tr.View())
+		}
+		if tr.Detailed() {
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("trace", tr.IDString()),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Float64("total_us", float64(total.Nanoseconds())/1000))
+		}
+		if buf != nil {
+			buf.emit(sw.status, tr.View())
+		}
 	}
+}
+
+// wantsDebugTrace checks for ?debug=trace without parsing the query on
+// the hot path.
+func wantsDebugTrace(r *http.Request) bool {
+	return strings.Contains(r.URL.RawQuery, "debug=trace")
+}
+
+// debugBuffer holds a ?debug=trace response so it can be re-emitted
+// wrapped in {"trace": ..., "response": ...}.
+type debugBuffer struct {
+	inner  http.ResponseWriter
+	body   bytes.Buffer
+	header http.Header
+}
+
+func (b *debugBuffer) Header() http.Header {
+	if b.header == nil {
+		b.header = make(http.Header)
+	}
+	return b.header
+}
+
+func (b *debugBuffer) WriteHeader(int) {}
+
+func (b *debugBuffer) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+// debugResponse is the ?debug=trace wrapper: the original response body
+// verbatim under "response", the finished trace under "trace".
+type debugResponse struct {
+	Trace    obs.TraceView   `json:"trace"`
+	Response json.RawMessage `json:"response"`
+}
+
+func (b *debugBuffer) emit(status int, view obs.TraceView) {
+	raw := b.body.Bytes()
+	if !json.Valid(raw) {
+		// Non-JSON body (should not happen on these routes): pass it
+		// through untouched rather than corrupt it.
+		for k, v := range b.header {
+			b.inner.Header()[k] = v
+		}
+		b.inner.WriteHeader(status)
+		b.inner.Write(raw)
+		return
+	}
+	b.inner.Header().Set("Content-Type", "application/json")
+	b.inner.WriteHeader(status)
+	json.NewEncoder(b.inner).Encode(debugResponse{Trace: view, Response: raw})
 }

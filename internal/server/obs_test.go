@@ -1,0 +1,347 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphreorder/internal/obs"
+)
+
+// TestDebugTraceInline exercises the ?debug=trace contract: the response
+// is wrapped in {"trace": ..., "response": ...}, the trace carries the
+// span breakdown, and — because debug forces the detailed tier — a
+// traversal query reports its per-round progress.
+func TestDebugTraceInline(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+
+	var wrapped struct {
+		Trace struct {
+			ID      string     `json:"id"`
+			Route   string     `json:"route"`
+			Status  int        `json:"status"`
+			TotalUs float64    `json:"total_us"`
+			Spans   []obs.Span `json:"spans"`
+			Rounds  int        `json:"rounds"`
+			Edges   uint64     `json:"edges"`
+		} `json:"trace"`
+		Response json.RawMessage `json:"response"`
+	}
+	req := httptest.NewRequest("GET", "/v1/query/sssp?src=0&debug=trace", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("sssp debug=trace: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Trace-Id") == "" {
+		t.Error("no X-Trace-Id header")
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &wrapped); err != nil {
+		t.Fatalf("bad wrapper: %v", err)
+	}
+	tr := wrapped.Trace
+	if tr.ID == "" || tr.Route != "query.sssp" || tr.Status != 200 || tr.TotalUs <= 0 {
+		t.Errorf("trace header wrong: %+v", tr)
+	}
+	if tr.ID != rec.Header().Get("X-Trace-Id") {
+		t.Errorf("trace ID %q != header %q", tr.ID, rec.Header().Get("X-Trace-Id"))
+	}
+	names := make(map[string]bool)
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	// A cold SSSP is a cache miss that computes: the full span chain.
+	for _, want := range []string{"cache", "admit", "queue", "compute", "encode"} {
+		if !names[want] {
+			t.Errorf("missing span %q in %v", want, names)
+		}
+	}
+	if tr.Rounds == 0 || tr.Edges == 0 {
+		t.Errorf("detailed trace missing traversal rounds: rounds=%d edges=%d", tr.Rounds, tr.Edges)
+	}
+	// The wrapped response is the ordinary query payload, untouched.
+	var inner struct {
+		Snapshot string `json:"snapshot"`
+		Source   uint32 `json:"src"`
+	}
+	if err := json.Unmarshal(wrapped.Response, &inner); err != nil || inner.Snapshot != "main" {
+		t.Errorf("inner response wrong: %s (err %v)", wrapped.Response, err)
+	}
+
+	// A warm repeat is a cache hit: no queue/compute spans.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/query/sssp?src=0&debug=trace", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &wrapped); err != nil {
+		t.Fatalf("bad warm wrapper: %v", err)
+	}
+	for _, sp := range wrapped.Trace.Spans {
+		if sp.Name == "compute" {
+			t.Error("cache hit still carries a compute span")
+		}
+	}
+}
+
+// TestTracingDisabled proves TraceSample < 0 turns tracing off entirely:
+// no trace header, and ?debug=trace leaves the response unwrapped.
+func TestTracingDisabled(t *testing.T) {
+	s := New(Config{Workers: 1, QueryTimeout: 30 * time.Second, TraceSample: -1})
+	if _, err := s.store.Build(BuildSpec{Name: "main", Dataset: "uni", Scale: "tiny", Technique: "dbg"}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	req := httptest.NewRequest("GET", "/v1/query/neighbors?v=0&debug=trace", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("neighbors: %d", rec.Code)
+	}
+	if rec.Header().Get("X-Trace-Id") != "" {
+		t.Error("X-Trace-Id set with tracing disabled")
+	}
+	var out map[string]json.RawMessage
+	json.Unmarshal(rec.Body.Bytes(), &out)
+	if _, wrapped := out["trace"]; wrapped {
+		t.Error("response wrapped although tracing is disabled")
+	}
+	if _, ok := out["neighbors"]; !ok {
+		t.Errorf("plain response missing: %s", rec.Body.String())
+	}
+}
+
+// TestSlowRing drives the slow-query ring with a threshold of 1ns so
+// every request qualifies, and reads it back from /debug/slow.
+func TestSlowRing(t *testing.T) {
+	s := New(Config{Workers: 1, QueryTimeout: 30 * time.Second, SlowThreshold: time.Nanosecond})
+	if _, err := s.store.Build(BuildSpec{Name: "main", Dataset: "uni", Scale: "tiny", Technique: "dbg"}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		if code := get(t, h, "/v1/query/rank?v=1", nil); code != 200 {
+			t.Fatalf("rank: %d", code)
+		}
+	}
+	var slow struct {
+		ThresholdMs float64         `json:"threshold_ms"`
+		Total       uint64          `json:"total"`
+		Traces      []obs.TraceView `json:"traces"`
+	}
+	if code := get(t, h, "/debug/slow", &slow); code != 200 {
+		t.Fatalf("/debug/slow: %d", code)
+	}
+	if slow.Total < 3 || len(slow.Traces) < 3 {
+		t.Fatalf("slow ring: total=%d traces=%d", slow.Total, len(slow.Traces))
+	}
+	if slow.Traces[0].Route != "query.rank" {
+		t.Errorf("newest slow trace route %q", slow.Traces[0].Route)
+	}
+}
+
+// TestPrometheusExposition checks content negotiation on /metrics and
+// runs the Prometheus output through the in-repo format validator.
+func TestPrometheusExposition(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	// Produce some traffic so counters are non-trivial.
+	get(t, h, "/v1/query/neighbors?v=0", nil)
+	get(t, h, "/v1/query/rank?v=1", nil)
+
+	// Default stays JSON (bit-compatible with existing scrapers).
+	var jm MetricsReport
+	if code := get(t, h, "/metrics", &jm); code != 200 {
+		t.Fatalf("/metrics JSON: %d", code)
+	}
+	if jm.Routes["query.neighbors"].Requests == 0 || jm.Runtime.Goroutines == 0 {
+		t.Errorf("JSON report incomplete: %+v", jm.Routes)
+	}
+
+	for _, tc := range []struct{ name, url, accept string }{
+		{"accept-header", "/metrics", "text/plain; version=0.0.4"},
+		{"format-param", "/metrics?format=prometheus", ""},
+	} {
+		req := httptest.NewRequest("GET", tc.url, nil)
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("%s: %d", tc.name, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("%s: Content-Type %q", tc.name, ct)
+		}
+		samples, families, err := obs.ValidateExposition(rec.Body)
+		if err != nil {
+			t.Fatalf("%s: invalid exposition: %v", tc.name, err)
+		}
+		for _, want := range []string{
+			"graphd_uptime_seconds", "graphd_requests_total",
+			"graphd_request_latency_seconds", "graphd_cache_hits_total",
+			"graphd_pool_capacity", "graphd_goroutines",
+		} {
+			if _, ok := families[want]; !ok {
+				t.Errorf("%s: missing family %q", tc.name, want)
+			}
+		}
+		if samples < 20 {
+			t.Errorf("%s: only %d samples", tc.name, samples)
+		}
+	}
+}
+
+// TestHeatEndpoint queries a fixed set of vertices and verifies the heat
+// telemetry ranks them hot, with a well-formed divergence comparison.
+func TestHeatEndpoint(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	hot := []string{"3", "3", "3", "3", "7", "7", "7", "11", "11", "19"}
+	for _, v := range hot {
+		if code := get(t, h, "/v1/query/neighbors?v="+v+"&limit=1", nil); code != 200 {
+			t.Fatalf("neighbors %s: %d", v, code)
+		}
+	}
+	var res struct {
+		Snapshot string           `json:"snapshot"`
+		Enabled  bool             `json:"enabled"`
+		SampleN  int              `json:"sample_n"`
+		Touches  uint64           `json:"touches"`
+		Distinct int              `json:"distinct"`
+		Top      []obs.VertexHeat `json:"top"`
+		HotSet   *struct {
+			PredictedSize int     `json:"predicted_size"`
+			ObservedSize  int     `json:"observed_size"`
+			Overlap       int     `json:"overlap"`
+			Divergence    float64 `json:"hot_set_divergence"`
+		} `json:"hot_set"`
+	}
+	if code := get(t, h, "/v1/snapshots/main/heat?k=4", &res); code != 200 {
+		t.Fatalf("heat: %d", code)
+	}
+	if !res.Enabled || res.SampleN != 1 {
+		t.Fatalf("heat disabled or sampled: %+v", res)
+	}
+	if res.Touches == 0 || res.Distinct == 0 {
+		t.Fatalf("no touches recorded: %+v", res)
+	}
+	if len(res.Top) == 0 || res.Top[0].Vertex != 3 {
+		t.Errorf("hottest vertex = %+v, want vertex 3", res.Top)
+	}
+	if res.Top[0].Touches < 4 {
+		// Vertex 3 was queried 4 times, plus neighbor touches from others.
+		t.Errorf("vertex 3 touches = %d, want >= 4", res.Top[0].Touches)
+	}
+	if hs := res.HotSet; hs != nil {
+		if hs.Divergence < 0 || hs.Divergence > 1 {
+			t.Errorf("divergence out of range: %+v", hs)
+		}
+		if hs.Overlap > hs.ObservedSize {
+			t.Errorf("overlap exceeds observed set: %+v", hs)
+		}
+	}
+
+	if code := get(t, h, "/v1/snapshots/nosuch/heat", nil); code != 404 {
+		t.Errorf("heat on unknown snapshot: %d", code)
+	}
+	if code := get(t, h, "/v1/snapshots/main/heat?k=0", nil); code != 400 {
+		t.Errorf("heat k=0: %d", code)
+	}
+}
+
+// TestHeatDisabled proves a negative HeatSample turns the accumulator
+// off: the endpoint still answers, flagged disabled.
+func TestHeatDisabled(t *testing.T) {
+	s := New(Config{Workers: 1, QueryTimeout: 30 * time.Second, HeatSample: -1})
+	if _, err := s.store.Build(BuildSpec{Name: "main", Dataset: "uni", Scale: "tiny", Technique: "dbg"}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	get(t, h, "/v1/query/neighbors?v=0", nil)
+	var res struct {
+		Enabled bool   `json:"enabled"`
+		Touches uint64 `json:"touches"`
+	}
+	if code := get(t, h, "/v1/snapshots/main/heat", &res); code != 200 {
+		t.Fatalf("heat: %d", code)
+	}
+	if res.Enabled || res.Touches != 0 {
+		t.Errorf("heat not disabled: %+v", res)
+	}
+}
+
+// TestHealthzBuildInfo checks the health endpoint's build report.
+func TestHealthzBuildInfo(t *testing.T) {
+	s := New(Config{Workers: 1, QueryTimeout: 30 * time.Second, Version: "v1.2.3-test"})
+	if _, err := s.store.Build(BuildSpec{Name: "main", Dataset: "uni", Scale: "tiny", Technique: "dbg"}); err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		OK            bool    `json:"ok"`
+		Version       string  `json:"version"`
+		GoVersion     string  `json:"go_version"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Snapshots     int     `json:"snapshots"`
+	}
+	if code := get(t, s.Handler(), "/healthz", &hz); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+	if !hz.OK || hz.Version != "v1.2.3-test" || !strings.HasPrefix(hz.GoVersion, "go") || hz.Snapshots != 1 {
+		t.Errorf("healthz: %+v", hz)
+	}
+}
+
+// TestPprofGate: the profiling endpoints exist only behind the flag.
+func TestPprofGate(t *testing.T) {
+	off := testServer(t)
+	if code := get(t, off.Handler(), "/debug/pprof/", nil); code != 404 {
+		t.Errorf("pprof without flag: %d, want 404", code)
+	}
+	on := New(Config{Workers: 1, QueryTimeout: 30 * time.Second, Pprof: true})
+	if _, err := on.store.Build(BuildSpec{Name: "main", Dataset: "uni", Scale: "tiny", Technique: "dbg"}); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	on.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof with flag: %d", rec.Code)
+	}
+}
+
+// TestMetricsSetConcurrentRoute hammers route registration from many
+// goroutines: every caller for a name must get the same tracker.
+func TestMetricsSetConcurrentRoute(t *testing.T) {
+	m := newMetricsSet()
+	names := []string{"a", "b", "c", "d"}
+	const workers = 16
+	got := make([][]*routeMetrics, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]*routeMetrics, len(names))
+			for i, name := range names {
+				rm := m.route(name)
+				rm.requests.Add(1)
+				got[w][i] = rm
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, name := range names {
+		first := got[0][i]
+		for w := 1; w < workers; w++ {
+			if got[w][i] != first {
+				t.Fatalf("route %q: divergent trackers", name)
+			}
+		}
+		if n := first.requests.Load(); n != workers {
+			t.Errorf("route %q: %d requests, want %d", name, n, workers)
+		}
+	}
+}

@@ -7,8 +7,22 @@ import (
 	"graphreorder"
 	"graphreorder/internal/apps"
 	"graphreorder/internal/graph"
+	"graphreorder/internal/obs"
 	"graphreorder/internal/rng"
 )
+
+// traceProgress bridges the engine's per-round Progress hook to the
+// request's trace. Only detailed-tier traces pay for the hook; the
+// common case runs the traversal with no observer at all.
+func traceProgress(ctx context.Context, opts []graphreorder.RunOption) []graphreorder.RunOption {
+	tr := obs.FromContext(ctx)
+	if !tr.Detailed() {
+		return opts
+	}
+	return append(opts, graphreorder.WithProgress(func(rs graphreorder.RoundStats) {
+		tr.Round(rs.Edges)
+	}))
+}
 
 // infDistance marks unreachable vertices in SSSP distance vectors.
 const infDistance = apps.InfDistance
@@ -217,7 +231,8 @@ type ssspDistances struct {
 // deadline aborts the traversal cooperatively within one round.
 func computeSSSP(ctx context.Context, s *Snapshot, src graph.VertexID, workers int) (ssspDistances, error) {
 	res, err := graphreorder.Run(ctx, s.graph, graphreorder.AppSSSP,
-		graphreorder.WithRoot(src), graphreorder.WithWorkers(workers))
+		traceProgress(ctx, []graphreorder.RunOption{
+			graphreorder.WithRoot(src), graphreorder.WithWorkers(workers)})...)
 	if err != nil {
 		return ssspDistances{}, err
 	}
@@ -284,7 +299,8 @@ func computeRadii(ctx context.Context, s *Snapshot, samples int, seed uint64, wo
 		sources[i] = graph.VertexID(r.Intn(n))
 	}
 	run, err := graphreorder.Run(ctx, s.graph, graphreorder.AppRadii,
-		graphreorder.WithSamples(sources), graphreorder.WithWorkers(workers))
+		traceProgress(ctx, []graphreorder.RunOption{
+			graphreorder.WithSamples(sources), graphreorder.WithWorkers(workers)})...)
 	if err != nil {
 		return radiiResult{}, err
 	}

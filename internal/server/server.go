@@ -1,20 +1,3 @@
-// Package server implements graphd: an HTTP/JSON graph-analytics query
-// service on top of the repository's reordering library and multicore
-// execution engine.
-//
-// The serving model follows the paper's economics: reordering a graph is
-// a one-time cost paid at snapshot-build time (DBG by default — cheap,
-// skew-aware), and the locality win is then amortized over every query
-// served from that snapshot. Snapshots are immutable and hot-swappable:
-// the store publishes a fresh table behind an atomic pointer, queries
-// acquire their snapshot once at entry, and replaced snapshots drain
-// naturally as in-flight queries finish — a swap never blocks or drops a
-// request.
-//
-// Traversal queries (SSSP, Radii, top-k) run on a bounded worker pool
-// under context deadlines, with duplicate in-flight requests coalesced
-// (singleflight) and results kept in an LRU keyed by
-// (snapshot epoch, app, params).
 package server
 
 import (
@@ -22,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"time"
@@ -30,6 +15,7 @@ import (
 	"graphreorder/internal/dynamic"
 	"graphreorder/internal/faultinject"
 	"graphreorder/internal/graph"
+	"graphreorder/internal/obs"
 )
 
 // Config tunes a Server. The zero value serves with GOMAXPROCS engine
@@ -78,6 +64,29 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker refuses fresh compute
 	// before admitting a probe; 0 means 5s.
 	BreakerCooldown time.Duration
+	// TraceSample is the fraction of requests promoted to the detailed
+	// trace tier (per-round traversal stats, structured request logs);
+	// every request still gets cheap span timing. 0 means 0.05; negative
+	// disables tracing entirely. ?debug=trace forces one request into the
+	// detailed tier regardless of the rate (unless tracing is disabled).
+	TraceSample float64
+	// SlowThreshold is the total-latency bar above which a finished trace
+	// is recorded in the /debug/slow ring (server-fault responses are
+	// recorded regardless). 0 means 250ms; negative disables the ring.
+	SlowThreshold time.Duration
+	// HeatSample is the per-vertex heat telemetry stride: each query
+	// records every HeatSample-th vertex touch (1 records everything).
+	// 0 means 1; negative disables heat telemetry.
+	HeatSample int
+	// Pprof registers net/http/pprof handlers under /debug/pprof/ on the
+	// server's own mux. Off by default: profiling endpoints expose stack
+	// traces and should be opted into.
+	Pprof bool
+	// Logger receives structured request, refresher and durability logs;
+	// nil discards them.
+	Logger *slog.Logger
+	// Version is the build identifier reported by /healthz.
+	Version string
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +112,18 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 0.05
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 250 * time.Millisecond
+	}
+	if c.HeatSample == 0 {
+		c.HeatSample = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -116,6 +137,9 @@ type Server struct {
 	pool     *workPool
 	metrics  *metricsSet
 	breakers *breakerSet
+	sampler  *obs.Sampler
+	slow     *obs.SlowRing
+	logger   *slog.Logger
 	started  time.Time
 }
 
@@ -128,6 +152,8 @@ func New(cfg Config) *Server {
 		MaxHotDrift:    cfg.MaxHotDrift,
 		MinRefreshGain: cfg.MinRefreshGain,
 	})
+	store.SetHeatSample(cfg.HeatSample)
+	store.SetLogger(cfg.Logger)
 	return &Server{
 		cfg:      cfg,
 		store:    store,
@@ -136,9 +162,16 @@ func New(cfg Config) *Server {
 		pool:     newWorkPool(cfg.MaxConcurrent),
 		metrics:  newMetricsSet(),
 		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		sampler:  obs.NewSampler(cfg.TraceSample),
+		slow:     obs.NewSlowRing(0),
+		logger:   cfg.Logger,
 		started:  time.Now(),
 	}
 }
+
+// tracingEnabled reports whether requests get traces at all (a negative
+// TraceSample switches span timing off, not just the detailed tier).
+func (s *Server) tracingEnabled() bool { return s.cfg.TraceSample >= 0 }
 
 // Store exposes the snapshot store (for bootstrapping and tests).
 func (s *Server) Store() *Store { return s.store }
@@ -174,11 +207,22 @@ func (s *Server) Handler() http.Handler {
 	}
 	route("GET /healthz", "healthz", s.handleHealthz)
 	route("GET /metrics", "metrics", s.handleMetrics)
+	route("GET /debug/slow", "debug.slow", s.handleSlow)
+	if s.cfg.Pprof {
+		// Registered on the server's own mux (not DefaultServeMux), gated
+		// behind the flag: profiling endpoints are operator tooling.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	route("GET /v1/snapshots", "snapshots.list", s.handleSnapshotList)
 	route("POST /v1/snapshots", "snapshots.build", s.handleSnapshotBuild)
 	route("GET /v1/snapshots/builds", "snapshots.builds", s.handleSnapshotBuilds)
 	route("GET /v1/snapshots/{name}", "snapshots.get", s.handleSnapshotGet)
 	route("GET /v1/snapshots/{name}/resolve", "snapshots.resolve", s.handleSnapshotResolve)
+	route("GET /v1/snapshots/{name}/heat", "snapshots.heat", s.handleHeat)
 	route("POST /v1/snapshots/{name}/activate", "snapshots.activate", s.handleSnapshotActivate)
 	route("POST /v1/snapshots/{name}/edges", "snapshots.mutate", s.handleMutate)
 	route("DELETE /v1/snapshots/{name}", "snapshots.drop", s.handleSnapshotDrop)
@@ -265,12 +309,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !ready {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, map[string]any{"ok": ready})
+	writeJSON(w, status, map[string]any{
+		"ok":             ready,
+		"version":        s.cfg.Version,
+		"go_version":     runtime.Version(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"snapshots":      len(s.store.tab.Load().byName),
+	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// metricsReport assembles the full metrics state; the JSON and
+// Prometheus exposition paths render the same report.
+func (s *Server) metricsReport() MetricsReport {
 	tab := s.store.tab.Load()
-	writeJSON(w, http.StatusOK, MetricsReport{
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	snaps := snapshotStatsFor(tab, s.store)
+	if snaps.Current != nil {
+		if div, ok := s.currentHotSetDivergence(); ok {
+			snaps.Current.HotSetDivergence = &div
+		}
+	}
+	return MetricsReport{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Routes:        s.metrics.report(),
 		Cache: CacheStats{
@@ -288,10 +348,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Shed:     s.pool.shed.Load(),
 		},
 		Breakers:  s.breakers.report(),
-		Snapshots: snapshotStatsFor(tab, s.store),
+		Snapshots: snaps,
 		Writes:    s.store.writeStatsReport(),
 		WAL:       s.store.WALStatsReport(),
-	})
+		Runtime: RuntimeStats{
+			Goroutines:     runtime.NumGoroutine(),
+			HeapAllocBytes: mem.HeapAlloc,
+			HeapSysBytes:   mem.HeapSys,
+			GCPauseTotalMs: float64(mem.PauseTotalNs) / 1e6,
+			NumGC:          mem.NumGC,
+		},
+		SlowTraces: s.slow.Total(),
+	}
+}
+
+// handleMetrics negotiates the exposition format: Prometheus text when
+// the scraper asks for it (Accept: text/plain or ?format=prometheus),
+// the JSON report otherwise. The JSON form only ever gains keys — every
+// pre-existing field stays bit-compatible.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		s.writePromMetrics(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metricsReport())
 }
 
 func (s *Server) handleSnapshotList(w http.ResponseWriter, r *http.Request) {
@@ -469,8 +549,22 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	rec := snap.heat.Recorder()
+	rec.Touch(int(v))
+	// Charge the first few neighbors too: a neighbor expansion reads
+	// their adjacency metadata, and capping the count keeps the touch
+	// cost independent of hub degree.
+	for i, nb := range res.Neighbors {
+		if i == maxNeighborTouches {
+			break
+		}
+		rec.Touch(int(nb))
+	}
 	writeJSON(w, http.StatusOK, res)
 }
+
+// maxNeighborTouches bounds heat accounting per neighbor expansion.
+const maxNeighborTouches = 8
 
 func (s *Server) handleDegree(w http.ResponseWriter, r *http.Request) {
 	snap, release := s.snapshotFor(w, r)
@@ -488,6 +582,8 @@ func (s *Server) handleDegree(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	rec := snap.heat.Recorder()
+	rec.Touch(int(v))
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -502,6 +598,8 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	rec := snap.heat.Recorder()
+	rec.Touch(int(v))
 	writeJSON(w, http.StatusOK, queryRank(snap, v))
 }
 
@@ -526,6 +624,13 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := topKResult{queryMeta: out.meta, K: k, Top: out.val.([]rankedVertex)}
+	rec := snap.heat.Recorder()
+	for i, rv := range res.Top {
+		if i == 2*maxNeighborTouches {
+			break
+		}
+		rec.Touch(int(rv.Vertex))
+	}
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -564,6 +669,8 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		writeHeavyError(w, err)
 		return
 	}
+	rec := snap.heat.Recorder()
+	rec.Touch(int(src))
 	d := out.val.(ssspDistances)
 	summary := d.summary(out.meta, src)
 	if !hasTarget {
@@ -647,14 +754,20 @@ type heavyOutcome struct {
 // fallback cached, the request fails fast with 503 + Retry-After
 // instead of burning its deadline in the queue.
 func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, route, kindKey string, fn func(ctx context.Context) (any, int64, error)) (heavyOutcome, error) {
+	tr := obs.FromContext(ctx)
 	key := fmt.Sprintf("%d|%s", snap.epoch, kindKey)
-	if v, ok := s.cache.get(key); ok {
+	cacheStart := time.Now()
+	v, ok := s.cache.get(key)
+	tr.Observe("cache", cacheStart)
+	if ok {
 		meta := metaFor(snap)
 		meta.Cached = true
 		return heavyOutcome{val: v, meta: meta}, nil
 	}
+	admitStart := time.Now()
 	br := s.breakers.route(route)
 	if !br.allow() {
+		tr.Observe("admit", admitStart)
 		return s.degrade(route, kindKey, &shedError{
 			reason:     "circuit breaker open",
 			retryAfter: br.retryAfter(),
@@ -675,11 +788,13 @@ func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, route, kindKey st
 	// timeout — shed now, before the wait burns the client's budget.
 	if wait := s.pool.predictWait(); wait > 0 && time.Until(effectiveDeadline) < wait {
 		br.record(false)
+		tr.Observe("admit", admitStart)
 		return s.degrade(route, kindKey, &shedError{
 			reason:     "predicted queue wait exceeds deadline",
 			retryAfter: wait,
 		})
 	}
+	tr.Observe("admit", admitStart)
 	// The leader computation runs on its own goroutine (so coalesced
 	// waiters can abandon the wait individually), hence it holds its own
 	// snapshot reference: drain accounting stays truthful for the brief
@@ -688,21 +803,29 @@ func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, route, kindKey st
 	// released immediately if this caller lost the leader race (fn never
 	// runs).
 	for {
+		flightStart := time.Now()
 		releaseSnap := snap.retain()
+		// The closure runs only when this caller wins leadership, so the
+		// captured trace is the leader's own: queue and compute spans land
+		// on the request that actually did the work.
 		call, leader := s.flight.do(key, func() (any, error) {
 			defer releaseSnap()
+			queueStart := time.Now()
 			if err := s.pool.acquire(ctx); err != nil {
+				tr.Observe("queue", queueStart)
 				if errors.Is(err, context.DeadlineExceeded) && serverOwnsDeadline {
 					return nil, errPoolSaturated
 				}
 				return nil, err
 			}
 			busy := time.Now()
+			tr.Observe("queue", queueStart)
 			defer func() {
 				s.pool.observe(time.Since(busy))
 				s.pool.release()
 			}()
 			v, cost, err := runWorker(ctx, fn)
+			tr.Observe("compute", busy)
 			if err == nil {
 				s.cache.add(key, kindKey, v, cost, metaFor(snap))
 			}
@@ -713,6 +836,9 @@ func (s *Server) runHeavy(ctx context.Context, snap *Snapshot, route, kindKey st
 		}
 		select {
 		case <-call.done:
+			if !leader {
+				tr.Observe("flight", flightStart)
+			}
 			// A follower that coalesced onto a leader killed by the
 			// leader's own context retries while its context is live:
 			// the dead leader's cancellation is not this request's

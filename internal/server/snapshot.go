@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"graphreorder/internal/dynamic"
 	"graphreorder/internal/gen"
 	"graphreorder/internal/graph"
+	"graphreorder/internal/obs"
 	"graphreorder/internal/reorder"
 )
 
@@ -42,6 +44,12 @@ type Snapshot struct {
 	ranks     []float64
 	rankIters int
 	rankSum   float64 // ordering-invariant checksum of ranks
+
+	// heat accumulates per-vertex touch counts from live queries since
+	// this snapshot was published (nil when heat telemetry is disabled).
+	// Each epoch starts a fresh accumulator, so the observed hot set
+	// always describes the layout actually serving it.
+	heat *obs.Heat
 
 	built          time.Time
 	loadTime       time.Duration
@@ -186,6 +194,14 @@ type Store struct {
 	// (see durability.go); nil when durability is off.
 	durable *durability
 
+	// heatSample is the heat-telemetry stride applied to snapshots
+	// published afterwards: 0 means 1 (record every touch), negative
+	// disables heat accumulators entirely.
+	heatSample int
+	// logger receives the store's structured logs (refresher publishes,
+	// durability recovery); never nil after NewStore.
+	logger *slog.Logger
+
 	buildMu sync.Mutex
 	builds  map[string]*BuildStatus
 	buildWG sync.WaitGroup
@@ -201,6 +217,7 @@ func NewStore(workers int) *Store {
 		dropping:   make(map[string]struct{}),
 		livePolicy: dynamic.Policy{Every: 8},
 		live:       make(map[string]*liveGraph),
+		logger:     slog.New(slog.DiscardHandler),
 	}
 	st.tab.Store(&snapTable{byName: map[string]*Snapshot{}})
 	return st
@@ -209,6 +226,18 @@ func NewStore(workers int) *Store {
 // SetRefreshPolicy sets the re-reordering policy applied to mutable
 // snapshots registered afterwards. Call before building them.
 func (st *Store) SetRefreshPolicy(p dynamic.Policy) { st.livePolicy = p }
+
+// SetHeatSample sets the heat-telemetry stride of snapshots published
+// afterwards (0 means 1: record every touch; negative disables heat).
+func (st *Store) SetHeatSample(n int) { st.heatSample = n }
+
+// SetLogger directs the store's structured logs (nil discards them).
+func (st *Store) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.DiscardHandler)
+	}
+	st.logger = l
+}
 
 // Acquire returns the current snapshot with its refcount taken, plus the
 // release function, or (nil, nil) when nothing is published yet. It never
@@ -698,6 +727,12 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 // refused (false): the dropper already removed it from the table and a
 // late refresher publish must not resurrect it.
 func (st *Store) publish(snap *Snapshot, activate bool) bool {
+	// Every snapshot gets its heat accumulator here — build and live
+	// refresher publishes alike pass through publish, so there is exactly
+	// one place the telemetry decision lives.
+	if snap.heat == nil && st.heatSample >= 0 {
+		snap.heat = obs.NewHeat(snap.graph.NumVertices(), st.heatSample)
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if _, mid := st.dropping[snap.name]; mid {

@@ -84,6 +84,11 @@ func (h *LatencyHist) Mean() time.Duration {
 	return time.Duration(h.sumNs.Load() / n)
 }
 
+// Sum returns the total of all observed latencies (exact, not
+// bucketed) — with Count, the _sum/_count pair a Prometheus summary
+// exposes.
+func (h *LatencyHist) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
 // Max returns the largest observed latency.
 func (h *LatencyHist) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
 

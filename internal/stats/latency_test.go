@@ -80,6 +80,25 @@ func TestLatencyHistEmptyAndSingle(t *testing.T) {
 	}
 }
 
+func TestLatencyHistSumExact(t *testing.T) {
+	// Sum is exact (atomic accumulation), not bucketed like quantiles —
+	// the Prometheus summary's _sum relies on that.
+	var h LatencyHist
+	var want time.Duration
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(1 + r.Intn(10_000_000))
+		want += d
+		h.Observe(d)
+	}
+	if got := h.Sum(); got != want {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	if empty := (&LatencyHist{}).Sum(); empty != 0 {
+		t.Errorf("empty Sum = %v", empty)
+	}
+}
+
 func TestLatencyHistConcurrentObserve(t *testing.T) {
 	var h LatencyHist
 	const workers = 8
