@@ -6,6 +6,7 @@ import (
 
 	"graphreorder/internal/apps"
 	"graphreorder/internal/cachesim"
+	"graphreorder/internal/cluster/partition"
 	"graphreorder/internal/dynamic"
 	"graphreorder/internal/gen"
 	"graphreorder/internal/graph"
@@ -395,6 +396,33 @@ func SimulatePageRankCache(g *Graph, scale string, iters int) (CacheStats, error
 		return CacheStats{}, err
 	}
 	return trace.Simulate(spec, g, nil, trace.MachineFor(s), iters)
+}
+
+// Cluster types, re-exported from the sharding subsystem (see
+// internal/cluster for the full router and runner APIs).
+type (
+	// PartitionOptions configures PartitionGraph: shard count, edge
+	// placement strategy ("degree" vertex-cut or "hash" baseline), the
+	// hub replication bound and CSR build parallelism.
+	PartitionOptions = partition.Options
+	// Placement is the deterministic vertex→shard map a partitioning
+	// produces: the owner shard per vertex plus the home-shard bitmask
+	// for replicated hubs.
+	Placement = partition.Placement
+	// PartitionResult bundles the placement, the per-shard subgraphs
+	// (original-ID space) and the edge-balance report.
+	PartitionResult = partition.Result
+	// ShardBalance reports per-shard edge counts and the max/mean ratio
+	// — the skew measure the degree-aware vertex-cut improves over hash
+	// placement on power-law graphs.
+	ShardBalance = partition.BalanceReport
+)
+
+// PartitionGraph splits g into per-shard subgraphs for cluster serving.
+// Placement is deterministic: the same graph and options produce the
+// same partition at any worker count.
+func PartitionGraph(g *Graph, opt PartitionOptions) (*PartitionResult, error) {
+	return partition.Partition(g, opt)
 }
 
 // compile-time check that the facade stays wired to real implementations.

@@ -327,3 +327,50 @@ func TestAdvisorFacade(t *testing.T) {
 		}
 	}
 }
+
+func TestPartitionGraphFacade(t *testing.T) {
+	g, err := GenerateDataset("sd", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PartitionGraph(g, PartitionOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Graphs) != 3 {
+		t.Fatalf("want 3 shard graphs, got %d", len(res.Graphs))
+	}
+	total := 0
+	for _, sg := range res.Graphs {
+		if sg.NumVertices() != g.NumVertices() {
+			t.Fatalf("shard subgraph not in original ID space: %d vs %d vertices",
+				sg.NumVertices(), g.NumVertices())
+		}
+		total += sg.NumEdges()
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("edges not partitioned exactly once: %d vs %d", total, g.NumEdges())
+	}
+	var p *Placement = &res.Placement
+	for v := VertexID(0); v < VertexID(g.NumVertices()); v += 17 {
+		owner := p.OwnerOf(v)
+		if owner < 0 || owner >= 3 {
+			t.Fatalf("vertex %d owned by out-of-range shard %d", v, owner)
+		}
+	}
+	if res.Balance.Balance < 1 {
+		t.Fatalf("max/mean balance below 1: %v", res.Balance.Balance)
+	}
+	// Hash placement must also cover every edge exactly once.
+	hres, err := PartitionGraph(g, PartitionOptions{Shards: 3, Strategy: "hash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	htotal := 0
+	for _, sg := range hres.Graphs {
+		htotal += sg.NumEdges()
+	}
+	if htotal != g.NumEdges() {
+		t.Fatalf("hash partition lost edges: %d vs %d", htotal, g.NumEdges())
+	}
+}

@@ -1,0 +1,96 @@
+// Command clusterbench drives the EXPERIMENTS.md cluster table: it
+// serves one dataset single-node and as 2- and 4-shard local clusters,
+// runs the identical read mix against each, and prints throughput and
+// latency quantiles, plus hash vs degree-aware shard balance.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"graphreorder/internal/cluster"
+	"graphreorder/internal/gen"
+	"graphreorder/internal/server"
+	"graphreorder/internal/server/loadtest"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "lj", "dataset")
+		scale    = flag.String("scale", "small", "scale")
+		clients  = flag.Int("clients", 8, "concurrent clients")
+		duration = flag.Duration("duration", 5*time.Second, "load duration per configuration")
+		workers  = flag.Int("workers", 0, "server workers")
+	)
+	flag.Parse()
+
+	s, err := gen.ParseScale(*scale)
+	check(err)
+	cfg, err := gen.Dataset(*dataset, s)
+	check(err)
+	g, err := gen.Generate(cfg)
+	check(err)
+	fmt.Printf("dataset %s/%s: %d vertices, %d edges\n", *dataset, *scale, g.NumVertices(), g.NumEdges())
+
+	for _, shards := range []int{2, 4} {
+		for _, strat := range []string{"degree", "hash"} {
+			res, err := cluster.Partition(g, cluster.Options{Shards: shards, Strategy: strat, Workers: *workers})
+			check(err)
+			fmt.Printf("balance %d shards %-6s: max/mean %.4f  max %d  mean %.0f  replicated hubs %d\n",
+				shards, strat, res.Balance.Balance, res.Balance.MaxEdges, res.Balance.MeanEdges,
+				res.Balance.ReplicatedHubs)
+		}
+	}
+
+	run := func(label, baseURL string) {
+		res, err := loadtest.Run(loadtest.Options{
+			BaseURL:  baseURL,
+			Clients:  *clients,
+			Duration: *duration,
+			Mix:      loadtest.ClusterMix(),
+		})
+		check(err)
+		fmt.Printf("%-12s %7d reqs  %8.0f req/s  p50 %9v  p90 %9v  p99 %9v  failures %d\n",
+			label, res.Requests, res.Throughput, res.P50, res.P90, res.P99, res.Failures)
+	}
+
+	// Single node.
+	srv := server.New(server.Config{Workers: *workers})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	_, err = srv.Store().Build(server.BuildSpec{
+		Name: "single", Dataset: *dataset, Scale: *scale, Technique: "auto", Activate: true,
+	})
+	check(err)
+	run("single", "http://"+ln.Addr().String())
+	hs.Close()
+
+	// Clusters.
+	for _, shards := range []int{2, 4} {
+		dir, err := os.MkdirTemp("", "clusterbench-")
+		check(err)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		cl, err := cluster.StartLocal(ctx, g, cluster.LocalOptions{
+			Shards: shards, Workers: *workers, Dir: dir,
+		})
+		check(err)
+		run(fmt.Sprintf("%d-shard", shards), cl.RouterURL)
+		cl.Close()
+		cancel()
+		os.RemoveAll(dir)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(1)
+	}
+}

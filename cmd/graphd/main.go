@@ -75,12 +75,38 @@ func main() {
 		heatN    = flag.Int("heat-sample", 1, "per-vertex heat telemetry: count every N-th touch (1 = exact, <0 disables)")
 		pprof    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		showVer  = flag.Bool("version", false, "print version and exit")
+
+		clusterN    = flag.Int("cluster", 0, "shard the graph across N graphd members behind a scatter-gather router on -addr (read-only cluster tier; 0 = single node)")
+		clusterRep  = flag.Int("cluster-replicas", 1, "cluster: members per shard including the primary (-selftest defaults to 2 so the mid-run kill has a replica to promote)")
+		partitioner = flag.String("partitioner", "degree", "cluster: edge placement strategy: degree (degree-aware vertex cut) | hash")
+		shardMember = flag.Bool("shard-member", false, "internal: run as a bare cluster shard member (no initial snapshot; the router publishes builds)")
 	)
 	flag.Parse()
 
 	if *showVer {
 		fmt.Printf("graphd %s %s %s/%s\n", version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
 		return
+	}
+	if *shardMember {
+		runShardMember(*addr, *workers, *grace)
+		return
+	}
+	if *clusterN > 0 {
+		os.Exit(runCluster(clusterConfig{
+			addr:      *addr,
+			dataset:   *dataset,
+			scale:     *scale,
+			in:        *in,
+			shards:    *clusterN,
+			replicas:  *clusterRep,
+			strategy:  *partitioner,
+			technique: *tech,
+			workers:   *workers,
+			selftest:  *selftest,
+			clients:   *clients,
+			duration:  *duration,
+			grace:     *grace,
+		}))
 	}
 
 	snapName := *name

@@ -1,0 +1,71 @@
+// Package cluster shards a graph across multiple graphd processes and
+// serves the ordinary single-node wire format from a scatter-gather
+// router, so a client cannot tell a cluster from one big server.
+//
+// # Layers
+//
+// The partitioner (internal/cluster/partition, aliased here) splits the
+// edge set across shards. The "hash" baseline sends all of a vertex's
+// out-edges to the shard its ID hashes to — on a power-law graph the
+// shard that draws the biggest hubs hotspots, the placement-level
+// analogue of the cache-line skew the paper's reordering fixes. The
+// "degree" strategy (default) is a degree-aware vertex cut: hub
+// out-edge lists are split across up to MaxReplicas shards, chosen
+// greedily by current load, so no single shard inherits a whole hub.
+// Every edge is assigned to exactly one shard; per-shard subgraphs keep
+// the full vertex range in original-ID space, so no ID translation
+// exists anywhere in the read path. Placement is deterministic: the
+// same graph and options yield the same partition at any worker count.
+//
+// Each shard then reorders its own subgraph with the skew-gated "auto"
+// advisor — a shard's degree skew differs from the global graph's, so
+// per-shard advice can differ per shard; the router's /metrics
+// aggregates the resulting per-shard quality reports.
+//
+// The Router fans queries out and merges partial results:
+//
+//   - neighbors(v): out-direction goes to v's home shards, in-direction
+//     to all shards; sorted lists are merged and deduplication is
+//     unnecessary because each edge lives on exactly one shard.
+//   - degree(v): same scatter; partial degrees sum.
+//   - rank(v): answered by v's owner shard alone — every shard holds
+//     the full global PageRank vector (computed once on the unsharded
+//     graph), with an owned-vertex bitmap marking its partition slice.
+//   - topk: every shard reports the k best over its owned set; owned
+//     sets partition the vertex space, so the merged k-best of the
+//     union is exact and bit-identical to single-node answers.
+//   - sssp: the router owns the distance array and runs frontier
+//     exchange — each round scatters the frontier only to shards that
+//     home a frontier vertex (POST /v1/shard/relax), gathers improved
+//     tentative distances, and repeats until the frontier drains.
+//     Results are cached per (epoch, source) with single-flight
+//     coalescing.
+//
+// # Epoch-consistent cutover
+//
+// A publish (PublishEpoch) builds snapshot <base>@<E> on every member
+// of every shard and barriers on all acks: the router polls each build
+// until ready, and only when the last member acks does a single atomic
+// pointer swap make epoch E the serving epoch. Reads pin the snapshot
+// name, so a request is served entirely at one epoch — no torn reads
+// across shards, and a failed build on any member leaves the previous
+// epoch serving untouched. Per-shard acked epochs and the resulting
+// epoch lag are exported in /metrics.
+//
+// # Failure handling
+//
+// Each shard has one or more members (replicas serving identical
+// data). A request tries the shard's active member first; a transport
+// error or 5xx fails over to the next member and, on success, promotes
+// it to active — client-visible errors (4xx) pass through verbatim and
+// never fail over. A background health loop probes members and keeps
+// the active index pointing at a live one, so a killed primary costs at
+// most the requests in flight on it, which the per-request failover
+// retries on the replica: the selftest asserts zero lost requests
+// across a mid-run kill.
+//
+// The cluster tier is read-only by design: mutations, WAL durability
+// and live refresh stay single-node concerns (PRs 2-7); a cluster
+// serves immutable partitioned epochs and changes data only by
+// publishing the next epoch.
+package cluster

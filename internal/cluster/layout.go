@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"graphreorder/internal/graph"
+	"graphreorder/internal/server"
+)
+
+// Layout is a partitioning materialized on disk, the handoff format
+// between the partitioner and process-mode shards: each shard process
+// boots from its graph binary plus rank file, the router from
+// placement.json.
+type Layout struct {
+	Dir           string   `json:"dir"`
+	GraphPaths    []string `json:"graph_paths"`
+	RankPaths     []string `json:"rank_paths"`
+	PlacementPath string   `json:"placement_path"`
+}
+
+// WriteLayout writes partition r to dir: shard<i>.graph (binary
+// codec), shard<i>.ranks (the global ranks with shard i's owned set)
+// and placement.json. ranks/iters/checksum come from GlobalRanks on the
+// full graph.
+func WriteLayout(r *Result, dir string, ranks []float64, iters int, checksum float64) (*Layout, error) {
+	if len(ranks) != r.Placement.NumVertices {
+		return nil, fmt.Errorf("cluster: %d ranks for %d vertices", len(ranks), r.Placement.NumVertices)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lay := &Layout{Dir: dir, PlacementPath: filepath.Join(dir, "placement.json")}
+	for i, sg := range r.Graphs {
+		gp := filepath.Join(dir, fmt.Sprintf("shard%d.graph", i))
+		f, err := os.Create(gp)
+		if err != nil {
+			return nil, err
+		}
+		err = graph.WriteBinary(f, sg)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d graph: %w", i, err)
+		}
+		owned := make([]bool, r.Placement.NumVertices)
+		for v, o := range r.Placement.Owner {
+			owned[v] = int(o) == i
+		}
+		rp := filepath.Join(dir, fmt.Sprintf("shard%d.ranks", i))
+		if err := server.WriteRankFile(rp, ranks, owned, iters, checksum); err != nil {
+			return nil, err
+		}
+		lay.GraphPaths = append(lay.GraphPaths, gp)
+		lay.RankPaths = append(lay.RankPaths, rp)
+	}
+	buf, err := json.Marshal(r.Placement)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(lay.PlacementPath, buf, 0o644); err != nil {
+		return nil, err
+	}
+	return lay, nil
+}
+
+// ReadPlacement loads a placement.json written by WriteLayout.
+func ReadPlacement(path string) (*Placement, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Placement
+	if err := json.Unmarshal(buf, &p); err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	if len(p.Owner) != p.NumVertices || len(p.Homes) != p.NumVertices {
+		return nil, fmt.Errorf("cluster: %s: owner/homes length mismatch", path)
+	}
+	return &p, nil
+}

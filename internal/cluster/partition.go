@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"context"
+
+	"graphreorder/internal/cluster/partition"
+	"graphreorder/internal/graph"
+)
+
+// The partitioner core lives in the leaf package
+// internal/cluster/partition (no server dependency) so the public
+// facade can re-export Placement and Partition without an import cycle;
+// this package aliases it for the router, runner and layout code.
+type (
+	// Options configures a partitioning run: shard count, strategy
+	// ("degree" vertex-cut or "hash" baseline), hub replication bound
+	// and CSR build parallelism.
+	Options = partition.Options
+	// Placement is the deterministic vertex→shard map: owner per vertex
+	// plus the home-shard bitmask for replicated hubs.
+	Placement = partition.Placement
+	// BalanceReport measures per-shard edge counts and max/mean skew.
+	BalanceReport = partition.BalanceReport
+	// Result is a completed partitioning: placement, per-shard subgraphs
+	// in original-ID space, and the balance report.
+	Result = partition.Result
+)
+
+// Partition splits g into per-shard edge subsets. See the leaf package
+// for strategy semantics and determinism guarantees.
+func Partition(g *graph.Graph, opt Options) (*Result, error) {
+	return partition.Partition(g, opt)
+}
+
+// GlobalRanks runs PageRank once on the full original-order graph; the
+// result feeds every shard's rank file so merged rank/top-k answers
+// come from a single global compute.
+func GlobalRanks(ctx context.Context, g *graph.Graph, workers int) ([]float64, int, float64, error) {
+	return partition.GlobalRanks(ctx, g, workers)
+}

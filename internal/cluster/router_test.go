@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"graphreorder/internal/graph"
+	"graphreorder/internal/obs"
+	"graphreorder/internal/server"
+)
+
+// httpJSON issues a GET and decodes the body into out (when non-nil),
+// returning the status code.
+func httpJSON(t testing.TB, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: decode: %v\n%s", url, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+// startBaseline boots a single-node graphd serving the named dataset in
+// original order — the reference the cluster must match bit for bit.
+func startBaseline(t *testing.T, dataset, scale string) string {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 1})
+	hs, url, err := serveOnLoopback(srv.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	})
+	spec := fmt.Sprintf(`{"name":"base","dataset":%q,"scale":%q}`, dataset, scale)
+	resp, err := http.Post(url+"/v1/snapshots", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for httpJSON(t, url+"/v1/snapshots/base", nil) != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("baseline snapshot never became ready")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return url
+}
+
+func startCluster(t *testing.T, g *graph.Graph, opt LocalOptions) *Local {
+	t.Helper()
+	if opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
+	if opt.Workers == 0 {
+		opt.Workers = 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	cl, err := StartLocal(ctx, g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+type neighborsView struct {
+	Degree    int              `json:"degree"`
+	Truncated bool             `json:"truncated"`
+	Neighbors []graph.VertexID `json:"neighbors"`
+}
+
+type rankView struct {
+	Rank float64 `json:"rank"`
+}
+
+type degreeView struct {
+	Degree int `json:"degree"`
+}
+
+type topkView struct {
+	Top []rankedVertex `json:"top"`
+}
+
+type ssspView struct {
+	Reached     int   `json:"reached"`
+	Unreachable int   `json:"unreachable"`
+	MaxDistance int64 `json:"max_distance"`
+	Reachable   bool  `json:"reachable"`
+	Distance    int64 `json:"distance"`
+}
+
+// TestClusterEquivalence is the acceptance-criterion check: merged
+// neighbors/degree/rank/top-k/SSSP answers from a 3-shard cluster must
+// be bit-identical to a single-node graphd serving the same graph
+// (SSSP round counts excluded — they are scatter-schedule-dependent by
+// contract; distances and summaries are exact).
+func TestClusterEquivalence(t *testing.T) {
+	g := genGraph(t, "sd", "small")
+	cl := startCluster(t, g, LocalOptions{Shards: 3})
+	base := startBaseline(t, "sd", "small")
+	baseQ := base + "/v1/query"
+	clQ := cl.RouterURL + "/v1/query"
+
+	n := g.NumVertices()
+	hub := graph.VertexID(0)
+	for v := 0; v < n; v++ {
+		if g.OutDegree(graph.VertexID(v)) > g.OutDegree(hub) {
+			hub = graph.VertexID(v)
+		}
+	}
+	sample := []graph.VertexID{hub}
+	for v := 0; v < n; v += n / 96 {
+		sample = append(sample, graph.VertexID(v))
+	}
+
+	for _, v := range sample {
+		for _, q := range []string{
+			fmt.Sprintf("/neighbors?v=%d", v),
+			fmt.Sprintf("/neighbors?v=%d&limit=8", v),
+			fmt.Sprintf("/neighbors?v=%d&dir=in", v),
+		} {
+			var want, got neighborsView
+			httpJSON(t, baseQ+q+"&snapshot=base", &want)
+			httpJSON(t, clQ+q, &got)
+			if want.Degree != got.Degree || want.Truncated != got.Truncated ||
+				len(want.Neighbors) != len(got.Neighbors) {
+				t.Fatalf("%s: baseline %+v cluster %+v", q, want, got)
+			}
+			for i := range want.Neighbors {
+				if want.Neighbors[i] != got.Neighbors[i] {
+					t.Fatalf("%s: neighbor %d differs: %d vs %d", q, i, want.Neighbors[i], got.Neighbors[i])
+				}
+			}
+		}
+		for _, kind := range []string{"out", "in", "total"} {
+			q := fmt.Sprintf("/degree?v=%d&kind=%s", v, kind)
+			var want, got degreeView
+			httpJSON(t, baseQ+q+"&snapshot=base", &want)
+			httpJSON(t, clQ+q, &got)
+			if want.Degree != got.Degree {
+				t.Fatalf("%s: degree %d vs %d", q, want.Degree, got.Degree)
+			}
+		}
+		q := fmt.Sprintf("/rank?v=%d", v)
+		var wantR, gotR rankView
+		httpJSON(t, baseQ+q+"&snapshot=base", &wantR)
+		httpJSON(t, clQ+q, &gotR)
+		if wantR.Rank != gotR.Rank {
+			t.Fatalf("%s: rank %v vs %v (must be bit-identical)", q, wantR.Rank, gotR.Rank)
+		}
+	}
+
+	var wantTop, gotTop topkView
+	httpJSON(t, baseQ+"/topk?k=16&snapshot=base", &wantTop)
+	httpJSON(t, clQ+"/topk?k=16", &gotTop)
+	if len(wantTop.Top) != len(gotTop.Top) {
+		t.Fatalf("topk sizes differ: %d vs %d", len(wantTop.Top), len(gotTop.Top))
+	}
+	for i := range wantTop.Top {
+		if wantTop.Top[i] != gotTop.Top[i] {
+			t.Fatalf("topk[%d]: %+v vs %+v", i, wantTop.Top[i], gotTop.Top[i])
+		}
+	}
+
+	for _, src := range []graph.VertexID{0, hub, graph.VertexID(n / 2)} {
+		q := fmt.Sprintf("/sssp?src=%d&target=%d", src, n-1)
+		var want, got ssspView
+		httpJSON(t, baseQ+q+"&snapshot=base", &want)
+		httpJSON(t, clQ+q, &got)
+		if want != got {
+			t.Fatalf("%s: baseline %+v cluster %+v", q, want, got)
+		}
+	}
+}
+
+// TestClusterCutover: a second publish must move every shard through
+// the barrier and swap the serving epoch atomically, leaving zero lag.
+func TestClusterCutover(t *testing.T) {
+	g := genGraph(t, "sd", "tiny")
+	cl := startCluster(t, g, LocalOptions{Shards: 2})
+	if e, name := cl.Router.Current(); e != 1 || name != "cluster@1" {
+		t.Fatalf("boot epoch: %d %q", e, name)
+	}
+	specs := make([]server.BuildSpec, 2)
+	for s := range specs {
+		specs[s] = server.BuildSpec{
+			Path:      cl.Layout.GraphPaths[s],
+			RanksPath: cl.Layout.RankPaths[s],
+			Technique: "auto",
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := cl.Router.PublishEpoch(ctx, specs); err != nil {
+		t.Fatal(err)
+	}
+	if e, name := cl.Router.Current(); e != 2 || name != "cluster@2" {
+		t.Fatalf("post-cutover epoch: %d %q", e, name)
+	}
+	var rep RouterReport
+	httpJSON(t, cl.RouterURL+"/metrics", &rep)
+	if rep.Epoch != 2 {
+		t.Fatalf("metrics epoch %d", rep.Epoch)
+	}
+	for _, st := range rep.PerShard {
+		if st.AckedEpoch != 2 || st.EpochLag != 0 {
+			t.Fatalf("shard %d: acked %d lag %d", st.Shard, st.AckedEpoch, st.EpochLag)
+		}
+	}
+	var rv rankView
+	if code := httpJSON(t, cl.RouterURL+"/v1/query/rank?v=1", &rv); code != 200 {
+		t.Fatalf("rank after cutover: %d", code)
+	}
+}
+
+// TestClusterFailover: killing a shard primary must lose zero requests
+// — in-flight and subsequent reads fail over to the replica, which the
+// router promotes.
+func TestClusterFailover(t *testing.T) {
+	g := genGraph(t, "sd", "tiny")
+	cl := startCluster(t, g, LocalOptions{Shards: 2, Replicas: 2, HealthEvery: 50 * time.Millisecond})
+	// Prime: every route answers before the kill.
+	var rv rankView
+	if code := httpJSON(t, cl.RouterURL+"/v1/query/rank?v=0", &rv); code != 200 {
+		t.Fatalf("pre-kill rank: %d", code)
+	}
+	cl.Kill(0, 0)
+	for v := 0; v < g.NumVertices(); v += 7 {
+		q := fmt.Sprintf("%s/v1/query/rank?v=%d", cl.RouterURL, v)
+		if code := httpJSON(t, q, nil); code != 200 {
+			t.Fatalf("rank v=%d after kill: status %d (lost request)", v, code)
+		}
+	}
+	var top topkView
+	if code := httpJSON(t, cl.RouterURL+"/v1/query/topk?k=8", &top); code != 200 || len(top.Top) != 8 {
+		t.Fatalf("topk after kill: %d (%d results)", code, len(top.Top))
+	}
+	var rep RouterReport
+	httpJSON(t, cl.RouterURL+"/metrics", &rep)
+	if rep.Promotions == 0 {
+		t.Fatal("no promotion recorded after killing a primary")
+	}
+}
+
+// TestClusterTracePropagation: one trace identity across client →
+// router → shard, with the fanout/merge/per-shard breakdown visible via
+// ?debug=trace.
+func TestClusterTracePropagation(t *testing.T) {
+	g := genGraph(t, "sd", "tiny")
+	cl := startCluster(t, g, LocalOptions{Shards: 2})
+	const id = "00ff00ff00ff00ff"
+	req, _ := http.NewRequest("GET", cl.RouterURL+"/v1/query/topk?k=4&debug=trace", nil)
+	req.Header.Set("X-Trace-Id", id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != id {
+		t.Fatalf("router did not adopt trace ID: %q", got)
+	}
+	var wrapped struct {
+		Trace    obs.TraceView   `json:"trace"`
+		Response json.RawMessage `json:"response"`
+	}
+	if err := json.Unmarshal(body, &wrapped); err != nil {
+		t.Fatalf("debug envelope: %v\n%s", err, body)
+	}
+	if wrapped.Trace.ID != id {
+		t.Fatalf("trace id %q, want %q", wrapped.Trace.ID, id)
+	}
+	spans := map[string]bool{}
+	for _, sp := range wrapped.Trace.Spans {
+		spans[sp.Name] = true
+	}
+	for _, want := range []string{"fanout", "merge", "shard0", "shard1"} {
+		if !spans[want] {
+			t.Fatalf("missing span %q in %v", want, wrapped.Trace.Spans)
+		}
+	}
+	var inner topkView
+	if err := json.Unmarshal(wrapped.Response, &inner); err != nil || len(inner.Top) != 4 {
+		t.Fatalf("wrapped response: %v\n%s", err, wrapped.Response)
+	}
+}
+
+// TestClusterPromExposition: the router's Prometheus output must parse
+// under the repo's own format validator and carry the
+// graphd_cluster_* families the CI promcheck gate requires.
+func TestClusterPromExposition(t *testing.T) {
+	g := genGraph(t, "sd", "tiny")
+	cl := startCluster(t, g, LocalOptions{Shards: 2})
+	httpJSON(t, cl.RouterURL+"/v1/query/topk?k=4", nil) // traffic so route families exist
+	resp, err := http.Get(cl.RouterURL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	samples, families, err := obs.ValidateExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	if samples == 0 {
+		t.Fatal("no samples")
+	}
+	for _, fam := range []string{
+		"graphd_cluster_shards",
+		"graphd_cluster_epoch",
+		"graphd_cluster_requests_total",
+		"graphd_cluster_request_latency_seconds",
+		"graphd_cluster_fanout_total",
+		"graphd_cluster_shard_healthy",
+		"graphd_cluster_shard_epoch_lag",
+		"graphd_cluster_promotions_total",
+		"graphd_cluster_shard_packing_factor",
+	} {
+		if _, ok := families[fam]; !ok {
+			t.Fatalf("family %q missing from exposition:\n%s", fam, body)
+		}
+	}
+}

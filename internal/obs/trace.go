@@ -88,6 +88,41 @@ func NewTrace(route string, detailed bool) *Trace {
 	}
 }
 
+// NewTraceWithID is NewTrace with an externally assigned ID: a service
+// behind a routing tier adopts the caller's trace ID so one request
+// keeps one identity across every hop. id 0 falls back to a fresh one.
+func NewTraceWithID(route string, detailed bool, id uint64) *Trace {
+	t := NewTrace(route, detailed)
+	if id != 0 {
+		t.id = id
+	}
+	return t
+}
+
+// ParseTraceID decodes the fixed-width hex form produced by IDString
+// (an X-Trace-Id header value). It returns 0 for anything malformed,
+// which callers treat as "no inbound trace ID".
+func ParseTraceID(s string) uint64 {
+	if len(s) != 16 {
+		return 0
+	}
+	var id uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0
+		}
+		id = id<<4 | d
+	}
+	return id
+}
+
 // ID returns the trace's process-unique 64-bit ID (0 for a nil trace).
 func (t *Trace) ID() uint64 {
 	if t == nil {
@@ -125,6 +160,34 @@ func (t *Trace) Observe(name string, start time.Time) {
 			StartUs: us(start.Sub(t.start)),
 			DurUs:   us(end.Sub(start)),
 		})
+	}
+	t.mu.Unlock()
+}
+
+// Accumulate folds time into the span named name, creating it on first
+// use: repeated phases (one fan-out per SSSP round, one call per shard)
+// appear as a single span whose duration is the phase's total, instead
+// of overflowing the span cap with near-identical entries. The span's
+// start stays the earliest accumulated start.
+func (t *Trace) Accumulate(name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	end := time.Now()
+	startUs, durUs := us(start.Sub(t.start)), us(end.Sub(start))
+	t.mu.Lock()
+	for i := range t.spans {
+		if t.spans[i].Name == name {
+			if startUs < t.spans[i].StartUs {
+				t.spans[i].StartUs = startUs
+			}
+			t.spans[i].DurUs += durUs
+			t.mu.Unlock()
+			return
+		}
+	}
+	if len(t.spans) < maxSpans {
+		t.spans = append(t.spans, Span{Name: name, StartUs: startUs, DurUs: durUs})
 	}
 	t.mu.Unlock()
 }

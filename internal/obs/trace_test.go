@@ -188,3 +188,61 @@ func TestSlowRingConcurrent(t *testing.T) {
 		t.Fatalf("total = %d, want 800", r.Total())
 	}
 }
+
+func TestTraceIDAdoption(t *testing.T) {
+	up := NewTrace("router", false)
+	id := ParseTraceID(up.IDString())
+	if id != up.ID() {
+		t.Fatalf("ParseTraceID(IDString) = %x, want %x", id, up.ID())
+	}
+	down := NewTraceWithID("shard", true, id)
+	if down.ID() != up.ID() {
+		t.Fatalf("adopted ID = %x, want %x", down.ID(), up.ID())
+	}
+	if down.IDString() != up.IDString() {
+		t.Fatalf("adopted IDString = %q, want %q", down.IDString(), up.IDString())
+	}
+	// Zero or malformed inbound IDs fall back to a fresh identity.
+	if tr := NewTraceWithID("shard", false, 0); tr.ID() == 0 {
+		t.Fatal("zero inbound ID must yield a fresh trace ID")
+	}
+	for _, bad := range []string{"", "xyz", "0123456789abcde", "0123456789abcdeZ", "0123456789abcdef0"} {
+		if got := ParseTraceID(bad); got != 0 {
+			t.Fatalf("ParseTraceID(%q) = %x, want 0", bad, got)
+		}
+	}
+}
+
+func TestTraceAccumulate(t *testing.T) {
+	tr := NewTrace("router", false)
+	base := time.Now()
+	tr.Accumulate("fanout", base.Add(-2*time.Millisecond))
+	tr.Accumulate("fanout", base.Add(-3*time.Millisecond))
+	tr.Accumulate("merge", base.Add(-time.Millisecond))
+	v := tr.View()
+	if len(v.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2 (accumulated)", len(v.Spans))
+	}
+	var fanout *Span
+	for i := range v.Spans {
+		if v.Spans[i].Name == "fanout" {
+			fanout = &v.Spans[i]
+		}
+	}
+	if fanout == nil {
+		t.Fatal("no fanout span")
+	}
+	// Two accumulations of ~2ms and ~3ms must sum to at least 5ms.
+	if fanout.DurUs < 5000 {
+		t.Fatalf("fanout dur = %.0fus, want >= 5000", fanout.DurUs)
+	}
+	// Accumulate never overflows the cap: unique names beyond it are dropped,
+	// existing names keep accumulating.
+	for i := 0; i < 3*maxSpans; i++ {
+		tr.Accumulate(fmt.Sprintf("s%d", i), base)
+		tr.Accumulate("fanout", base)
+	}
+	if n := len(tr.View().Spans); n > maxSpans {
+		t.Fatalf("spans = %d, want <= %d", n, maxSpans)
+	}
+}

@@ -68,14 +68,23 @@ type Options struct {
 // pair against the write receipts, so a torn or stale publish counts as
 // a failure.
 type Mix struct {
-	Neighbors, Rank, TopK, SSSP, Mutate int
+	Neighbors, Degree, Rank, TopK, SSSP, Mutate int
 }
 
 func (m Mix) orDefault() Mix {
-	if m.Neighbors+m.Rank+m.TopK+m.SSSP+m.Mutate == 0 {
+	if m.Neighbors+m.Degree+m.Rank+m.TopK+m.SSSP+m.Mutate == 0 {
 		return Mix{Neighbors: 70, Rank: 15, TopK: 10, SSSP: 5}
 	}
 	return m
+}
+
+// ClusterMix is the read-only mix for driving a cluster router: the
+// cluster tier serves immutable epochs (writes go through the
+// partitioner + PublishEpoch), and degree is included because its
+// scatter pattern (owner-only vs all-shard fanout by kind) is distinct
+// from every other route.
+func ClusterMix() Mix {
+	return Mix{Neighbors: 50, Degree: 15, Rank: 15, TopK: 10, SSSP: 10}
 }
 
 // KindStats aggregates one query kind.
@@ -210,7 +219,7 @@ func Run(opts Options) (Result, error) {
 	}
 
 	kinds := map[string]*kindTracker{
-		"neighbors": {}, "rank": {}, "topk": {}, "sssp": {}, "mutate": {},
+		"neighbors": {}, "degree": {}, "rank": {}, "topk": {}, "sssp": {}, "mutate": {},
 	}
 	var overall stats.LatencyHist
 	var queueLat, computeLat stats.LatencyHist
@@ -224,7 +233,7 @@ func Run(opts Options) (Result, error) {
 	// torn or mismatched publish.
 	var published sync.Map // uint64 -> int
 
-	weightTotal := mix.Neighbors + mix.Rank + mix.TopK + mix.SSSP + mix.Mutate
+	weightTotal := mix.Neighbors + mix.Degree + mix.Rank + mix.TopK + mix.SSSP + mix.Mutate
 	deadline := time.Now().Add(opts.Duration)
 	var wg sync.WaitGroup
 	for c := 0; c < opts.Clients; c++ {
@@ -253,13 +262,16 @@ func Run(opts Options) (Result, error) {
 				case pick < mix.Neighbors:
 					kind = "neighbors"
 					url = fmt.Sprintf("%s/v1/query/neighbors?v=%d&limit=32", opts.BaseURL, v)
-				case pick < mix.Neighbors+mix.Rank:
+				case pick < mix.Neighbors+mix.Degree:
+					kind = "degree"
+					url = fmt.Sprintf("%s/v1/query/degree?v=%d&kind=total", opts.BaseURL, v)
+				case pick < mix.Neighbors+mix.Degree+mix.Rank:
 					kind = "rank"
 					url = fmt.Sprintf("%s/v1/query/rank?v=%d", opts.BaseURL, v)
-				case pick < mix.Neighbors+mix.Rank+mix.TopK:
+				case pick < mix.Neighbors+mix.Degree+mix.Rank+mix.TopK:
 					kind = "topk"
 					url = fmt.Sprintf("%s/v1/query/topk?k=10", opts.BaseURL)
-				case pick < mix.Neighbors+mix.Rank+mix.TopK+mix.SSSP:
+				case pick < mix.Neighbors+mix.Degree+mix.Rank+mix.TopK+mix.SSSP:
 					kind = "sssp"
 					url = fmt.Sprintf("%s/v1/query/sssp?src=%d", opts.BaseURL, r.Intn(opts.SSSPSources))
 				default:

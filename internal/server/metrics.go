@@ -228,7 +228,11 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		debug := wantsDebugTrace(r)
-		tr := obs.NewTrace(route, debug || s.sampler.Sample())
+		// Adopt an inbound trace ID (a cluster router forwarding its own)
+		// so one request keeps one identity across the routing hop; a
+		// missing or malformed header means a fresh ID.
+		tr := obs.NewTraceWithID(route, debug || s.sampler.Sample(),
+			obs.ParseTraceID(r.Header.Get("X-Trace-Id")))
 		start := time.Now()
 		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		w.Header().Set("X-Trace-Id", tr.IDString())

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"graphreorder"
 	"graphreorder/internal/apps"
@@ -60,14 +61,16 @@ type neighborsResult struct {
 	Neighbors []graph.VertexID `json:"neighbors"`
 }
 
-func queryNeighbors(s *Snapshot, v graph.VertexID, dir string, limit int) (neighborsResult, error) {
+func queryNeighbors(sp idSpace, v graph.VertexID, dir string, limit int) (neighborsResult, error) {
+	s := sp.snap
+	cur := sp.in(v)
 	var nbrs []graph.VertexID
 	switch dir {
 	case "", "out":
 		dir = "out"
-		nbrs = s.graph.OutNeighbors(v)
+		nbrs = s.graph.OutNeighbors(cur)
 	case "in":
-		nbrs = s.graph.InNeighbors(v)
+		nbrs = s.graph.InNeighbors(cur)
 	default:
 		return neighborsResult{}, fmt.Errorf("bad dir %q (want in|out)", dir)
 	}
@@ -77,13 +80,23 @@ func queryNeighbors(s *Snapshot, v graph.VertexID, dir string, limit int) (neigh
 		Dir:       dir,
 		Degree:    len(nbrs),
 	}
-	if limit > 0 && len(nbrs) > limit {
-		nbrs = nbrs[:limit]
+	// Copy out of the shared CSR so the JSON encoder never aliases
+	// snapshot memory after release. In orig space, translate the full
+	// list and re-sort before truncating: the adjacency is sorted in
+	// current IDs, and a limit must keep the lowest *wire* IDs for the
+	// answer to be stable across orderings (and mergeable by a router).
+	out := make([]graph.VertexID, len(nbrs))
+	for i, nb := range nbrs {
+		out[i] = sp.out(nb)
+	}
+	if sp.orig {
+		slices.Sort(out)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
 		res.Truncated = true
 	}
-	// Copy out of the shared CSR so the JSON encoder never aliases
-	// snapshot memory after release.
-	res.Neighbors = append([]graph.VertexID{}, nbrs...)
+	res.Neighbors = out
 	return res, nil
 }
 
@@ -141,6 +154,17 @@ type topKResult struct {
 // (O(n log k)); ties break toward the lower vertex ID so results are
 // deterministic.
 func topKRanks(ranks []float64, k int) []rankedVertex {
+	return topKRanksIn(idSpace{}, ranks, nil, k)
+}
+
+// topKRanksIn is topKRanks in the wire space of sp: candidates enter
+// the heap already translated, so ties break toward the lower *wire*
+// ID — the tie order the single-node baseline would produce in that
+// space. A non-nil owned set (shard mode) restricts candidates to the
+// vertices this shard is the rank authority for; ownership partitions
+// the cluster's vertex set, so per-shard answers are disjoint and a
+// router heap-merge reproduces the global top-k exactly.
+func topKRanksIn(sp idSpace, ranks []float64, owned []bool, k int) []rankedVertex {
 	if k > len(ranks) {
 		k = len(ranks)
 	}
@@ -184,7 +208,10 @@ func topKRanks(ranks []float64, k int) []rankedVertex {
 		}
 	}
 	for v, r := range ranks {
-		cand := rankedVertex{Vertex: graph.VertexID(v), Rank: r}
+		if owned != nil && !owned[v] {
+			continue
+		}
+		cand := rankedVertex{Vertex: sp.out(graph.VertexID(v)), Rank: r}
 		if len(heap) < k {
 			heap = append(heap, cand)
 			up(len(heap) - 1)

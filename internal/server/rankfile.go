@@ -1,0 +1,108 @@
+package server
+
+// Rank files carry globally computed PageRank into shard snapshots.
+// A cluster partitioner computes PR once on the full graph, then writes
+// each shard a file holding (a) the global rank of every vertex in that
+// shard's subgraph, indexed by the shard's original-ID space, and (b)
+// the owned-vertex bitmap — the subset of its vertices the shard is the
+// rank/top-k authority for. Ownership partitions the cluster's vertex
+// set, so shard top-k answers are disjoint and a router can heap-merge
+// them into exactly the single-node result.
+//
+// Layout, little-endian: magic u32, version u32, n u64, iters u64,
+// checksum float64 bits, n rank float64s, ceil(n/64) owned bitmap words.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+)
+
+const (
+	rankFileMagic   = 0x474b4e52 // "RNKG" on disk
+	rankFileVersion = 1
+)
+
+type rankFile struct {
+	ranks    []float64
+	owned    []bool
+	iters    int
+	checksum float64
+}
+
+// WriteRankFile writes a shard rank file. ranks and owned are indexed
+// by the shard's original-ID space and must be the same length; iters
+// and checksum echo the global PageRank run they came from (the
+// checksum is the full graph's ordering-invariant rank sum, so every
+// shard of one partitioning reports the same value and a mismatched
+// file set is visible from snapshot metadata). Exported for the cluster
+// partitioner.
+func WriteRankFile(path string, ranks []float64, owned []bool, iters int, checksum float64) error {
+	if len(ranks) != len(owned) {
+		return fmt.Errorf("server: rank file %q: %d ranks vs %d owned flags", path, len(ranks), len(owned))
+	}
+	n := len(ranks)
+	words := (n + 63) / 64
+	buf := make([]byte, 8+8+8+8+8*n+8*words)
+	binary.LittleEndian.PutUint32(buf[0:], rankFileMagic)
+	binary.LittleEndian.PutUint32(buf[4:], rankFileVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(n))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(iters))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(checksum))
+	off := 32
+	for _, r := range ranks {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(r))
+		off += 8
+	}
+	bitmap := buf[off:]
+	for v, own := range owned {
+		if own {
+			word := binary.LittleEndian.Uint64(bitmap[8*(v/64):])
+			binary.LittleEndian.PutUint64(bitmap[8*(v/64):], word|1<<(v%64))
+		}
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// readRankFile loads and validates a shard rank file; wantN is the
+// shard graph's vertex count, which the file must match exactly.
+func readRankFile(path string, wantN int) (rankFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rankFile{}, err
+	}
+	if len(buf) < 32 {
+		return rankFile{}, fmt.Errorf("server: rank file %q: truncated header (%d bytes)", path, len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != rankFileMagic {
+		return rankFile{}, fmt.Errorf("server: rank file %q: bad magic %#x", path, m)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != rankFileVersion {
+		return rankFile{}, fmt.Errorf("server: rank file %q: unsupported version %d", path, v)
+	}
+	n := binary.LittleEndian.Uint64(buf[8:])
+	if n != uint64(wantN) {
+		return rankFile{}, fmt.Errorf("server: rank file %q: %d vertices, graph has %d", path, n, wantN)
+	}
+	words := (int(n) + 63) / 64
+	if want := 32 + 8*int(n) + 8*words; len(buf) != want {
+		return rankFile{}, fmt.Errorf("server: rank file %q: %d bytes, want %d", path, len(buf), want)
+	}
+	rf := rankFile{
+		ranks:    make([]float64, n),
+		owned:    make([]bool, n),
+		iters:    int(binary.LittleEndian.Uint64(buf[16:])),
+		checksum: math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+	}
+	off := 32
+	for i := range rf.ranks {
+		rf.ranks[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	bitmap := buf[off:]
+	for v := range rf.owned {
+		rf.owned[v] = binary.LittleEndian.Uint64(bitmap[8*(v/64):])&(1<<(v%64)) != 0
+	}
+	return rf, nil
+}

@@ -232,6 +232,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/query/topk", "query.topk", s.handleTopK)
 	route("GET /v1/query/sssp", "query.sssp", s.handleSSSP)
 	route("GET /v1/query/radii", "query.radii", s.handleRadii)
+	route("POST /v1/shard/relax", "shard.relax", s.handleShardRelax)
 	return mux
 }
 
@@ -424,7 +425,7 @@ func (s *Server) handleSnapshotBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad build spec: %v", err)
 		return
 	}
-	if spec.Path != "" && !s.cfg.AllowPathLoads {
+	if (spec.Path != "" || spec.RanksPath != "") && !s.cfg.AllowPathLoads {
 		writeError(w, http.StatusForbidden, "path loads are disabled on this server")
 		return
 	}
@@ -534,6 +535,11 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	sp, err := idSpaceFor(r, snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	v, err := vertexParam(r, snap, "v")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -544,13 +550,14 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := queryNeighbors(snap, v, r.URL.Query().Get("dir"), limit)
+	res, err := queryNeighbors(sp, v, r.URL.Query().Get("dir"), limit)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Heat is layout telemetry, so touches are always current-space.
 	rec := snap.heat.Recorder()
-	rec.Touch(int(v))
+	rec.Touch(int(sp.in(v)))
 	// Charge the first few neighbors too: a neighbor expansion reads
 	// their adjacency metadata, and capping the count keeps the touch
 	// cost independent of hub degree.
@@ -558,7 +565,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		if i == maxNeighborTouches {
 			break
 		}
-		rec.Touch(int(nb))
+		rec.Touch(int(sp.in(nb)))
 	}
 	writeJSON(w, http.StatusOK, res)
 }
@@ -572,18 +579,24 @@ func (s *Server) handleDegree(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	sp, err := idSpaceFor(r, snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	v, err := vertexParam(r, snap, "v")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := queryDegree(snap, v, r.URL.Query().Get("kind"))
+	res, err := queryDegree(snap, sp.in(v), r.URL.Query().Get("kind"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	res.Vertex = v
 	rec := snap.heat.Recorder()
-	rec.Touch(int(v))
+	rec.Touch(int(sp.in(v)))
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -593,14 +606,21 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	sp, err := idSpaceFor(r, snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	v, err := vertexParam(r, snap, "v")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	rec := snap.heat.Recorder()
-	rec.Touch(int(v))
-	writeJSON(w, http.StatusOK, queryRank(snap, v))
+	rec.Touch(int(sp.in(v)))
+	res := queryRank(snap, sp.in(v))
+	res.Vertex = v
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -609,14 +629,21 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	sp, err := idSpaceFor(r, snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	k, err := intParam(r, "k", 10)
 	if err != nil || k < 1 || k > 10000 {
 		writeError(w, http.StatusBadRequest, "bad k (want 1..10000)")
 		return
 	}
-	out, err := s.runHeavy(r.Context(), snap, "query.topk", fmt.Sprintf("topk|%d", k),
+	// The payload holds wire IDs (and orig mode changes tie order), so
+	// the two spaces cache separately.
+	out, err := s.runHeavy(r.Context(), snap, "query.topk", fmt.Sprintf("topk|%d%s", k, sp.key()),
 		func(context.Context) (any, int64, error) {
-			top := topKRanks(snap.ranks, k)
+			top := topKRanksIn(sp, snap.ranks, snap.owned, k)
 			return top, int64(len(top)) * 16, nil
 		})
 	if err != nil {
@@ -629,7 +656,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		if i == 2*maxNeighborTouches {
 			break
 		}
-		rec.Touch(int(rv.Vertex))
+		rec.Touch(int(sp.in(rv.Vertex)))
 	}
 	writeJSON(w, http.StatusOK, res)
 }
@@ -642,6 +669,11 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	if !snap.graph.Weighted() {
 		writeError(w, http.StatusBadRequest, "snapshot %q is unweighted; SSSP needs edge weights", snap.name)
+		return
+	}
+	sp, err := idSpaceFor(r, snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	src, err := vertexParam(r, snap, "src")
@@ -657,9 +689,13 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	out, err := s.runHeavy(r.Context(), snap, "query.sssp", fmt.Sprintf("sssp|%d", src),
+	// The traversal and its cached distance vector are current-space
+	// regardless of the wire space — only the source key and the target
+	// lookup translate — so both spaces share one cache entry.
+	cur := sp.in(src)
+	out, err := s.runHeavy(r.Context(), snap, "query.sssp", fmt.Sprintf("sssp|%d", cur),
 		func(ctx context.Context) (any, int64, error) {
-			d, err := computeSSSP(ctx, snap, src, s.cfg.Workers)
+			d, err := computeSSSP(ctx, snap, cur, s.cfg.Workers)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -670,7 +706,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rec := snap.heat.Recorder()
-	rec.Touch(int(src))
+	rec.Touch(int(cur))
 	d := out.val.(ssspDistances)
 	summary := d.summary(out.meta, src)
 	if !hasTarget {
@@ -679,8 +715,8 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	}
 	res := ssspTargetResult{ssspResult: summary, Target: target}
 	// A stale (older-epoch) vector may predate the target vertex.
-	if int(target) < len(d.dist) {
-		if dv := d.dist[target]; dv != infDistance {
+	if tcur := sp.in(target); int(tcur) < len(d.dist) {
+		if dv := d.dist[tcur]; dv != infDistance {
 			res.Reachable = true
 			res.Distance = dv
 		}

@@ -1,0 +1,168 @@
+package server
+
+// Shard mode: the pieces that let one graphd process serve as a member
+// of a cluster behind a scatter-gather router (internal/cluster).
+//
+//   - ?ids=orig keeps a query's whole exchange in original (as-loaded)
+//     vertex-ID space. Each shard reorders its own subgraph — the paper
+//     tie-in: a shard's skew differs from the global graph's, so each
+//     runs its own advisor — which makes wire IDs shard-relative by
+//     default and therefore meaningless to merge. Original IDs are the
+//     one coordinate system all shards and the single-node baseline
+//     share.
+//   - POST /v1/shard/relax is one hop of distributed SSSP: the router
+//     owns the distance vector and frontier, shards relax the frontier
+//     edges they hold and return candidate distances. Original-ID space
+//     on both sides, always.
+//
+// Relax calls skip heat accounting: frontier traffic is router-driven
+// bulk work, and charging it would drown the organic per-vertex signal
+// heat exists to surface.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"slices"
+
+	"graphreorder/internal/graph"
+)
+
+// idSpace is a query's vertex-ID coordinate system. The zero value is
+// the default current (snapshot-relative) space with no translation;
+// orig selects original-ID space, translating inputs through the
+// snapshot's permutation and outputs through its inverse.
+type idSpace struct {
+	snap *Snapshot
+	orig bool
+}
+
+// idSpaceFor parses ?ids= for a query against snap.
+func idSpaceFor(r *http.Request, snap *Snapshot) (idSpace, error) {
+	switch ids := r.URL.Query().Get("ids"); ids {
+	case "", "current":
+		return idSpace{snap: snap}, nil
+	case "orig", "original":
+		return idSpace{snap: snap, orig: true}, nil
+	default:
+		return idSpace{}, fmt.Errorf("bad ids %q (want current|orig)", ids)
+	}
+}
+
+// in translates a wire vertex ID into the snapshot's current space.
+// Permutations are bijections over [0, n), so a range-checked wire ID
+// is valid in either space.
+func (sp idSpace) in(v graph.VertexID) graph.VertexID {
+	if sp.orig && sp.snap.perm != nil {
+		return sp.snap.perm[v]
+	}
+	return v
+}
+
+// out translates a current-space vertex ID back into the wire space.
+func (sp idSpace) out(v graph.VertexID) graph.VertexID {
+	if sp.orig {
+		if inv := sp.snap.invPerm(); inv != nil {
+			return inv[v]
+		}
+	}
+	return v
+}
+
+// key is the cache-key suffix separating orig-space results from
+// current-space ones where the payload differs (top-k holds wire IDs).
+func (sp idSpace) key() string {
+	if sp.orig {
+		return "|orig"
+	}
+	return ""
+}
+
+// maxRelaxFrontier bounds one relax call's frontier; a router's frontier
+// for even the large datasets stays far below this.
+const maxRelaxFrontier = 1 << 20
+
+// relaxRequest is one SSSP relaxation hop. Frontier holds [vertex,
+// distance] pairs in original-ID space: vertices whose distance settled
+// this round, as the router's global view has them.
+type relaxRequest struct {
+	Frontier [][2]int64 `json:"frontier"`
+}
+
+// relaxResponse returns the candidate updates this shard's edges
+// produce: [vertex, distance] pairs (original-ID space, ascending by
+// vertex, one minimal candidate per vertex). The router folds them into
+// its distance vector and builds the next frontier from the winners.
+type relaxResponse struct {
+	queryMeta
+	Relaxed int        `json:"relaxed"`
+	Updates [][2]int64 `json:"updates"`
+}
+
+// handleShardRelax relaxes the out-edges of the posted frontier against
+// this shard's subgraph. Runs inline (no heavy-path admission): one hop
+// is a bounded scan of frontier adjacency, and the router's scatter-
+// gather loop needs every shard's answer every round — shedding a hop
+// would stall the whole traversal.
+func (s *Server) handleShardRelax(w http.ResponseWriter, r *http.Request) {
+	snap, release := s.snapshotFor(w, r)
+	if snap == nil {
+		return
+	}
+	defer release()
+	if !snap.graph.Weighted() {
+		writeError(w, http.StatusBadRequest, "snapshot %q is unweighted; relax needs edge weights", snap.name)
+		return
+	}
+	var body relaxRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad relax body: %v", err)
+		return
+	}
+	if len(body.Frontier) > maxRelaxFrontier {
+		writeError(w, http.StatusBadRequest, "frontier too large: %d vertices (max %d)", len(body.Frontier), maxRelaxFrontier)
+		return
+	}
+	n := snap.graph.NumVertices()
+	inv := snap.invPerm()
+	best := make(map[graph.VertexID]int64)
+	relaxed := 0
+	for _, fd := range body.Frontier {
+		if fd[0] < 0 || fd[0] >= int64(n) {
+			writeError(w, http.StatusBadRequest, "frontier vertex %d out of range [0,%d)", fd[0], n)
+			return
+		}
+		v, d := graph.VertexID(fd[0]), fd[1]
+		cur := v
+		if snap.perm != nil {
+			cur = snap.perm[v]
+		}
+		nbrs := snap.graph.OutNeighbors(cur)
+		wts := snap.graph.OutWeights(cur)
+		relaxed += len(nbrs)
+		for i, nb := range nbrs {
+			out := nb
+			if inv != nil {
+				out = inv[nb]
+			}
+			nd := d + int64(wts[i])
+			if b, ok := best[out]; !ok || nd < b {
+				best[out] = nd
+			}
+		}
+	}
+	res := relaxResponse{
+		queryMeta: metaFor(snap),
+		Relaxed:   relaxed,
+		Updates:   make([][2]int64, 0, len(best)),
+	}
+	for v, d := range best {
+		res.Updates = append(res.Updates, [2]int64{int64(v), d})
+	}
+	// Deterministic wire order, and the router can fold sorted updates
+	// without re-sorting.
+	slices.SortFunc(res.Updates, func(a, b [2]int64) int {
+		return int(a[0] - b[0])
+	})
+	writeJSON(w, http.StatusOK, res)
+}

@@ -45,6 +45,18 @@ type Snapshot struct {
 	rankIters int
 	rankSum   float64 // ordering-invariant checksum of ranks
 
+	// Shard mode (cluster serving): ranks were loaded from a rank file
+	// computed on the full graph rather than recomputed on this shard's
+	// subgraph, and owned marks the vertices this shard is the rank/topk
+	// authority for (current ID space; nil on non-shard snapshots).
+	externalRanks bool
+	owned         []bool
+
+	// inv is the lazily computed current->original inverse of perm, for
+	// queries served in original-ID space (?ids=orig).
+	invOnce sync.Once
+	inv     reorder.Permutation
+
 	// heat accumulates per-vertex touch counts from live queries since
 	// this snapshot was published (nil when heat telemetry is disabled).
 	// Each epoch starts a fresh accumulator, so the observed hot set
@@ -69,6 +81,24 @@ func (s *Snapshot) Name() string { return s.name }
 
 // Graph returns the snapshot's (immutable) graph.
 func (s *Snapshot) Graph() *graph.Graph { return s.graph }
+
+// invPerm returns the current->original inverse of the snapshot's
+// permutation, computed once on first use and cached (the snapshot is
+// immutable, so the inverse is too). Nil when the snapshot serves the
+// original order — wire IDs then *are* original IDs.
+func (s *Snapshot) invPerm() reorder.Permutation {
+	if s.perm == nil {
+		return nil
+	}
+	s.invOnce.Do(func() {
+		inv := make(reorder.Permutation, len(s.perm))
+		for o, c := range s.perm {
+			inv[c] = graph.VertexID(o)
+		}
+		s.inv = inv
+	})
+	return s.inv
+}
 
 // SnapshotInfo is the JSON description of a snapshot for admin endpoints.
 type SnapshotInfo struct {
@@ -436,6 +466,15 @@ type BuildSpec struct {
 	// batches and republishes itself (fresh epoch) after every batch,
 	// re-reordering on the store's refresh policy.
 	Mutable bool `json:"mutable,omitempty"`
+	// RanksPath loads precomputed PageRank from a rank file (written by
+	// the cluster partitioner, see WriteRankFile) instead of recomputing
+	// it on this graph. This is shard mode: the file carries *global*
+	// ranks for this shard's vertices in original-ID space, plus the
+	// owned-vertex set the shard is the rank/top-k authority for — a
+	// shard's local subgraph would yield different ranks than the full
+	// graph, so merged cluster answers must come from one global compute.
+	// Incompatible with Mutable (a write would invalidate the file).
+	RanksPath string `json:"ranks_path,omitempty"`
 }
 
 // BuildStatus tracks one build pipeline for the admin API.
@@ -541,6 +580,9 @@ func (st *Store) WaitBuilds() { st.buildWG.Wait() }
 func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 	if spec.Name == "" {
 		return nil, errors.New("server: build spec needs a name")
+	}
+	if spec.RanksPath != "" && spec.Mutable {
+		return nil, errors.New("server: ranks_path snapshots must be immutable")
 	}
 	kind := graph.OutDegree
 	switch spec.Degree {
@@ -672,17 +714,45 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 	// Stage 3: precompute PageRank once; point rank lookups and top-k
 	// queries are then O(1)/O(n log k) with no traversal at all. Builds
 	// run to completion (background context): a half-built snapshot is
-	// useless.
+	// useless. Shard builds (RanksPath) load the globally computed ranks
+	// from the partitioner's rank file instead and remap them into the
+	// published order.
 	status.setStage("precomputing")
 	start := time.Now()
-	run, err := graphreorder.Run(context.Background(), g, graphreorder.AppPR,
-		graphreorder.WithMaxIters(spec.MaxIters), graphreorder.WithWorkers(st.workers))
-	if err != nil {
-		return nil, err
+	var (
+		ranks    []float64
+		iters    int
+		rankSum  float64
+		owned    []bool
+		extRanks bool
+	)
+	if spec.RanksPath != "" {
+		rf, err := readRankFile(spec.RanksPath, g.NumVertices())
+		if err != nil {
+			return nil, err
+		}
+		ranks, owned = rf.ranks, rf.owned
+		if perm != nil {
+			// The file is in original-ID space; the snapshot serves the
+			// reordered space.
+			ranks = make([]float64, len(rf.ranks))
+			owned = make([]bool, len(rf.owned))
+			for o, c := range perm {
+				ranks[c] = rf.ranks[o]
+				owned[c] = rf.owned[o]
+			}
+		}
+		iters, rankSum, extRanks = rf.iters, rf.checksum, true
+	} else {
+		run, err := graphreorder.Run(context.Background(), g, graphreorder.AppPR,
+			graphreorder.WithMaxIters(spec.MaxIters), graphreorder.WithWorkers(st.workers))
+		if err != nil {
+			return nil, err
+		}
+		ranks, iters = run.Ranks(), run.Iterations
+		rankSum = run.Checksum
 	}
-	ranks, iters := run.Ranks(), run.Iterations
 	precomputeTime := time.Since(start)
-	rankSum := run.Checksum
 
 	snap := &Snapshot{
 		epoch:          st.nextID.Add(1),
@@ -699,6 +769,8 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 		ranks:          ranks,
 		rankIters:      iters,
 		rankSum:        rankSum,
+		externalRanks:  extRanks,
+		owned:          owned,
 		built:          time.Now(),
 		loadTime:       loadTime,
 		reorderTime:    reorderTime,
