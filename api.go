@@ -171,7 +171,7 @@ func EvaluateOrdering(g *Graph, kind DegreeKind) QualityReport {
 // Reorder applies a technique: it computes the permutation using degrees
 // of the given kind and relabels the graph, timing both phases.
 func Reorder(g *Graph, t Technique, kind DegreeKind) (ReorderResult, error) {
-	return reorder.Apply(g, t, kind)
+	return reorder.PlanOf(t).Apply(g, kind)
 }
 
 // ReorderContext is Reorder under a context. Cancellation is cooperative
@@ -179,7 +179,7 @@ func Reorder(g *Graph, t Technique, kind DegreeKind) (ReorderResult, error) {
 // computation and again before the CSR rebuild, so a deadline or cancel
 // aborts between phases with ctx.Err() but never tears a phase apart.
 func ReorderContext(ctx context.Context, g *Graph, t Technique, kind DegreeKind) (ReorderResult, error) {
-	return reorder.ApplyContext(ctx, g, t, kind, 1)
+	return reorder.PlanOf(t).ApplyContext(ctx, g, kind, 1)
 }
 
 // Engine bundles execution options for the multicore execution engine.
@@ -228,7 +228,7 @@ func (e Engine) run(g *Graph, app App, opts ...RunOption) *Result {
 // rebuild (the rebuilt graph is bit-identical at any worker count; only
 // the measured RebuildTime changes).
 func (e Engine) Reorder(g *Graph, t Technique, kind DegreeKind) (ReorderResult, error) {
-	return reorder.ApplyWorkers(g, t, kind, e.workers())
+	return reorder.PlanOf(t).ApplyWorkers(g, kind, e.workers())
 }
 
 // PageRank runs pull-based PageRank (damping 0.85) until convergence or

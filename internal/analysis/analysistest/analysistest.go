@@ -1,0 +1,190 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its findings against // want "regexp" expectations embedded in
+// the fixture source, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <analyzer package>/testdata/src/<name>/ and are
+// real, compiling Go packages: they may import the standard library and
+// any graphreorder package (type information comes from the build
+// cache's export data, so internal-visibility rules do not bite).
+// A // want comment asserts a finding on its own line whose message
+// matches the quoted regular expression; a line with no // want comment
+// asserts no finding. //lint:allow directives are honored, so fixtures
+// can pin the escape hatch's behaviour too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"graphreorder/internal/analysis"
+)
+
+var (
+	moduleOnce sync.Once
+	moduleDir  string
+	lookup     *analysis.ExportLookup
+	moduleErr  error
+)
+
+// module locates the module root and preloads export data for the
+// module's full dependency closure, once per test binary.
+func module() (string, *analysis.ExportLookup, error) {
+	moduleOnce.Do(func() {
+		out, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			moduleErr = fmt.Errorf("go env GOMOD: %v", err)
+			return
+		}
+		gomod := strings.TrimSpace(string(out))
+		if gomod == "" || gomod == "/dev/null" {
+			moduleErr = fmt.Errorf("not in a module")
+			return
+		}
+		moduleDir = filepath.Dir(gomod)
+		lookup, moduleErr = analysis.NewExportLookup(moduleDir, "./...")
+	})
+	return moduleDir, lookup, moduleErr
+}
+
+var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one // want entry: a line and a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts expectations from a fixture file's comments.
+func parseWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRx.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				if rest[0] != '"' && rest[0] != '`' {
+					return nil, fmt.Errorf("%s: malformed // want: %q", pos, c.Text)
+				}
+				lit, tail, err := cutGoString(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				rx, err := regexp.Compile(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want pattern: %v", pos, err)
+				}
+				wants = append(wants, &expectation{
+					file: pos.Filename,
+					line: pos.Line,
+					rx:   rx,
+				})
+				rest = strings.TrimSpace(tail)
+			}
+		}
+	}
+	return wants, nil
+}
+
+// cutGoString splits one leading Go string literal off s.
+func cutGoString(s string) (string, string, error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case quote == '"' && s[i] == '\\':
+			i++
+		case s[i] == quote:
+			lit, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad want literal %s: %v", s[:i+1], err)
+			}
+			return lit, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want literal: %s", s)
+}
+
+// chainImporter serves fixture packages checked earlier in the same
+// Run call (so fixtures can import each other as "fixture/<name>"),
+// falling back to export data for everything else.
+type chainImporter struct {
+	fixtures map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.fixtures[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// Run loads each fixture package from dir/testdata/src/<name>, applies
+// the analyzer, and reports any mismatch between findings and // want
+// expectations as test errors. dir is usually "." (the analyzer's own
+// package directory). Fixtures are loaded in the order given; a fixture
+// may import an earlier one under the path "fixture/<name>".
+func Run(t *testing.T, dir string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	_, lk, err := module()
+	if err != nil {
+		t.Fatalf("loading module export data: %v", err)
+	}
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		fixtures: make(map[string]*types.Package),
+		fallback: lk.Importer(fset),
+	}
+	for _, name := range fixtures {
+		fixDir := filepath.Join(dir, "testdata", "src", name)
+		pkg, err := analysis.CheckDir(fset, imp, fixDir, "fixture/"+name, nil)
+		if err != nil {
+			t.Errorf("fixture %s: %v", name, err)
+			continue
+		}
+		imp.fixtures[pkg.PkgPath] = pkg.Types
+		var wants []*expectation
+		for _, f := range pkg.Files {
+			w, err := parseWants(fset, f)
+			if err != nil {
+				t.Errorf("fixture %s: %v", name, err)
+			}
+			wants = append(wants, w...)
+		}
+		findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("fixture %s: %v", name, err)
+		}
+	finding:
+		for _, f := range findings {
+			for _, w := range wants {
+				if !w.matched && w.file == f.Position.Filename &&
+					w.line == f.Position.Line && w.rx.MatchString(f.Message) {
+					w.matched = true
+					continue finding
+				}
+			}
+			t.Errorf("fixture %s: unexpected finding: %s", name, f)
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("fixture %s: %s:%d: no finding matched want %q",
+					name, w.file, w.line, w.rx)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package atomicswap guards the snapshot-publication contract: state
+// published through sync/atomic.Pointer fields (graphd's snapshot
+// table, the router's epoch state) is immutable once loaded, may only
+// advance via Store/Swap/CompareAndSwap, and those publish sites live
+// in the package that declares the field. Three failure shapes are
+// flagged:
+//
+//  1. copying a value that embeds an atomic.Pointer (the copy's pointer
+//     silently forks the publication channel);
+//  2. mutating through a loaded snapshot — any write rooted at the
+//     result of an atomic.Pointer Load(), directly or via a local
+//     variable (readers hold loaded snapshots concurrently: publish a
+//     fresh value instead);
+//  3. calling Store/Swap/CompareAndSwap on another package's
+//     atomic.Pointer field (publication is the owning package's job).
+package atomicswap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"graphreorder/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicswap",
+	Doc: "enforces atomic-pointer snapshot publication: no copying values that embed\n" +
+		"atomic.Pointer, no writes through a Load()ed snapshot, and Store/Swap/CAS only\n" +
+		"from the field's declaring package",
+	Run: run,
+}
+
+// isAtomicPointer reports whether t is sync/atomic.Pointer[T] (any T).
+func isAtomicPointer(t types.Type) bool {
+	return analysis.NamedType(t, "sync/atomic", "Pointer")
+}
+
+// containsAtomicPointer reports whether a value of type t embeds an
+// atomic.Pointer anywhere (so copying the value forks the pointer).
+func containsAtomicPointer(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isAtomicPointer(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomicPointer(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomicPointer(u.Elem(), seen)
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	copiesAtomic := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		switch e.(type) {
+		// Fresh values and call results are not copies of live state.
+		case *ast.CompositeLit, *ast.CallExpr:
+			return false
+		}
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			return false
+		}
+		return containsAtomicPointer(tv.Type, map[types.Type]bool{})
+	}
+
+	// isLoadCall reports whether e is a call to (atomic.Pointer).Load.
+	isLoadCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Load" {
+			return false
+		}
+		recv, ok := info.Types[sel.X]
+		return ok && isAtomicPointer(recv.Type)
+	}
+
+	// lvalueRoot peels selectors, indexes and derefs off an assignment
+	// target, returning the base expression and whether any step was
+	// peeled (a bare `v = x` rebinds the variable; `v.f = x` mutates
+	// through it).
+	lvalueRoot := func(e ast.Expr) (ast.Expr, bool) {
+		peeled := false
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				e, peeled = x.X, true
+			case *ast.IndexExpr:
+				e, peeled = x.X, true
+			case *ast.StarExpr:
+				e, peeled = x.X, true
+			default:
+				return ast.Unparen(e), peeled
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Local variables bound to a Load() result in this
+			// function: writes through them mutate a published
+			// snapshot.
+			views := make(map[*types.Var]bool)
+			checkMutation := func(lhs ast.Expr, pos ast.Node) {
+				root, peeled := lvalueRoot(lhs)
+				if !peeled {
+					return
+				}
+				if isLoadCall(root) {
+					pass.Reportf(pos.Pos(), "write through an atomic.Pointer Load(); loaded snapshots are immutable — build a new value and Store it")
+					return
+				}
+				if id, ok := root.(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok && views[v] {
+						pass.Reportf(pos.Pos(), "write through %s, which holds an atomic.Pointer Load() result; loaded snapshots are immutable — build a new value and Store it", id.Name)
+					}
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						if len(n.Lhs) == len(n.Rhs) && isLoadCall(rhs) {
+							if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+								if v, ok := objOf(info, id).(*types.Var); ok {
+									views[v] = true
+								}
+							}
+						}
+						if copiesAtomic(rhs) {
+							pass.Reportf(rhs.Pos(), "copies a value embedding atomic.Pointer; the copy forks the publication channel — share a pointer instead")
+						}
+					}
+					for _, lhs := range n.Lhs {
+						checkMutation(lhs, n)
+					}
+				case *ast.IncDecStmt:
+					checkMutation(n.X, n)
+				case *ast.ValueSpec:
+					for i, val := range n.Values {
+						if isLoadCall(val) && i < len(n.Names) {
+							if v, ok := info.Defs[n.Names[i]].(*types.Var); ok {
+								views[v] = true
+							}
+						}
+						if copiesAtomic(val) {
+							pass.Reportf(val.Pos(), "copies a value embedding atomic.Pointer; the copy forks the publication channel — share a pointer instead")
+						}
+					}
+				case *ast.CallExpr:
+					checkForeignStore(pass, n)
+					for _, arg := range n.Args {
+						if copiesAtomic(arg) {
+							pass.Reportf(arg.Pos(), "passes a value embedding atomic.Pointer by value; the copy forks the publication channel — pass a pointer instead")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// objOf resolves an identifier on either side of := / =.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// checkForeignStore flags Store/Swap/CompareAndSwap on an atomic.Pointer
+// field whose declaring struct lives in another package.
+func checkForeignStore(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Store", "Swap", "CompareAndSwap":
+	default:
+		return
+	}
+	recv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isAtomicPointer(recv.Type) {
+		return
+	}
+	// The receiver must be a field selection x.f; find the named type
+	// declaring f.
+	fieldSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[fieldSel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	owner := selection.Obj().Pkg()
+	if owner != nil && owner.Path() != pass.PkgPath {
+		pass.Reportf(call.Pos(), "%s on %s's atomic.Pointer field from package %s; publication belongs to the declaring package — expose a publish method instead",
+			sel.Sel.Name, owner.Path(), pass.PkgPath)
+	}
+}

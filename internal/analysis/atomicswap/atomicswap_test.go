@@ -1,0 +1,12 @@
+package atomicswap_test
+
+import (
+	"testing"
+
+	"graphreorder/internal/analysis/analysistest"
+	"graphreorder/internal/analysis/atomicswap"
+)
+
+func TestAtomicSwap(t *testing.T) {
+	analysistest.Run(t, ".", atomicswap.Analyzer, "pub", "a")
+}

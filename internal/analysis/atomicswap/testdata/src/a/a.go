@@ -1,0 +1,61 @@
+// Fixture for the atomicswap analyzer: snapshots loaded from an
+// atomic.Pointer are read-only views; mutating them, copying the
+// holder struct, or Store()ing from a foreign package is flagged.
+package a
+
+import (
+	"sync/atomic"
+
+	"fixture/pub"
+)
+
+type state struct {
+	counts []int
+}
+
+type holder struct {
+	snap atomic.Pointer[state]
+}
+
+func (h *holder) publish(s *state) {
+	h.snap.Store(s)
+}
+
+func mutateViaVar(h *holder) {
+	s := h.snap.Load()
+	s.counts[0]++ // want `loaded snapshots are immutable`
+}
+
+func mutateDirect(h *holder) {
+	h.snap.Load().counts[0] = 7 // want `loaded snapshots are immutable`
+}
+
+func copyHolder(h *holder) holder {
+	dup := *h // want `copies .* atomic.Pointer`
+	return dup
+}
+
+func foreignStore(b *pub.Box, t *pub.Table) {
+	b.P.Store(t) // want `belongs to the declaring package`
+}
+
+// copyOnWrite is the sanctioned pattern: clone the snapshot, mutate
+// the clone, publish via the designated site.
+func copyOnWrite(h *holder) {
+	old := h.snap.Load()
+	next := &state{counts: append([]int(nil), old.counts...)}
+	next.counts[0]++
+	h.publish(next)
+}
+
+// foreignViaMethod goes through the owner's designated sites: fine.
+func foreignViaMethod(b *pub.Box, t *pub.Table) {
+	b.Publish(t)
+	_ = b.View()
+}
+
+func allowedMutate(h *holder) {
+	s := h.snap.Load()
+	//lint:allow atomicswap single-writer init path before the holder is shared
+	s.counts[0]++
+}

@@ -1,0 +1,30 @@
+// Package pub is the "owning" side of the atomicswap fixture: it holds
+// an atomic.Pointer snapshot and exposes the designated publication
+// sites. Mutations from other packages must be flagged.
+package pub
+
+import "sync/atomic"
+
+type Table struct {
+	Rows []int
+}
+
+type Box struct {
+	P atomic.Pointer[Table]
+}
+
+// Publish is the designated swap site: building a fresh value and
+// Store()ing it from the owning package is the sanctioned pattern.
+func (b *Box) Publish(t *Table) {
+	b.P.Store(t)
+}
+
+// Swap is the designated CAS site.
+func (b *Box) Swap(old, new *Table) bool {
+	return b.P.CompareAndSwap(old, new)
+}
+
+// View returns the current snapshot for read-only use.
+func (b *Box) View() *Table {
+	return b.P.Load()
+}

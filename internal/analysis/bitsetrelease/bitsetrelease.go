@@ -1,0 +1,682 @@
+// Package bitsetrelease enforces the pooled-frontier lifecycle: every
+// *ligra.VertexSet acquired from the frontier pool (NewVertexSet,
+// FullVertexSet, EdgeMap, VertexMap, ... — any call returning the type)
+// must be Release()d on every path out of the acquiring function,
+// including early returns on context cancellation, or explicitly handed
+// off (returned, stored, or passed to a non-ligra function, which
+// transfers ownership). Unreleased sets are not a correctness bug — the
+// pool treats them as ordinary garbage — but they silently break the
+// zero-alloc steady state the paper's iteration loops depend on, and
+// the leak only shows up as allocator noise in benchmarks.
+//
+// The check is flow-sensitive: it walks each function's statements
+// tracking acquired-but-unreleased sets through branches, loops, breaks
+// and reassignments (frontier.Release(); frontier = next is the
+// canonical round step). `if s == nil` narrows: a set that is nil on a
+// path needs no Release there (EdgeMap returns nil on a canceled ctx).
+// Passing a set to a ligra function does NOT transfer ownership —
+// EdgeMap reads the frontier, the caller still releases it.
+package bitsetrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"graphreorder/internal/analysis"
+)
+
+const ligraPkg = "graphreorder/internal/ligra"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "bitsetrelease",
+	Doc: "flow-sensitive check that every pooled *ligra.VertexSet is Release()d or\n" +
+		"handed off on every exit path, keeping app loops at their zero-alloc\n" +
+		"steady state",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{
+				pass:     pass,
+				info:     pass.TypesInfo,
+				reported: make(map[*types.Var]bool),
+			}
+			out, terminated := c.block(fd.Body.List, state{})
+			if !terminated {
+				for v, pos := range out {
+					c.leak(v, pos, fd.Body.End(), "the end of the function")
+				}
+			}
+			// Function literals at top level of the file (var decls)
+			// are rare enough to skip; literals inside functions are
+			// handled as escapes by the walker.
+		}
+	}
+	return nil
+}
+
+// state maps each variable holding an acquired-but-unreleased pooled
+// set to its acquisition position.
+type state map[*types.Var]token.Pos
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// merge unions unreleased sets across the fall-through states of a
+// branch: a set unreleased on any incoming path stays tracked.
+func merge(states ...state) state {
+	out := state{}
+	for _, s := range states {
+		for k, v := range s {
+			if _, ok := out[k]; !ok {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// loopFrame collects the states flowing out of a breakable construct.
+type loopFrame struct {
+	isLoop bool // accepts continue
+	breaks []state
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	info     *types.Info
+	reported map[*types.Var]bool
+	frames   []*loopFrame
+}
+
+func (c *checker) leak(v *types.Var, acquired token.Pos, at token.Pos, what string) {
+	if c.reported[v] {
+		return
+	}
+	c.reported[v] = true
+	line := c.pass.Fset.Position(at).Line
+	c.pass.Reportf(acquired,
+		"pooled *ligra.VertexSet %q acquired here is not Release()d on %s (line %d); release it on every path or hand it off",
+		v.Name(), what, line)
+}
+
+// isAcquire reports whether call yields a pooled *ligra.VertexSet the
+// caller now owns: any real call (not a conversion) whose result type
+// is *ligra.VertexSet.
+func (c *checker) isAcquire(call *ast.CallExpr) bool {
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		return false // conversion
+	}
+	tv, ok := c.info.Types[call]
+	return ok && analysis.NamedType(tv.Type, ligraPkg, "VertexSet") &&
+		isPointer(tv.Type)
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.(*types.Pointer)
+	return ok
+}
+
+// trackedIdent resolves e to a tracked variable, if it is a plain
+// identifier holding one.
+func (c *checker) trackedIdent(e ast.Expr, s state) (*types.Var, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := c.info.Uses[id].(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	_, tracked := s[v]
+	return v, tracked
+}
+
+// releaseTarget matches a call of the form v.Release() and returns v's
+// object.
+func (c *checker) releaseTarget(call *ast.CallExpr) (*types.Var, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return nil, false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := c.info.Uses[id].(*types.Var)
+	return v, ok
+}
+
+// block walks a statement list, returning the out state and whether the
+// path terminated (return / panic / break / continue / goto).
+func (c *checker) block(stmts []ast.Stmt, s state) (state, bool) {
+	for _, st := range stmts {
+		var terminated bool
+		s, terminated = c.stmt(st, s)
+		if terminated {
+			return s, true
+		}
+	}
+	return s, false
+}
+
+// blockScoped walks a nested block and reports sets whose variables go
+// out of scope still unreleased.
+func (c *checker) blockScoped(b *ast.BlockStmt, s state) (state, bool) {
+	out, terminated := c.block(b.List, s)
+	if !terminated {
+		for v, pos := range out {
+			if v.Pos() >= b.Pos() && v.Pos() < b.End() {
+				c.leak(v, pos, b.End(), "leaving its declaration scope")
+				delete(out, v)
+			}
+		}
+	}
+	return out, terminated
+}
+
+func (c *checker) stmt(st ast.Stmt, s state) (state, bool) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		return c.assign(st, s), false
+
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					if call, ok := ast.Unparen(val).(*ast.CallExpr); ok && c.isAcquire(call) && i < len(vs.Names) {
+						c.scanCallArgs(call, s)
+						if v, ok := c.info.Defs[vs.Names[i]].(*types.Var); ok {
+							s[v] = val.Pos()
+							continue
+						}
+					}
+					c.scanExpr(val, s)
+				}
+			}
+		}
+		return s, false
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if v, ok := c.releaseTarget(call); ok {
+				delete(s, v)
+				return s, false
+			}
+			if c.isAcquire(call) {
+				c.scanCallArgs(call, s)
+				c.pass.Reportf(call.Pos(),
+					"pooled *ligra.VertexSet returned here is discarded without Release(); assign and release it (or hand it off)")
+				return s, false
+			}
+			if isPanic(c.info, call) {
+				c.scanExpr(st.X, s)
+				return state{}, true
+			}
+		}
+		c.scanExpr(st.X, s)
+		return s, false
+
+	case *ast.DeferStmt:
+		if v, ok := c.releaseTarget(st.Call); ok {
+			delete(s, v)
+			return s, false
+		}
+		// defer func() { ...; v.Release(); ... }() covers later exits
+		// the same way.
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if v, ok := c.releaseTarget(call); ok {
+						delete(s, v)
+					}
+				}
+				return true
+			})
+			return s, false
+		}
+		c.scanExpr(st.Call, s)
+		return s, false
+
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			if v, tracked := c.trackedIdent(res, s); tracked {
+				delete(s, v) // ownership transfers to the caller
+				continue
+			}
+			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && c.isAcquire(call) {
+				// Returning a freshly acquired set hands it to the caller.
+				c.scanCallArgs(call, s)
+				continue
+			}
+			c.scanExpr(res, s)
+		}
+		for v, pos := range s {
+			c.leak(v, pos, st.Pos(), "this return path")
+		}
+		return state{}, true
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s, _ = c.stmt(st.Init, s)
+		}
+		c.scanExpr(st.Cond, s)
+		thenState := s.clone()
+		// `if x == nil` narrowing: x is nil in the then branch, so no
+		// Release is owed there.
+		if v, ok := c.nilCheckedVar(st.Cond, s); ok {
+			delete(thenState, v)
+		}
+		thenOut, thenTerm := c.blockScoped(st.Body, thenState)
+		elseOut, elseTerm := s.clone(), false
+		if st.Else != nil {
+			elseOut, elseTerm = c.stmt(st.Else, s.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return state{}, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return merge(thenOut, elseOut), false
+		}
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s, _ = c.stmt(st.Init, s)
+		}
+		if st.Cond != nil {
+			c.scanExpr(st.Cond, s)
+		}
+		frame := &loopFrame{isLoop: true}
+		c.frames = append(c.frames, frame)
+		bodyOut, _ := c.blockScoped(st.Body, s.clone())
+		c.frames = c.frames[:len(c.frames)-1]
+		if st.Post != nil {
+			bodyOut, _ = c.stmt(st.Post, bodyOut)
+		}
+		return merge(append(frame.breaks, s, bodyOut)...), false
+
+	case *ast.RangeStmt:
+		c.scanExpr(st.X, s)
+		frame := &loopFrame{isLoop: true}
+		c.frames = append(c.frames, frame)
+		bodyOut, _ := c.blockScoped(st.Body, s.clone())
+		c.frames = c.frames[:len(c.frames)-1]
+		return merge(append(frame.breaks, s, bodyOut)...), false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.switchLike(st, s), false
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if f := c.nearestFrame(false); f != nil {
+				f.breaks = append(f.breaks, s.clone())
+			}
+			return state{}, true
+		case token.CONTINUE:
+			// The back edge re-enters the loop; the loop's own merge
+			// keeps anything still unreleased tracked.
+			return state{}, true
+		case token.GOTO:
+			return state{}, true
+		}
+		return s, false
+
+	case *ast.BlockStmt:
+		return c.blockScoped(st, s)
+
+	case *ast.GoStmt:
+		c.scanExpr(st.Call, s)
+		return s, false
+
+	case *ast.SendStmt:
+		c.scanExpr(st.Chan, s)
+		c.scanExpr(st.Value, s)
+		return s, false
+
+	case *ast.IncDecStmt:
+		c.scanExpr(st.X, s)
+		return s, false
+
+	case *ast.LabeledStmt:
+		return c.stmt(st.Stmt, s)
+
+	case *ast.EmptyStmt:
+		return s, false
+	}
+	// Unhandled statement kinds carry no relevant flow.
+	return s, false
+}
+
+// switchLike merges the out states of switch/type-switch/select cases.
+func (c *checker) switchLike(st ast.Stmt, s state) state {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch st := st.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s, _ = c.stmt(st.Init, s)
+		}
+		if st.Tag != nil {
+			c.scanExpr(st.Tag, s)
+		}
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s, _ = c.stmt(st.Init, s)
+		}
+		body = st.Body
+	case *ast.SelectStmt:
+		body = st.Body
+	}
+	frame := &loopFrame{}
+	c.frames = append(c.frames, frame)
+	outs := []state{}
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.scanExpr(e, s)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				var branchState state
+				branchState, _ = c.stmt(cl.Comm, s.clone())
+				out, term := c.block(cl.Body, branchState)
+				if !term {
+					outs = append(outs, out)
+				}
+				continue
+			}
+			stmts = cl.Body
+		}
+		out, term := c.block(stmts, s.clone())
+		if !term {
+			outs = append(outs, out)
+		}
+	}
+	c.frames = c.frames[:len(c.frames)-1]
+	if !hasDefault {
+		outs = append(outs, s)
+	}
+	outs = append(outs, frame.breaks...)
+	return merge(outs...)
+}
+
+func (c *checker) nearestFrame(needLoop bool) *loopFrame {
+	for i := len(c.frames) - 1; i >= 0; i-- {
+		if !needLoop || c.frames[i].isLoop {
+			return c.frames[i]
+		}
+	}
+	return nil
+}
+
+// assign handles acquisition, transfer and overwrite.
+func (c *checker) assign(st *ast.AssignStmt, s state) state {
+	paired := len(st.Lhs) == len(st.Rhs)
+	for i, rhs := range st.Rhs {
+		var lhs ast.Expr
+		if paired {
+			lhs = st.Lhs[i]
+		}
+		lhsVar := c.lhsVar(lhs)
+
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && c.isAcquire(call) {
+			c.scanCallArgs(call, s)
+			switch {
+			case lhsVar != nil:
+				if old, tracked := s[lhsVar]; tracked {
+					c.leak(lhsVar, old, st.Pos(), "this reassignment (overwritten)")
+				}
+				s[lhsVar] = rhs.Pos()
+			case lhs != nil && isBlank(lhs):
+				c.pass.Reportf(call.Pos(),
+					"pooled *ligra.VertexSet assigned to _ is never Release()d")
+			default:
+				// Stored into a field/slice/map: ownership handed off.
+			}
+			continue
+		}
+
+		if v, tracked := c.trackedIdent(rhs, s); tracked {
+			// Transfer: `frontier = out` moves ownership.
+			pos := s[v]
+			delete(s, v)
+			if lhsVar != nil {
+				if old, stillTracked := s[lhsVar]; stillTracked {
+					c.leak(lhsVar, old, st.Pos(), "this reassignment (overwritten)")
+				}
+				s[lhsVar] = pos
+			}
+			continue
+		}
+
+		c.scanExpr(rhs, s)
+		if lhsVar != nil {
+			if old, tracked := s[lhsVar]; tracked {
+				c.leak(lhsVar, old, st.Pos(), "this reassignment (overwritten)")
+				delete(s, lhsVar)
+			}
+		}
+	}
+	if !paired {
+		// Tuple assignment from one call: any tracked LHS is
+		// overwritten.
+		for _, lhs := range st.Lhs {
+			if v := c.lhsVar(lhs); v != nil {
+				if old, tracked := s[v]; tracked {
+					c.leak(v, old, st.Pos(), "this reassignment (overwritten)")
+					delete(s, v)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// lhsVar resolves an assignment target to its variable when it is a
+// plain identifier (definitions and reuses both count).
+func (c *checker) lhsVar(lhs ast.Expr) *types.Var {
+	if lhs == nil {
+		return nil
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := c.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := c.info.Uses[id].(*types.Var)
+	return v
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// nilCheckedVar matches `x == nil` / `nil == x` conditions over tracked
+// variables.
+func (c *checker) nilCheckedVar(cond ast.Expr, s state) (*types.Var, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return nil, false
+	}
+	for _, pair := range [2][2]ast.Expr{{bin.X, bin.Y}, {bin.Y, bin.X}} {
+		x, y := pair[0], pair[1]
+		if yid, ok := ast.Unparen(y).(*ast.Ident); !ok || yid.Name != "nil" {
+			continue
+		}
+		if v, tracked := c.trackedIdent(x, s); tracked {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// scanCallArgs applies escape rules to a call's arguments: ligra
+// functions borrow their arguments (EdgeMap reads the frontier, the
+// caller still owns it); anything else takes ownership.
+func (c *checker) scanCallArgs(call *ast.CallExpr, s state) {
+	borrowing := false
+	if fn := analysis.CalleeFunc(c.info, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == ligraPkg {
+		borrowing = true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := c.info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "len", "cap", "print", "println":
+				borrowing = true
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if v, tracked := c.trackedIdent(arg, s); tracked {
+			if !borrowing {
+				delete(s, v) // handed off
+			}
+			continue
+		}
+		c.scanExpr(arg, s)
+	}
+}
+
+// scanExpr applies escape rules inside an expression: a tracked set
+// leaving through a non-borrowing call, a closure capture, a composite
+// literal, an address-of or a channel loses its owner here and is no
+// longer checked (a conservative hand-off, never a false positive).
+// Reads — method calls on the set, nil comparisons, selectors — do not
+// escape.
+func (c *checker) scanExpr(e ast.Expr, s state) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		// A bare identifier in an untracked context: treat as escaped.
+		if v, ok := c.info.Uses[e].(*types.Var); ok {
+			delete(s, v)
+		}
+
+	case *ast.ParenExpr:
+		c.scanExpr(e.X, s)
+
+	case *ast.SelectorExpr:
+		// v.field / v.Method read through the set without moving it.
+		if _, isTracked := c.trackedIdent(e.X, s); isTracked {
+			return
+		}
+		c.scanExpr(e.X, s)
+
+	case *ast.CallExpr:
+		// Method call on a tracked set: Release in expression position
+		// still releases; other methods are reads.
+		if v, ok := c.releaseTarget(e); ok {
+			delete(s, v)
+			c.scanCallArgs(e, s)
+			return
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if _, isTracked := c.trackedIdent(sel.X, s); isTracked {
+				c.scanCallArgs(e, s)
+				return
+			}
+		}
+		c.scanExpr(e.Fun, s)
+		c.scanCallArgs(e, s)
+		if c.isAcquire(e) {
+			// Acquired in expression position without a binding: the
+			// result cannot be released.
+			c.pass.Reportf(e.Pos(),
+				"pooled *ligra.VertexSet returned here has no binding to Release(); assign it first")
+		}
+
+	case *ast.BinaryExpr:
+		// Comparisons read, they do not move ownership.
+		if _, isTracked := c.trackedIdent(e.X, s); !isTracked {
+			c.scanExpr(e.X, s)
+		}
+		if _, isTracked := c.trackedIdent(e.Y, s); !isTracked {
+			c.scanExpr(e.Y, s)
+		}
+
+	case *ast.UnaryExpr:
+		c.scanExpr(e.X, s)
+
+	case *ast.StarExpr:
+		c.scanExpr(e.X, s)
+
+	case *ast.IndexExpr:
+		c.scanExpr(e.X, s)
+		c.scanExpr(e.Index, s)
+
+	case *ast.SliceExpr:
+		c.scanExpr(e.X, s)
+		c.scanExpr(e.Low, s)
+		c.scanExpr(e.High, s)
+		c.scanExpr(e.Max, s)
+
+	case *ast.TypeAssertExpr:
+		c.scanExpr(e.X, s)
+
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			c.scanExpr(elt, s)
+		}
+
+	case *ast.KeyValueExpr:
+		c.scanExpr(e.Key, s)
+		c.scanExpr(e.Value, s)
+
+	case *ast.FuncLit:
+		// Captured sets escape into the closure.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := c.info.Uses[id].(*types.Var); ok {
+					delete(s, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPanic matches the panic builtin.
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,12 @@
+package bitsetrelease_test
+
+import (
+	"testing"
+
+	"graphreorder/internal/analysis/analysistest"
+	"graphreorder/internal/analysis/bitsetrelease"
+)
+
+func TestBitsetRelease(t *testing.T) {
+	analysistest.Run(t, ".", bitsetrelease.Analyzer, "a")
+}

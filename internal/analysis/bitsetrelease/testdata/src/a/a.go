@@ -1,0 +1,99 @@
+// Fixture for the bitsetrelease analyzer: pooled frontiers must be
+// Release()d on every exit — including ctx-cancel early returns — or
+// handed off; the canonical round loop, defers, and handoffs pass.
+package a
+
+import (
+	"context"
+
+	"graphreorder/internal/graph"
+	"graphreorder/internal/ligra"
+)
+
+func touch(src, dst graph.VertexID) bool { return true }
+
+// leakOnCancel forgets the frontier on the ctx-cancel early return.
+func leakOnCancel(ctx context.Context, g *graph.Graph, n int) error {
+	frontier := ligra.FullVertexSet(n) // want `not Release\(\)d on this return path`
+	for i := 0; i < 4; i++ {
+		if err := ctx.Err(); err != nil {
+			return err // frontier leaks here
+		}
+		out := ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{Update: touch}, ligra.EdgeMapOpts{Ctx: ctx})
+		if out == nil {
+			frontier.Release()
+			return ctx.Err()
+		}
+		frontier.Release()
+		frontier = out
+	}
+	frontier.Release()
+	return nil
+}
+
+// discards drops an EdgeMap result on the floor.
+func discards(ctx context.Context, g *graph.Graph, frontier *ligra.VertexSet) {
+	ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{Update: touch}, ligra.EdgeMapOpts{Ctx: ctx}) // want `discarded without Release`
+}
+
+// blanked binds an acquired set to _, which can never release it.
+func blanked(n int) {
+	_ = ligra.FullVertexSet(n) // want `assigned to _`
+}
+
+// overwritten rebinds the variable while the old set is still live.
+func overwritten(n int) {
+	s := ligra.NewVertexSet(n) // want `this reassignment`
+	s = ligra.FullVertexSet(n)
+	s.Release()
+}
+
+// roundLoop is the canonical lifecycle from the PRD app: release before
+// every early return, release-then-rebind each round, release at the
+// end. Nothing to report.
+func roundLoop(ctx context.Context, g *graph.Graph, n int) error {
+	frontier := ligra.FullVertexSet(n)
+	for i := 0; i < 4; i++ {
+		if err := ctx.Err(); err != nil {
+			frontier.Release()
+			return err
+		}
+		out := ligra.EdgeMap(g, frontier, ligra.EdgeMapFns{Update: touch}, ligra.EdgeMapOpts{Ctx: ctx})
+		if out == nil {
+			frontier.Release()
+			return ctx.Err()
+		}
+		frontier.Release()
+		frontier = out
+	}
+	frontier.Release()
+	return nil
+}
+
+// deferred releases via defer, which covers every exit below it.
+func deferred(ctx context.Context, n int) (int, error) {
+	s := ligra.FullVertexSet(n)
+	defer s.Release()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return s.Len(), nil
+}
+
+// handoff transfers ownership to the caller; the caller releases.
+func handoff(n int) *ligra.VertexSet {
+	s := ligra.NewVertexSet(n)
+	return s
+}
+
+// handoffDirect returns a freshly acquired set without a binding.
+func handoffDirect(n int) *ligra.VertexSet {
+	return ligra.FullVertexSet(n)
+}
+
+// allowedLeak documents a deliberate leak (pool refill measurement).
+func allowedLeak(n int) int {
+	//lint:allow bitsetrelease deliberately forfeits the set to measure pool refill
+	s := ligra.FullVertexSet(n)
+	return s.Len()
+}

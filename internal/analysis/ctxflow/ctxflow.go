@@ -1,0 +1,184 @@
+// Package ctxflow enforces the request-context contract: HTTP handlers
+// and everything statically reachable from them inside the same package
+// must thread the caller's context, and a function that already receives
+// a context.Context must not manufacture a fresh root with
+// context.Background() or context.TODO(). Deliberate detachment (a
+// coalesced compute that must outlive whichever request started it, a
+// build that must run to completion) is annotated at the call site with
+// //lint:allow ctxflow and a justification.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"graphreorder/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background()/context.TODO() inside functions that already hold a\n" +
+		"request context (a ctx parameter) or are reachable from an HTTP handler in the\n" +
+		"same package; thread the caller's ctx or annotate a deliberate detach",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: classify every declared function and record the
+	// package-internal static call graph.
+	type funcNode struct {
+		decl    *ast.FuncDecl
+		hasCtx  bool // has a context.Context parameter
+		handler bool // has a *net/http.Request parameter
+	}
+	nodes := make(map[*types.Func]*funcNode)
+	calls := make(map[*types.Func][]*types.Func)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &funcNode{decl: fd}
+			sig := obj.Signature()
+			for i := 0; i < sig.Params().Len(); i++ {
+				pt := sig.Params().At(i).Type()
+				if analysis.NamedType(pt, "context", "Context") {
+					node.hasCtx = true
+				}
+				if analysis.NamedType(pt, "net/http", "Request") {
+					node.handler = true
+				}
+			}
+			nodes[obj] = node
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := analysis.CalleeFunc(pass.TypesInfo, call); callee != nil &&
+					callee.Pkg() != nil && callee.Pkg().Path() == pass.PkgPath {
+					calls[obj] = append(calls[obj], callee)
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: propagate handler-reachability through the call graph.
+	reachable := make(map[*types.Func]bool)
+	var mark func(fn *types.Func)
+	mark = func(fn *types.Func) {
+		if reachable[fn] {
+			return
+		}
+		reachable[fn] = true
+		for _, callee := range calls[fn] {
+			mark(callee)
+		}
+	}
+	for fn, node := range nodes {
+		if node.handler {
+			mark(fn)
+		}
+	}
+
+	// Pass 3: flag fresh context roots inside ctx-holding or
+	// handler-reachable functions (nested function literals included —
+	// a goroutine detached on purpose carries an allow directive).
+	for fn, node := range nodes {
+		why := ""
+		switch {
+		case node.hasCtx:
+			why = "this function already receives a ctx"
+		case reachable[fn]:
+			why = "this function serves HTTP request paths"
+		default:
+			continue
+		}
+		exempt := nilDefaulting(pass.TypesInfo, node.decl.Body)
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || exempt[call] {
+				return true
+			}
+			for _, name := range [2]string{"Background", "TODO"} {
+				if analysis.IsPkgFunc(pass.TypesInfo, call, "context", name) {
+					pass.Reportf(call.Pos(),
+						"context.%s() in a request path (%s); thread the caller's context, or annotate a deliberate detach with //lint:allow ctxflow",
+						name, why)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilDefaulting collects Background()/TODO() calls implementing the
+// nil-ctx defaulting idiom at an API boundary —
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// — which repairs a missing context rather than discarding a live one.
+func nilDefaulting(info *types.Info, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	exempt := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		ctxVar := nilComparedVar(info, ifst.Cond)
+		if ctxVar == nil {
+			return true
+		}
+		for _, st := range ifst.Body.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				continue
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || info.Uses[id] != ctxVar {
+					continue
+				}
+				if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+					if analysis.IsPkgFunc(info, call, "context", "Background") ||
+						analysis.IsPkgFunc(info, call, "context", "TODO") {
+						exempt[call] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// nilComparedVar matches `x == nil` / `nil == x` where x is a
+// context.Context variable, returning x's object.
+func nilComparedVar(info *types.Info, cond ast.Expr) *types.Var {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return nil
+	}
+	for _, pair := range [2][2]ast.Expr{{bin.X, bin.Y}, {bin.Y, bin.X}} {
+		x, y := ast.Unparen(pair[0]), ast.Unparen(pair[1])
+		if yid, ok := y.(*ast.Ident); !ok || yid.Name != "nil" {
+			continue
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok && analysis.NamedType(v.Type(), "context", "Context") {
+			return v
+		}
+	}
+	return nil
+}

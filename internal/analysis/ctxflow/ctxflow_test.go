@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"graphreorder/internal/analysis/analysistest"
+	"graphreorder/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, ".", ctxflow.Analyzer, "a")
+}

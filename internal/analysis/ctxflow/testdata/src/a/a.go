@@ -1,0 +1,68 @@
+// Fixture for the ctxflow analyzer: fresh context roots are flagged in
+// functions that already hold a ctx and in functions reachable from
+// HTTP handlers; detached plumbing outside request paths passes.
+package a
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func hasCtx(ctx context.Context) error {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want `already receives a ctx`
+	defer cancel()
+	<-c.Done()
+	return ctx.Err()
+}
+
+func todoWithCtx(ctx context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
+	return context.TODO() // want `already receives a ctx`
+}
+
+type server struct{}
+
+func (s *server) handle(w http.ResponseWriter, r *http.Request) {
+	s.compute()
+	w.WriteHeader(http.StatusOK)
+}
+
+// compute is reachable from handle, so it is part of the request path
+// even though it takes no ctx parameter.
+func (s *server) compute() {
+	ctx := context.Background() // want `serves HTTP request paths`
+	_ = ctx
+}
+
+// threads is the fixed version of hasCtx: derive, don't detach.
+func threads(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	<-c.Done()
+	return nil
+}
+
+// bootstrap runs at process start, far from any request: a fresh root
+// is correct here.
+func bootstrap() context.Context {
+	return context.Background()
+}
+
+// nilDefault repairs a missing context at the API boundary; the idiom
+// is recognized, no annotation needed.
+func nilDefault(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx.Err()
+}
+
+// allowedDetach pins the escape hatch: a coalesced compute detaches on
+// purpose.
+func allowedDetach(ctx context.Context) context.Context {
+	//lint:allow ctxflow coalesced compute must outlive whichever request started it
+	return context.Background()
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// A Package is one loaded, type-checked module package ready for
+// analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// An ExportLookup resolves import paths to compiled export data
+// produced by `go list -export`, falling back to a one-off go list call
+// for paths outside the preloaded dependency closure (fixture imports of
+// stdlib packages the module itself does not use). It is safe for
+// sequential reuse across many type-check calls and caches everything.
+type ExportLookup struct {
+	mu      sync.Mutex
+	dir     string
+	exports map[string]string
+}
+
+// NewExportLookup builds the lookup from the -deps closure of patterns,
+// resolved relative to dir (the module root for analysis runs).
+func NewExportLookup(dir string, patterns ...string) (*ExportLookup, error) {
+	args := append([]string{"-e", "-export", "-deps",
+		"-json=ImportPath,Export,Standard"}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	l := &ExportLookup{dir: dir, exports: make(map[string]string, len(pkgs))}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return l, nil
+}
+
+// path returns the export data file for importPath, fetching it on
+// demand if the preloaded closure missed it.
+func (l *ExportLookup) path(importPath string) (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if f, ok := l.exports[importPath]; ok {
+		return f, nil
+	}
+	pkgs, err := goList(l.dir, "-e", "-export", "-deps",
+		"-json=ImportPath,Export,Standard", importPath)
+	if err != nil {
+		return "", err
+	}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	if f, ok := l.exports[importPath]; ok {
+		return f, nil
+	}
+	return "", fmt.Errorf("no export data for %q", importPath)
+}
+
+// Importer returns a types.Importer serving packages from export data.
+// All packages type-checked against the same Importer share imported
+// package identities.
+func (l *ExportLookup) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, err := l.path(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	})
+}
+
+// newTypesInfo allocates the full set of type-information maps the
+// analyzers consume.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// CheckDir parses every non-test .go file in dir as one package and
+// type-checks it with imports served by imp, under the given import
+// path. It is the primitive shared by Load (real packages) and
+// analysistest (fixture packages); type errors are hard failures, since
+// both real and fixture code must compile.
+func CheckDir(fset *token.FileSet, imp types.Importer, dir, pkgPath string, goFiles []string) (*Package, error) {
+	if len(goFiles) == 0 {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			goFiles = append(goFiles, name)
+		}
+	}
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Load resolves patterns (relative to dir, e.g. "./...") to module
+// packages and type-checks each from source, with every import —
+// including intra-module ones — served from compiled export data. Test
+// files are excluded: the contracts gate production code, and tests are
+// the sanctioned consumers of several deliberately-deprecated APIs.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	lookup, err := NewExportLookup(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, append([]string{
+		"-json=ImportPath,Dir,Name,GoFiles,Standard,Incomplete"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := lookup.Importer(fset)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Standard || len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := CheckDir(fset, imp, t.Dir, t.ImportPath, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no packages matched %v", patterns)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,182 @@
+// Package maporder protects the bit-identical output contract from Go's
+// randomized map iteration order. Ordered output — JSON bodies the
+// equivalence tests compare, the router's cross-shard sorted merges,
+// Prometheus exposition text — must never be produced directly from a
+// map range. Two shapes are flagged:
+//
+//  1. emitting inside the loop: a `range m` body that writes to an
+//     io.Writer / string builder / encoder (fmt.Fprintf, Write,
+//     WriteString, Encode, ...) serializes in random order;
+//  2. collect-without-sort: a `range m` body that appends keys or
+//     values to a slice that is never passed to a sort (sort.*,
+//     slices.Sort*) later in the same function — the canonical fix is
+//     collect, sort, then iterate the slice.
+//
+// Commutative aggregation (counters, sums, filling another map) passes
+// untouched. Sites where order provably cannot matter but the shape
+// matches carry //lint:allow maporder with a justification.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"graphreorder/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags range-over-map loops whose nondeterministic iteration order can reach\n" +
+		"ordered output (writes/encodes inside the loop, or slices collected in the loop\n" +
+		"and never sorted); sort an extracted key slice instead",
+	Run: run,
+}
+
+// emitNames are method names that serialize data in call order.
+var emitNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkRange(pass, fd, rng)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkRange(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	// collected maps each slice variable appended to inside the loop to
+	// the position of the first append.
+	collected := make(map[*types.Var]ast.Node)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if emitsOrdered(info, n) {
+				pass.Reportf(n.Pos(), "write inside a range over a map serializes in nondeterministic order; collect the keys, sort, then emit")
+			}
+			if id, ok := appendTarget(info, n); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && v.Pos() < rng.Pos() {
+					if _, dup := collected[v]; !dup {
+						collected[v] = n
+					}
+				}
+			}
+		}
+		return true
+	})
+	for v, at := range collected {
+		if !sortedAfter(info, fd.Body, rng, v) {
+			pass.Reportf(at.Pos(), "%s is filled in nondeterministic map-iteration order and never sorted in this function; sort it before it is consumed", v.Name())
+		}
+	}
+}
+
+// emitsOrdered reports whether call writes/serializes data (an ordered
+// sink) rather than computing.
+func emitsOrdered(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if !emitNames[fn.Name()] {
+		return false
+	}
+	// Package-level: only fmt's printers count (Write as a free
+	// function is unheard of; methods are matched regardless of
+	// receiver — io.Writer implementations, bytes.Buffer,
+	// strings.Builder, json.Encoder all serialize).
+	if fn.Signature().Recv() == nil {
+		return fn.Pkg() != nil && fn.Pkg().Path() == "fmt"
+	}
+	return true
+}
+
+// appendTarget matches `s = append(s, ...)` inside an assignment's RHS
+// call and returns s's identifier.
+func appendTarget(info *types.Info, call *ast.CallExpr) (*ast.Ident, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	return target, true
+}
+
+// sortedAfter reports whether v is passed to a sorting call somewhere
+// after the range statement in the enclosing function body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if n.End() <= rng.End() {
+			// Entirely before or inside the range: nothing after it.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() || !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && info.Uses[id] == v {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall matches the standard sorting entry points: anything in
+// package sort, the slices.Sort* family, and Sort methods.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "sort" {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "slices" && strings.HasPrefix(fn.Name(), "Sort") {
+		return true
+	}
+	return fn.Name() == "Sort"
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"graphreorder/internal/analysis/analysistest"
+	"graphreorder/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, ".", maporder.Analyzer, "a")
+}

@@ -1,0 +1,56 @@
+// Fixture for the maporder analyzer: range-over-map iteration that
+// reaches ordered output (writers, encoders, appended slices that are
+// never sorted) is flagged; sorted or commutative uses pass.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func emitInLoop(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `nondeterministic order`
+	}
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `never sorted`
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func buildIndex(items []string) map[string]int {
+	idx := make(map[string]int, len(items))
+	for i, s := range items {
+		idx[s] = i
+	}
+	return idx
+}
+
+func allowedEmit(w io.Writer, m map[string]int) {
+	//lint:allow maporder debug dump, order is cosmetic
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,91 @@
+// Package nodeprecated bans the deprecated pre-Run facade and the
+// pre-Plan reorder API inside the repository itself. The wrappers exist
+// only for external callers mid-migration; internal code must use
+// Run(ctx, ...) and reorder plans. Unlike the CI grep this replaces, the
+// check resolves identifiers through the type checker, so package
+// aliases, dot-imports and method-value references cannot smuggle a
+// deprecated call past it.
+package nodeprecated
+
+import (
+	"go/ast"
+	"strings"
+
+	"graphreorder/internal/analysis"
+)
+
+// banned maps a defining package path to the deprecated top-level
+// symbols (functions and types) that internal code must not use.
+var banned = map[string]map[string]string{
+	"graphreorder": {
+		"Engine":        "use Run(ctx, g, app, opts...)",
+		"Parallel":      "use Run (defaults to GOMAXPROCS workers)",
+		"Sequential":    "use Run with WithWorkers(1)",
+		"PageRank":      "use Run(ctx, g, AppPR, ...)",
+		"PageRankDelta": "use Run(ctx, g, AppPRD, ...)",
+		"ShortestPaths": "use Run(ctx, g, AppSSSP, WithRoot(root))",
+		"Betweenness":   "use Run(ctx, g, AppBC, WithRoot(root))",
+		"Radii":         "use Run(ctx, g, AppRadii, WithSamples(samples))",
+	},
+	"graphreorder/internal/reorder": {
+		"Apply":        "build a Plan: reorder.PlanOf(t).Apply...",
+		"ApplyWorkers": "build a Plan: reorder.PlanOf(t).Apply...",
+		"ApplyContext": "build a Plan: plan.ApplyContext(ctx, ...)",
+	},
+	"graphreorder/internal/apps": {
+		"PageRank":      "build an apps.Input (carries ctx, tolerance, progress)",
+		"PageRankDelta": "build an apps.Input (carries ctx, tolerance, progress)",
+		"SSSP":          "build an apps.Input (carries ctx, tolerance, progress)",
+		"BC":            "build an apps.Input (carries ctx, tolerance, progress)",
+		"Radii":         "build an apps.Input (carries ctx, tolerance, progress)",
+	},
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeprecated",
+	Doc: "flags uses of the deprecated pre-Run facade (Engine, PageRank, ...) and the\n" +
+		"bare-Technique reorder API (reorder.Apply*) outside their defining packages;\n" +
+		"internal code must go through Run and reorder Plans",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The defining packages keep their own wrappers, and a deprecated
+	// wrapper may delegate to another deprecated symbol: the shims are
+	// one migration surface.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if decl, ok := n.(*ast.FuncDecl); ok && isDeprecated(decl) {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() == pass.PkgPath {
+				return true
+			}
+			if hint, bad := banned[obj.Pkg().Path()][obj.Name()]; bad && obj.Parent() == obj.Pkg().Scope() {
+				pass.Reportf(id.Pos(), "%s.%s is deprecated inside this repository; %s",
+					obj.Pkg().Path(), obj.Name(), hint)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isDeprecated reports whether a declaration's doc comment carries a
+// standard "Deprecated:" paragraph marker.
+func isDeprecated(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.Contains(c.Text, "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

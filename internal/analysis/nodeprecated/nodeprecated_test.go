@@ -1,0 +1,12 @@
+package nodeprecated_test
+
+import (
+	"testing"
+
+	"graphreorder/internal/analysis/analysistest"
+	"graphreorder/internal/analysis/nodeprecated"
+)
+
+func TestNoDeprecated(t *testing.T) {
+	analysistest.Run(t, ".", nodeprecated.Analyzer, "a", "dot")
+}

@@ -1,0 +1,49 @@
+// Fixture for the nodeprecated analyzer: deprecated facade and
+// bare-Technique reorder calls must be flagged through aliases and
+// dot-imports; the Run API and Plan API pass.
+package a
+
+import (
+	"context"
+
+	gr "graphreorder"
+	"graphreorder/internal/graph"
+	"graphreorder/internal/reorder"
+)
+
+func usesFacadeViaAlias(g *gr.Graph) ([]float64, int) {
+	return gr.PageRank(g, 10) // want `deprecated`
+}
+
+func usesEngineConstructor(g *gr.Graph) {
+	e := gr.Parallel() // want `deprecated`
+	_, _ = e.PageRank(g, 10)
+}
+
+func usesEngineType() {
+	var e gr.Engine // want `deprecated`
+	_ = e
+}
+
+func usesBareReorder(g *graph.Graph) {
+	_, _ = reorder.Apply(g, reorder.NewDBG(), graph.OutDegree) // want `deprecated`
+}
+
+func usesBareReorderContext(ctx context.Context, g *graph.Graph) {
+	_, _ = reorder.ApplyContext(ctx, g, reorder.NewDBG(), graph.OutDegree, 4) // want `deprecated`
+}
+
+// The Run API and the Plan API are the sanctioned replacements.
+func usesRun(ctx context.Context, g *gr.Graph) (*gr.Result, error) {
+	return gr.Run(ctx, g, gr.AppPR)
+}
+
+func usesPlan(ctx context.Context, g *graph.Graph) (reorder.Result, error) {
+	return reorder.PlanOf(reorder.NewDBG()).ApplyContext(ctx, g, graph.OutDegree, 4)
+}
+
+// A sanctioned exception carries the escape hatch.
+func allowedFacade(g *gr.Graph) ([]float64, int) {
+	//lint:allow nodeprecated exercising the external-caller wrapper on purpose
+	return gr.PageRank(g, 10)
+}

@@ -1,0 +1,17 @@
+// Dot-import fixture: the grep this analyzer replaced could never see
+// these.
+package dot
+
+import (
+	. "graphreorder/internal/reorder"
+
+	"graphreorder/internal/graph"
+)
+
+func dotImported(g *graph.Graph) (Result, error) {
+	return Apply(g, NewDBG(), graph.OutDegree) // want `deprecated`
+}
+
+func dotImportedPlan(g *graph.Graph) (Result, error) {
+	return PlanOf(NewDBG()).Apply(g, graph.OutDegree)
+}

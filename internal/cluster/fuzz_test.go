@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParsePlacement feeds arbitrary JSON to the placement loader. The
+// document crosses a process boundary (partitioner to router), so
+// anything ParsePlacement accepts must already satisfy every invariant
+// the router later indexes on without further checks.
+func FuzzParsePlacement(f *testing.F) {
+	valid, err := json.Marshal(&Placement{
+		NumVertices: 3,
+		Shards:      2,
+		Strategy:    "degree",
+		MaxReplicas: 2,
+		Owner:       []int32{0, 1, 0},
+		Homes:       []uint64{0b01, 0b11, 0b01},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"num_vertices":1,"shards":2,"owner":[5],"homes":[1]}`))   // owner out of range
+	f.Add([]byte(`{"num_vertices":1,"shards":2,"owner":[1],"homes":[1]}`))   // owner bit missing from homes
+	f.Add([]byte(`{"num_vertices":2,"shards":1,"owner":[0],"homes":[1,1]}`)) // length mismatch
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlacement(data)
+		if err != nil {
+			return
+		}
+		if p.Shards < 1 || p.Shards > 64 {
+			t.Fatalf("accepted shard count %d", p.Shards)
+		}
+		if len(p.Owner) != p.NumVertices || len(p.Homes) != p.NumVertices {
+			t.Fatalf("accepted length mismatch: owner=%d homes=%d n=%d", len(p.Owner), len(p.Homes), p.NumVertices)
+		}
+		for v, o := range p.Owner {
+			if o < 0 || int(o) >= p.Shards {
+				t.Fatalf("accepted vertex %d owned by out-of-range shard %d of %d", v, o, p.Shards)
+			}
+			if p.Homes[v]&(1<<uint(o)) == 0 {
+				t.Fatalf("accepted vertex %d not homed on its owner %d", v, o)
+			}
+			for s := p.Shards; s < 64; s++ {
+				if p.Homes[v]&(1<<uint(s)) != 0 {
+					t.Fatalf("accepted vertex %d homed on nonexistent shard %d", v, s)
+				}
+			}
+		}
+		// An accepted document survives a marshal/parse round trip.
+		buf, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParsePlacement(buf); err != nil {
+			t.Fatalf("accepted placement failed to reparse: %v", err)
+		}
+	})
+}

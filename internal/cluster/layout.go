@@ -73,12 +73,47 @@ func ReadPlacement(path string) (*Placement, error) {
 	if err != nil {
 		return nil, err
 	}
-	var p Placement
-	if err := json.Unmarshal(buf, &p); err != nil {
+	p, err := ParsePlacement(buf)
+	if err != nil {
 		return nil, fmt.Errorf("cluster: %s: %w", path, err)
 	}
+	return p, nil
+}
+
+// ParsePlacement decodes and fully validates a placement document. The
+// file crosses a process boundary (partitioner to router), so every
+// invariant the router later indexes on is checked here rather than
+// trusted: shard count within the Homes bitmask width, every owner in
+// range, and every vertex homed at least on its owner's shard.
+func ParsePlacement(buf []byte) (*Placement, error) {
+	var p Placement
+	if err := json.Unmarshal(buf, &p); err != nil {
+		return nil, err
+	}
+	if p.NumVertices < 0 {
+		return nil, fmt.Errorf("placement: negative num_vertices %d", p.NumVertices)
+	}
+	if p.Shards < 1 || p.Shards > 64 {
+		return nil, fmt.Errorf("placement: shard count %d outside [1,64]", p.Shards)
+	}
 	if len(p.Owner) != p.NumVertices || len(p.Homes) != p.NumVertices {
-		return nil, fmt.Errorf("cluster: %s: owner/homes length mismatch", path)
+		return nil, fmt.Errorf("placement: owner/homes length mismatch (owner=%d homes=%d num_vertices=%d)",
+			len(p.Owner), len(p.Homes), p.NumVertices)
+	}
+	allShards := uint64(1)<<p.Shards - 1
+	if p.Shards == 64 {
+		allShards = ^uint64(0)
+	}
+	for v, o := range p.Owner {
+		if o < 0 || int(o) >= p.Shards {
+			return nil, fmt.Errorf("placement: vertex %d owned by shard %d, have %d shards", v, o, p.Shards)
+		}
+		if p.Homes[v]&^allShards != 0 {
+			return nil, fmt.Errorf("placement: vertex %d homed on nonexistent shard (mask %#x, %d shards)", v, p.Homes[v], p.Shards)
+		}
+		if p.Homes[v]&(1<<uint(o)) == 0 {
+			return nil, fmt.Errorf("placement: vertex %d not homed on its owner shard %d", v, o)
+		}
 	}
 	return &p, nil
 }

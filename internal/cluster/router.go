@@ -794,6 +794,7 @@ func (rt *Router) clusterSSSP(es *epochState, src graph.VertexID, tr *obs.Trace)
 	ent.once.Do(func() {
 		// Detach from the leader's request context: a coalesced compute
 		// must not die with whichever client happened to start it.
+		//lint:allow ctxflow coalesced SSSP outlives the request that triggered it
 		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 		defer cancel()
 		ent.dist, ent.rounds, ent.err = rt.runSSSP(ctx, es, src, tr)

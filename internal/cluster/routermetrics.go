@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -208,6 +209,7 @@ func (rt *Router) report() RouterReport {
 	for name := range rt.metrics.routes {
 		names = append(names, name)
 	}
+	sort.Strings(names)
 	for _, name := range names {
 		rm := rt.metrics.routes[name]
 		snap := rm.lat.Snapshot()

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadBinary feeds arbitrary bytes to the binary graph codec.
+// ReadBinary must never panic or trust header dimensions ahead of the
+// payload (a lying header on a tiny file must fail, not allocate), and
+// anything it accepts must survive a write/read round trip bit-identically.
+func FuzzReadBinary(f *testing.F) {
+	g, err := Build([]Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 0, Dst: 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var plain bytes.Buffer
+	if err := WriteBinary(&plain, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+
+	wg, err := Build([]Edge{{Src: 0, Dst: 1, Weight: 5}, {Src: 1, Dst: 0, Weight: 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var weighted bytes.Buffer
+	if err := WriteBinary(&weighted, wg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(weighted.Bytes())
+
+	// A header claiming 2^31 vertices on an otherwise empty file: the
+	// reader must reject it cheaply instead of preallocating 16 GiB.
+	var lying [40]byte
+	binary.LittleEndian.PutUint64(lying[0:], binaryMagic)
+	binary.LittleEndian.PutUint64(lying[8:], binaryVersion)
+	binary.LittleEndian.PutUint64(lying[16:], 1<<31)
+	binary.LittleEndian.PutUint64(lying[24:], 1<<38)
+	f.Add(lying[:])
+	f.Add(plain.Bytes()[:20]) // truncated header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, g); err != nil {
+			t.Fatalf("rewriting an accepted graph failed: %v", err)
+		}
+		g2, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("rereading a rewritten graph failed: %v", err)
+		}
+		if g.n != g2.n || g.m != g2.m ||
+			!reflect.DeepEqual(g.outIndex, g2.outIndex) ||
+			!reflect.DeepEqual(g.outEdges, g2.outEdges) ||
+			!reflect.DeepEqual(g.outWeights, g2.outWeights) ||
+			!reflect.DeepEqual(g.inIndex, g2.inIndex) ||
+			!reflect.DeepEqual(g.inEdges, g2.inEdges) {
+			t.Fatal("write/read round trip diverged")
+		}
+	})
+}

@@ -188,15 +188,20 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: implausible dimensions n=%d m=%d", n, m)
 	}
 
-	outIndex := make([]uint64, n+1)
-	if err := readUint64s(br, outIndex); err != nil {
+	// The dimensions are still untrusted at this point: a corrupt header
+	// could claim n=2^31 on a 50-byte file, and preallocating n+1 uint64s
+	// up front would commit 16 GiB before the first read fails. The grow
+	// variants allocate as data actually arrives, so a truncated or lying
+	// file costs at most ~2x the bytes it really contains.
+	outIndex, err := readUint64sGrow(br, n+1)
+	if err != nil {
 		return nil, fmt.Errorf("graph: reading index: %w", err)
 	}
 	if err := validateIndex(outIndex, m, "out"); err != nil {
 		return nil, err
 	}
-	outEdges := make([]VertexID, m)
-	if err := readUint32s(br, outEdges); err != nil {
+	outEdges, err := readUint32sGrow(br, m)
+	if err != nil {
 		return nil, fmt.Errorf("graph: reading edges: %w", err)
 	}
 	for _, d := range outEdges {
@@ -206,8 +211,8 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	var outWeights []uint32
 	if flags&1 != 0 {
-		outWeights = make([]uint32, m)
-		if err := readUint32s(br, outWeights); err != nil {
+		outWeights, err = readUint32sGrow(br, m)
+		if err != nil {
 			return nil, fmt.Errorf("graph: reading weights: %w", err)
 		}
 	}
@@ -309,4 +314,32 @@ func readUint64s(r io.Reader, dst []uint64) error {
 
 func readUint32s(r io.Reader, dst []uint32) error {
 	return readSlice(r, dst, 4, binary.LittleEndian.Uint32)
+}
+
+// readSliceGrow reads count elements like readSlice but lets the
+// destination grow with append instead of preallocating count elements,
+// bounding the allocation by the bytes actually read: header dimensions
+// are attacker-controlled until the payload backs them up.
+func readSliceGrow[T uint32 | uint64](r io.Reader, count, size int, get func([]byte) T) ([]T, error) {
+	var buf [ioChunkBytes]byte
+	perChunk := ioChunkBytes / size
+	dst := make([]T, 0, min(count, perChunk))
+	for len(dst) < count {
+		chunk := min(count-len(dst), perChunk)
+		if _, err := io.ReadFull(r, buf[:chunk*size]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < chunk; i++ {
+			dst = append(dst, get(buf[i*size:]))
+		}
+	}
+	return dst, nil
+}
+
+func readUint64sGrow(r io.Reader, count int) ([]uint64, error) {
+	return readSliceGrow(r, count, 8, binary.LittleEndian.Uint64)
+}
+
+func readUint32sGrow(r io.Reader, count int) ([]uint32, error) {
+	return readSliceGrow(r, count, 4, binary.LittleEndian.Uint32)
 }

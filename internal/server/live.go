@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -430,6 +431,7 @@ func (lg *liveGraph) publish() (*Snapshot, bool, error) {
 	}
 
 	preStart := time.Now()
+	//lint:allow ctxflow epoch rebuild must complete even if the triggering request dies
 	run, err := graphreorder.Run(context.Background(), g, graphreorder.AppPR,
 		graphreorder.WithMaxIters(lg.maxIters), graphreorder.WithWorkers(lg.workers))
 	if err != nil {
@@ -556,6 +558,7 @@ func (st *Store) CloseLive() {
 		names = append(names, name)
 	}
 	st.liveMu.Unlock()
+	sort.Strings(names)
 	for _, name := range names {
 		st.stopLive(name)
 	}

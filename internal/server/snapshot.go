@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -331,10 +332,15 @@ func (st *Store) List() []SnapshotInfo {
 	if tab.current != nil {
 		out = append(out, tab.current.info(true))
 	}
-	for _, s := range tab.byName {
+	names := make([]string, 0, len(tab.byName))
+	for name, s := range tab.byName {
 		if s != tab.current {
-			out = append(out, s.info(false))
+			names = append(names, name)
 		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out = append(out, tab.byName[name].info(false))
 	}
 	return out
 }
@@ -541,9 +547,14 @@ func (b *BuildStatus) infoView() BuildStatusInfo {
 func (st *Store) Builds() []BuildStatusInfo {
 	st.buildMu.Lock()
 	defer st.buildMu.Unlock()
+	names := make([]string, 0, len(st.builds))
+	for name := range st.builds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	out := make([]BuildStatusInfo, 0, len(st.builds))
-	for _, b := range st.builds {
-		out = append(out, b.infoView())
+	for _, name := range names {
+		out = append(out, st.builds[name].infoView())
 	}
 	return out
 }
@@ -698,6 +709,7 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 	}
 	if len(plan.Stages()) > 0 {
 		status.setStage("reordering")
+		//lint:allow ctxflow a snapshot build runs to completion even if the triggering request dies
 		res, err := plan.ApplyContext(context.Background(), g, kind, st.workers)
 		if err != nil {
 			return nil, err
@@ -744,6 +756,7 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 		}
 		iters, rankSum, extRanks = rf.iters, rf.checksum, true
 	} else {
+		//lint:allow ctxflow precompute belongs to the build, not to the request that started it
 		run, err := graphreorder.Run(context.Background(), g, graphreorder.AppPR,
 			graphreorder.WithMaxIters(spec.MaxIters), graphreorder.WithWorkers(st.workers))
 		if err != nil {
