@@ -1,10 +1,13 @@
 // Command gengraph synthesizes one of the built-in datasets and writes it
-// to a file as a text edge list or compact binary.
+// to a file as a text edge list, compact binary, or compressed .csrz
+// container (servable by graphd -backend compressed with zero-copy mmap
+// loading).
 //
 // Usage:
 //
 //	gengraph -dataset sd -scale small -o sd.txt
 //	gengraph -dataset tw -scale medium -format binary -o tw.gr
+//	gengraph -dataset lj -scale small -format csrz -o lj.csrz
 package main
 
 import (
@@ -20,7 +23,7 @@ func main() {
 	var (
 		dataset = flag.String("dataset", "", "dataset name: "+strings.Join(graphreorder.DatasetNames(), "|"))
 		scale   = flag.String("scale", "small", "tiny|small|medium|large")
-		format  = flag.String("format", "text", "text|binary")
+		format  = flag.String("format", "text", "text|binary|csrz")
 		out     = flag.String("o", "", "output path (default stdout)")
 	)
 	flag.Parse()
@@ -46,6 +49,8 @@ func main() {
 		err = graphreorder.WriteEdgeList(w, g)
 	case "binary":
 		err = graphreorder.WriteGraphBinary(w, g)
+	case "csrz":
+		_, err = graphreorder.CompressGraph(g).Write(w)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}

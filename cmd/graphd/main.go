@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"graphreorder"
 	"graphreorder/internal/server"
 	"graphreorder/internal/server/loadtest"
 	"graphreorder/internal/wal"
@@ -50,14 +51,15 @@ func main() {
 		scale    = flag.String("scale", "small", "tiny|small|medium|large (with -dataset)")
 		in       = flag.String("i", "", "graph file (text edge list or binary, auto-detected)")
 		name     = flag.String("name", "", "snapshot name (default: dataset or file base name)")
-		tech     = flag.String("technique", "dbg", "reordering spec for the initial snapshot: any registry name, a 'dbg|gorder'-style pipeline, 'auto' (skew-gated advisor) or 'original' (none)")
+		tech     = flag.String("technique", "dbg", "reordering spec for the initial snapshot: any registry name, a 'dbg|gorder'-style pipeline, 'auto' (skew-gated advisor) or 'original' (none; the default for .csrz inputs, which already embed a layout)")
+		backend  = flag.String("backend", "", "snapshot serving representation: plain|compressed|auto (compressed = csrz delta+varint adjacency, bit-identical results in a fraction of the bytes; .csrz input files are served from an mmap; default: plain, or compressed for .csrz inputs)")
 		degree   = flag.String("degree", "out", "degree used for reordering: in|out")
 		workers  = flag.Int("workers", 0, "engine workers per traversal (0 = all cores)")
 		cacheMB  = flag.Int("cache-mb", 256, "result-cache budget in MiB")
 		maxConc  = flag.Int("max-concurrent", 0, "concurrent heavy queries (0 = 2*GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 15*time.Second, "heavy-query timeout")
 		allowFS  = flag.Bool("allow-path-loads", false, "allow POST /v1/snapshots specs that read server-side files")
-		mutable  = flag.Bool("mutable", true, "serve the initial snapshot as a live graph accepting POST /v1/snapshots/{name}/edges")
+		mutable  = flag.Bool("mutable", true, "serve the initial snapshot as a live graph accepting POST /v1/snapshots/{name}/edges (default false for .csrz inputs so they serve zero-copy from the mapping; pass -mutable to decode one into a live graph)")
 		refresh  = flag.Int("refresh-every", 8, "live snapshots: full re-reorder every N write batches (relabel reuse in between; <0 disables)")
 		hotDrift = flag.Float64("max-hot-drift", 0, "live snapshots: also re-reorder when this fraction of vertices changed hot/cold class (0 disables)")
 		minGain  = flag.Float64("min-refresh-gain", 0, "live snapshots: skip a policy-due re-reorder (cheap relabel instead) unless the predicted packing-factor gain is at least this factor (0 disables the advisor gate)")
@@ -122,6 +124,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A .csrz input is a serialized snapshot of a specific layout, so
+	// unless the flags say otherwise it is served as-is: technique
+	// "original" and immutable, which keeps the mapping alive and the
+	// adjacency bytes file-backed instead of decoding into a heap copy.
+	// Explicit -technique/-mutable still win (and force a decode).
+	if *in != "" {
+		if isCZ, err := graphreorder.IsCSRZFile(*in); err == nil && isCZ {
+			set := make(map[string]bool)
+			flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			if !set["technique"] {
+				*tech = "original"
+			}
+			if !set["mutable"] {
+				*mutable = false
+			}
+		}
+	}
+
+	// The compressed selftest swaps to an mmap-backed snapshot through
+	// the public admin API, which means POSTing a Path spec against our
+	// own ephemeral listener — that needs path loads enabled.
+	if *selftest && *backend == "compressed" {
+		*allowFS = true
+	}
+
 	// The initial -i load below goes through Store().Build directly and
 	// is not gated: AllowPathLoads only controls what network clients may
 	// request, so it stays an explicit opt-in.
@@ -181,6 +208,7 @@ func main() {
 		Scale:     *scale,
 		Path:      *in,
 		Technique: *tech,
+		Backend:   *backend,
 		Degree:    *degree,
 		Activate:  true,
 		Mutable:   *mutable,
@@ -200,6 +228,10 @@ func main() {
 		info.Quality.PackingFactor, info.Quality.Ideal)
 	if info.Advised != "" {
 		fmt.Fprintf(os.Stderr, "graphd: advisor chose %q: %s\n", info.Advised, info.AdviceReason)
+	}
+	if info.Backend != "plain" {
+		fmt.Fprintf(os.Stderr, "graphd: backend %s: adjacency %d bytes resident of %d plain (%.2fx)\n",
+			info.Backend, info.ResidentAdjBytes, info.PlainAdjBytes, info.CompressionRatio)
 	}
 
 	if *selftest {
@@ -273,6 +305,7 @@ func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duratio
 	}
 	swapDone := make(chan swapReport, 1)
 	swapName := base.Name + "-swap"
+	mmapSwap := base.Backend == "compressed"
 	go func() {
 		time.Sleep(duration / 2)
 		swap := base
@@ -286,21 +319,80 @@ func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duratio
 		// The swap target is a plain immutable snapshot: writers keep
 		// mutating the original by name while reads follow the swap.
 		swap.Mutable = false
-		body, _ := json.Marshal(swap)
-		resp, err := http.Post(baseURL+"/v1/snapshots", "application/json", bytes.NewReader(body))
-		if err != nil {
-			swapDone <- swapReport{err: err}
-			return
+		var csrzTmp string
+		if mmapSwap {
+			// Compressed mode proves the full .csrz round trip under
+			// load: export the serving snapshot's layout to a container
+			// file and swap to it, so the new current serves straight
+			// from the file mapping.
+			cur, release := srv.Store().Acquire()
+			if cur == nil {
+				swapDone <- swapReport{err: fmt.Errorf("no current snapshot to export")}
+				return
+			}
+			f, err := os.CreateTemp("", "graphd-selftest-*.csrz")
+			if err != nil {
+				release()
+				swapDone <- swapReport{err: err}
+				return
+			}
+			csrzTmp = f.Name()
+			f.Close()
+			err = cur.WriteCSRZ(csrzTmp)
+			release()
+			if err != nil {
+				swapDone <- swapReport{err: fmt.Errorf("export .csrz: %w", err)}
+				return
+			}
+			defer os.Remove(csrzTmp)
+			swap = server.BuildSpec{
+				Name:      swapName,
+				Path:      csrzTmp,
+				Technique: "original", // serve the file's layout as stored
+				Backend:   "compressed",
+				Activate:  true,
+			}
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusAccepted {
-			swapDone <- swapReport{err: fmt.Errorf("swap build rejected: %d", resp.StatusCode)}
+		post := func() error {
+			body, _ := json.Marshal(swap)
+			resp, err := http.Post(baseURL+"/v1/snapshots", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				return fmt.Errorf("swap build rejected: %d", resp.StatusCode)
+			}
+			return nil
+		}
+		if err := post(); err != nil {
+			swapDone <- swapReport{err: err}
 			return
 		}
 		srv.Store().WaitBuilds()
 		if cur := srv.Store().Current(); cur == nil || cur.Name() != swapName {
 			swapDone <- swapReport{err: fmt.Errorf("swap snapshot did not become current")}
 			return
+		}
+		if mmapSwap {
+			info, ok := srv.Store().Info(swapName)
+			if !ok || info.Backend != "compressed" || info.OnDiskBytes == 0 {
+				swapDone <- swapReport{err: fmt.Errorf("swap snapshot is not serving from a .csrz mapping (backend %q, on-disk %d)",
+					info.Backend, info.OnDiskBytes)}
+				return
+			}
+			fmt.Fprintf(os.Stderr, "graphd: selftest swapped to mmap-backed snapshot (%d bytes on disk, ratio %.2fx)\n",
+				info.OnDiskBytes, info.CompressionRatio)
+			// Republish the same name from the same file a moment later:
+			// the replace retires the mmap-backed snapshot while queries
+			// are in flight, which is exactly the drain-before-munmap
+			// race the store must win.
+			time.Sleep(duration / 6)
+			if err := post(); err != nil {
+				swapDone <- swapReport{err: fmt.Errorf("mmap republish: %w", err)}
+				return
+			}
+			srv.Store().WaitBuilds()
 		}
 		swapDone <- swapReport{completed: time.Now()}
 	}()
@@ -381,6 +473,22 @@ func runSelftest(srv *server.Server, base server.BuildSpec, clients int, duratio
 			"graphd: SELFTEST FAILED: hot swap completed %v after the load ended — swap-under-load was not exercised; increase -duration\n",
 			swap.completed.Sub(loadEnd).Round(time.Millisecond))
 		return 1
+	}
+	if mmapSwap {
+		// The retired mmap snapshot must fully drain once the load stops;
+		// a reference leak would hold its munmap open forever.
+		drained := false
+		for i := 0; i < 40; i++ {
+			if srv.Store().DrainingCount() == 0 {
+				drained = true
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if !drained {
+			fmt.Fprintln(os.Stderr, "graphd: SELFTEST FAILED: retired snapshots never drained after the load ended")
+			return 1
+		}
 	}
 	var crash chaosReport
 	if chaos {

@@ -6,6 +6,7 @@ package a
 import (
 	"context"
 
+	"graphreorder/internal/csrz"
 	"graphreorder/internal/graph"
 	"graphreorder/internal/ligra"
 )
@@ -96,4 +97,58 @@ func allowedLeak(n int) int {
 	//lint:allow bitsetrelease deliberately forfeits the set to measure pool refill
 	s := ligra.FullVertexSet(n)
 	return s.Len()
+}
+
+// The compressed-backend decode path follows the same ownership rules:
+// EdgeMap dispatches on the view's dynamic type, but the frontier it
+// returns is pooled either way, and the analyzer must track sets
+// flowing through *csrz.Graph calls exactly as through *graph.Graph.
+
+// compressedRoundLoop is the clean streaming-decode lifecycle — the
+// shape of every app loop once graphd serves a .csrz snapshot. Nothing
+// to report.
+func compressedRoundLoop(ctx context.Context, cz *csrz.Graph, n int) error {
+	frontier := ligra.FullVertexSet(n)
+	for i := 0; i < 4; i++ {
+		if err := ctx.Err(); err != nil {
+			frontier.Release()
+			return err
+		}
+		out := ligra.EdgeMap(cz, frontier, ligra.EdgeMapFns{Update: touch}, ligra.EdgeMapOpts{Ctx: ctx})
+		if out == nil {
+			frontier.Release()
+			return ctx.Err()
+		}
+		frontier.Release()
+		frontier = out
+	}
+	frontier.Release()
+	return nil
+}
+
+// compressedLeakOnCancel forgets the frontier on the ctx-cancel early
+// return mid-decode — the exact bug the streaming loops make easy to
+// write, because the decode buffer (correctly unreleased) sits next to
+// the frontier (pooled) in the same round.
+func compressedLeakOnCancel(ctx context.Context, cz *csrz.Graph, n int) error {
+	frontier := ligra.FullVertexSet(n) // want `not Release\(\)d on this return path`
+	for i := 0; i < 4; i++ {
+		if err := ctx.Err(); err != nil {
+			return err // frontier leaks here
+		}
+		out := ligra.EdgeMap(cz, frontier, ligra.EdgeMapFns{Update: touch}, ligra.EdgeMapOpts{Ctx: ctx})
+		if out == nil {
+			frontier.Release()
+			return ctx.Err()
+		}
+		frontier.Release()
+		frontier = out
+	}
+	frontier.Release()
+	return nil
+}
+
+// compressedDiscards drops the output frontier of a streaming EdgeMap.
+func compressedDiscards(ctx context.Context, cz *csrz.Graph, frontier *ligra.VertexSet) {
+	ligra.EdgeMap(cz, frontier, ligra.EdgeMapFns{Update: touch}, ligra.EdgeMapOpts{Ctx: ctx}) // want `discarded without Release`
 }

@@ -66,3 +66,35 @@ func allowedDetach(ctx context.Context) context.Context {
 	//lint:allow ctxflow coalesced compute must outlive whichever request started it
 	return context.Background()
 }
+
+// The snapshot-load/decode path: loading a .csrz file from a handler is
+// request work like any other — a helper reachable from a handler must
+// not manufacture a fresh root to bound the decode, it must derive from
+// the request's context.
+
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	s.loadSnapshot(r.Context(), "snap.csrz")
+	w.WriteHeader(http.StatusOK)
+}
+
+// loadSnapshot holds the request ctx; bounding the decode with a fresh
+// root would outlive a canceled request.
+func (s *server) loadSnapshot(ctx context.Context, path string) {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want `already receives a ctx`
+	defer cancel()
+	s.decode(c, path)
+}
+
+// decode threads whatever it is given; nothing to report here.
+func (s *server) decode(ctx context.Context, path string) {
+	_ = ctx
+	_ = path
+}
+
+// refreshSnapshot is the sanctioned detach on the publish path: a
+// re-encode triggered by a request must still run to completion after
+// that request disconnects, and says so.
+func (s *server) refreshSnapshot(ctx context.Context) context.Context {
+	//lint:allow ctxflow publish-path re-encode must complete even if the triggering request is gone
+	return context.Background()
+}

@@ -25,8 +25,13 @@ type Input struct {
 	// per traversal round (never per edge), and a done context makes the
 	// run stop between rounds, release its frontier back to the pool, and
 	// return Ctx.Err(). Nil means the run cannot be canceled.
-	Ctx   context.Context
-	Graph *graph.Graph
+	Ctx context.Context
+	// Graph is the input graph: the plain *graph.Graph or any other
+	// backend implementing graph.View (e.g. the compressed *csrz.Graph).
+	// All backends produce bit-identical Outputs — the engine enumerates
+	// neighbor lists in stored order on every backend, and the
+	// differential tests pin checksum equality app by app.
+	Graph graph.View
 	// Roots seeds root-dependent applications (SSSP, BC) and supplies the
 	// sample set for Radii. Ignored by PR and PRD.
 	Roots []graph.VertexID
@@ -171,7 +176,7 @@ func ByName(name string) (Spec, error) {
 }
 
 func checkInput(in Input, needRoots int) error {
-	if in.Graph == nil {
+	if graph.IsNilView(in.Graph) {
 		return fmt.Errorf("apps: nil graph")
 	}
 	if len(in.Roots) < needRoots {

@@ -167,9 +167,12 @@ func runBC(in Input) (Output, error) {
 		members := levels[li].Members()
 		par.For(len(members), workers, 1, func(lo, hi int) {
 			var scanned uint64
+			// One AdjBuffer per chunk: direct sub-slices on the plain
+			// backend, a reused decode buffer on compressed ones.
+			adj := graph.NewAdjBuffer(g)
 			for _, u := range members[lo:hi] {
 				var acc float64
-				for _, v := range g.OutNeighbors(u) {
+				for _, v := range adj.Out(g, u) {
 					if level[v] == level[u]+1 && numPaths[v] > 0 {
 						acc += numPaths[u] / numPaths[v] * (1 + dep[v])
 					}

@@ -1,0 +1,279 @@
+package csrz
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"graphreorder/internal/gen"
+	"graphreorder/internal/graph"
+)
+
+func testGraph(t testing.TB, name string, weighted bool) *graph.Graph {
+	t.Helper()
+	cfg := gen.MustDataset(name, gen.Tiny)
+	cfg.Weighted = weighted
+	g, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate %s: %v", name, err)
+	}
+	return g
+}
+
+// shuffledGraph builds a graph whose neighbor lists are deliberately NOT
+// sorted, to pin the order-preservation contract (Relabel does not
+// re-sort, so the codec must not assume ascending lists).
+func shuffledGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	const n = 500
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		deg := rng.Intn(8)
+		for i := 0; i < deg; i++ {
+			edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(rng.Intn(n))})
+		}
+	}
+	g, err := graph.BuildWith(edges, graph.BuildOptions{NumVertices: n, SortNeighbors: false})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func assertSameView(t *testing.T, want *graph.Graph, got graph.View) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() || got.Weighted() != want.Weighted() {
+		t.Fatalf("shape mismatch: got (%d,%d,%v) want (%d,%d,%v)",
+			got.NumVertices(), got.NumEdges(), got.Weighted(),
+			want.NumVertices(), want.NumEdges(), want.Weighted())
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		if got.OutDegree(id) != want.OutDegree(id) || got.InDegree(id) != want.InDegree(id) {
+			t.Fatalf("vertex %d: degree mismatch", v)
+		}
+		if o, w := got.OutNeighbors(id), want.OutNeighbors(id); !equalIDs(o, w) {
+			t.Fatalf("vertex %d: out neighbors %v want %v", v, o, w)
+		}
+		if o, w := got.InNeighbors(id), want.InNeighbors(id); !equalIDs(o, w) {
+			t.Fatalf("vertex %d: in neighbors mismatch", v)
+		}
+		if want.Weighted() {
+			if !reflect.DeepEqual(append([]uint32{}, got.OutWeights(id)...), append([]uint32{}, want.OutWeights(id)...)) {
+				t.Fatalf("vertex %d: out weights mismatch", v)
+			}
+		}
+	}
+}
+
+func equalIDs(a, b []graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		weighted bool
+	}{{"lj", false}, {"uni", false}, {"road", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := testGraph(t, tc.name, tc.weighted)
+			z := Encode(g)
+			assertSameView(t, g, z)
+
+			dec, err := z.Decode()
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			assertSameView(t, g, dec)
+		})
+	}
+}
+
+func TestEncodePreservesUnsortedOrder(t *testing.T) {
+	g := shuffledGraph(t)
+	z := Encode(g)
+	assertSameView(t, g, z)
+}
+
+func TestIteratorMatchesNeighbors(t *testing.T) {
+	g := testGraph(t, "lj", false)
+	z := Encode(g)
+	for v := 0; v < g.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		it := z.OutIter(id)
+		want := g.OutNeighbors(id)
+		if it.Remaining() != len(want) {
+			t.Fatalf("vertex %d: Remaining %d want %d", v, it.Remaining(), len(want))
+		}
+		for i, w := range want {
+			u, ok := it.Next()
+			if !ok || u != w {
+				t.Fatalf("vertex %d: iter[%d] = %d,%v want %d", v, i, u, ok, w)
+			}
+		}
+		if _, ok := it.Next(); ok {
+			t.Fatalf("vertex %d: iterator did not terminate", v)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		weighted bool
+	}{{"lj", false}, {"road", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := testGraph(t, tc.name, tc.weighted)
+			z := Encode(g)
+			path := filepath.Join(t.TempDir(), "g.csrz")
+			if err := z.WriteFile(path); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+
+			heap, err := ReadFile(path)
+			if err != nil {
+				t.Fatalf("ReadFile: %v", err)
+			}
+			assertSameView(t, g, heap)
+			if heap.MmapBacked() {
+				t.Fatal("ReadFile graph claims to be mmap-backed")
+			}
+
+			mapped, err := OpenFile(path)
+			if err != nil {
+				t.Fatalf("OpenFile: %v", err)
+			}
+			assertSameView(t, g, mapped)
+			st := mapped.Stats()
+			if st.MmapBacked != (mapped.mapping != nil) {
+				t.Fatalf("stats mmap flag mismatch")
+			}
+			if err := mapped.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if err := mapped.Close(); err != nil {
+				t.Fatalf("second close: %v", err)
+			}
+		})
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	z := Encode(testGraph(t, "lj", false))
+	var a, b bytes.Buffer
+	if _, err := z.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same graph differ")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	z := Encode(testGraph(t, "lj", false))
+	path := filepath.Join(t.TempDir(), "g.csrz")
+	if err := z.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one adjacency bit somewhere past the header.
+	raw[len(raw)/2] ^= 0x10
+	bad := filepath.Join(t.TempDir(), "bad.csrz")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Fatal("OpenFile accepted a corrupted file")
+	}
+	if _, err := ReadCSRZ(bytes.NewReader(raw)); err == nil {
+		t.Fatal("ReadCSRZ accepted a corrupted stream")
+	}
+	// Truncation must also fail, in both readers.
+	if _, err := ReadCSRZ(bytes.NewReader(raw[:len(raw)/3])); err == nil {
+		t.Fatal("ReadCSRZ accepted a truncated stream")
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.csrz")
+	if err := os.WriteFile(trunc, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(trunc); err == nil {
+		t.Fatal("OpenFile accepted a truncated file")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := testGraph(t, "lj", false)
+	z := Encode(g)
+	st := z.Stats()
+	if st.Vertices != g.NumVertices() || st.Edges != g.NumEdges() {
+		t.Fatalf("stats shape mismatch: %+v", st)
+	}
+	if st.PlainAdjBytes != int64(g.NumEdges())*8 {
+		t.Fatalf("plain adjacency bytes %d want %d", st.PlainAdjBytes, g.NumEdges()*8)
+	}
+	if st.CompressedAdjBytes <= 0 || st.CompressedAdjBytes >= st.PlainAdjBytes {
+		t.Fatalf("compression did not shrink adjacency: %d vs %d", st.CompressedAdjBytes, st.PlainAdjBytes)
+	}
+	if st.Ratio <= 1 {
+		t.Fatalf("ratio %.3f, want > 1", st.Ratio)
+	}
+	if st.ResidentBytes <= st.CompressedAdjBytes {
+		t.Fatalf("resident bytes %d should include indexes", st.ResidentBytes)
+	}
+}
+
+func TestVarint(t *testing.T) {
+	cases := []int64{0, 1, -1, 2, -2, 63, 64, -64, -65, 1 << 20, -(1 << 20), 1<<32 - 1, -(1<<32 - 1)}
+	for _, d := range cases {
+		b := appendUvarint(nil, zigzag(d))
+		if len(b) != uvarintLen(zigzag(d)) {
+			t.Fatalf("delta %d: encoded %d bytes, uvarintLen says %d", d, len(b), uvarintLen(zigzag(d)))
+		}
+		u, n := readUvarint(b)
+		if n != len(b) || unzigzag(u) != d {
+			t.Fatalf("delta %d: round-trip got %d (consumed %d/%d)", d, unzigzag(u), n, len(b))
+		}
+	}
+	if _, n := readUvarint([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80}); n != 0 {
+		t.Fatal("overlong varint accepted")
+	}
+	if _, n := readUvarint([]byte{0x80}); n != 0 {
+		t.Fatal("truncated varint accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := graph.BuildWith(nil, graph.BuildOptions{NumVertices: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := Encode(g)
+	assertSameView(t, g, z)
+	var buf bytes.Buffer
+	if _, err := z.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSRZ(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameView(t, g, back)
+}

@@ -1,0 +1,49 @@
+// Package csrz is the compressed CSR backend: the same dual-CSR shape as
+// internal/graph, with each neighbor list stored as byte-aligned
+// delta+varint codes instead of 4-byte IDs, and an mmap-able on-disk
+// container (.csrz) for zero-copy snapshot loading.
+//
+// Reordering is what makes this pay: conf_iiswc_FalduDG19-style
+// lightweight reordering shrinks the |neighbor - previous neighbor| gaps
+// that the varints encode, so "reorder, then compress" (the pipeline's
+// |compress stage) turns locality directly into bytes.
+// reorder.QualityReport.PredictedRatio computes the exact post-relabel
+// out-direction varint cost from the same O(E) pass that measures
+// AvgNeighborGap, so the advisor can predict the ratio before encoding.
+//
+// # Decode determinism
+//
+// Encoding preserves the stored order of every neighbor list (deltas are
+// signed + zig-zag, not sorted-ascending), and decoding replays exactly
+// that order. This is a contract, not an implementation detail: the
+// engine's float accumulations (PageRank's pull sums, BC's dependency
+// sums) are evaluated in neighbor-list order, so order preservation is
+// what makes compressed runs bit-identical to plain runs — checksums are
+// pinned against the plain backend in the differential tests. Both
+// directions also keep the plain n+1 edge-index arrays, so parallel
+// chunk balancing (par.BalancedBounds) splits work at exactly the same
+// vertex boundaries as the plain backend.
+//
+// # Mmap retirement rules
+//
+// A Graph returned by OpenFile aliases a read-only file mapping; Close
+// unmaps it, after which every AdjIter, neighbor slice, and index slice
+// obtained from the Graph is invalid (touching one faults). The rules:
+//
+//  1. Only the owner (in graphd, the snapshot store) calls Close, and
+//     only after the snapshot is unreachable from the published table
+//     AND its reader refcount has drained to zero.
+//  2. Readers never outlive their refcount: acquire, read, release.
+//     An acquire that observes the snapshot retired must release and
+//     retry against the fresh table instead of using the graph — the
+//     owner may already have unmapped it. (Heap-backed snapshots can
+//     tolerate use-after-retire because the GC keeps them alive; mapped
+//     ones cannot, which is why the store's acquire path special-cases
+//     closeable snapshots.)
+//  3. Close is idempotent and safe to call from whichever of
+//     publish/drop/last-release loses the race; sync.Once inside the
+//     mapping does the arbitration.
+//
+// Heap-backed graphs (Encode, ReadCSRZ) have a no-op Close and no
+// lifetime rules beyond the GC's.
+package csrz

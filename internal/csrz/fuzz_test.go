@@ -1,0 +1,131 @@
+package csrz
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"graphreorder/internal/graph"
+)
+
+// TestRegenerateCorpus rewrites the committed seed corpus under
+// testdata/fuzz/FuzzReadCSRZ when CSRZ_WRITE_CORPUS=1 is set — run it
+// after a format change so CI fuzzes the current container layout.
+func TestRegenerateCorpus(t *testing.T) {
+	if os.Getenv("CSRZ_WRITE_CORPUS") == "" {
+		t.Skip("set CSRZ_WRITE_CORPUS=1 to rewrite the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadCSRZ")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seedInputs(t) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// seedInputs builds the canonical fuzz seeds, shared by f.Add and the
+// committed corpus so the two cannot drift.
+func seedInputs(t testing.TB) map[string][]byte {
+	t.Helper()
+	g, err := graph.Build([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 0, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	if _, err := Encode(g).Write(&plain); err != nil {
+		t.Fatal(err)
+	}
+
+	wg, err := graph.BuildWith([]graph.Edge{{Src: 0, Dst: 1, Weight: 5}, {Src: 1, Dst: 0, Weight: 2}},
+		graph.BuildOptions{Weighted: true, SortNeighbors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weighted bytes.Buffer
+	if _, err := Encode(wg).Write(&weighted); err != nil {
+		t.Fatal(err)
+	}
+
+	// A header claiming 2^31-1 vertices and a section table promising
+	// gigabytes: the reader must run out of payload cheaply instead of
+	// preallocating the announced sizes.
+	var lying [headerBytes + 24]byte
+	copy(lying[:], formatMagic)
+	binary.LittleEndian.PutUint32(lying[8:], formatVersion)
+	binary.LittleEndian.PutUint64(lying[16:], 1<<31-1)
+	binary.LittleEndian.PutUint64(lying[24:], 1<<38-1)
+	binary.LittleEndian.PutUint64(lying[32:], 1)
+	binary.LittleEndian.PutUint64(lying[headerBytes:], secOutIdx)
+	binary.LittleEndian.PutUint64(lying[headerBytes+8:], sectionAlign)
+	binary.LittleEndian.PutUint64(lying[headerBytes+16:], (1<<31)*8)
+
+	// Valid file with one flipped adjacency bit: must be caught by the CRC.
+	corrupt := append([]byte(nil), plain.Bytes()...)
+	corrupt[len(corrupt)/2] ^= 0x40
+
+	return map[string][]byte{
+		"unweighted":   plain.Bytes(),
+		"weighted":     weighted.Bytes(),
+		"lying-header": lying[:],
+		"truncated":    plain.Bytes()[:headerBytes-4],
+		"bitflip":      corrupt,
+	}
+}
+
+// FuzzReadCSRZ feeds arbitrary bytes to the .csrz container reader.
+// ReadCSRZ must never panic and never let a lying header or section
+// table drive allocation (buffers grow only as payload arrives), and
+// anything it accepts must survive a write/read round trip
+// bit-identically and pass full adjacency validation — the serving path
+// relies on load-time validation so AdjIter can skip per-step checks.
+func FuzzReadCSRZ(f *testing.F) {
+	for _, data := range seedInputs(f) {
+		f.Add(data)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		z, err := ReadCSRZ(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := z.Write(&out); err != nil {
+			t.Fatalf("rewriting an accepted graph failed: %v", err)
+		}
+		z2, err := ReadCSRZ(&out)
+		if err != nil {
+			t.Fatalf("rereading a rewritten graph failed: %v", err)
+		}
+		if z.n != z2.n || z.m != z2.m ||
+			!reflect.DeepEqual(z.outIdx, z2.outIdx) ||
+			!reflect.DeepEqual(z.outOff, z2.outOff) ||
+			!bytes.Equal(z.outData, z2.outData) ||
+			!reflect.DeepEqual(z.outW, z2.outW) ||
+			!reflect.DeepEqual(z.inIdx, z2.inIdx) ||
+			!reflect.DeepEqual(z.inOff, z2.inOff) ||
+			!bytes.Equal(z.inData, z2.inData) ||
+			!reflect.DeepEqual(z.inW, z2.inW) {
+			t.Fatal("write/read round trip diverged")
+		}
+		// The mmap parser must agree with the streaming reader on
+		// accept/reject — a file the store can load must be a file the
+		// fuzz-hardened reader would have accepted, and vice versa.
+		path := filepath.Join(t.TempDir(), "f.csrz")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mg, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("OpenFile rejected a stream ReadCSRZ accepted: %v", err)
+		}
+		mg.Close()
+	})
+}

@@ -1,0 +1,23 @@
+//go:build !unix
+
+package csrz
+
+import "os"
+
+// mapping is a stub on platforms without mmap support: OpenFile falls
+// back to reading the whole file into the heap, so there is nothing to
+// release.
+type mapping struct {
+	size int64
+}
+
+func (m *mapping) close() error { return nil }
+
+func (m *mapping) isClosed() bool { return false }
+
+// mapFile reads the whole file into memory. The nil mapping signals the
+// heap-backed fallback to OpenFile.
+func mapFile(path string) ([]byte, *mapping, error) {
+	data, err := os.ReadFile(path)
+	return data, nil, err
+}

@@ -1,0 +1,58 @@
+//go:build unix
+
+package csrz
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// mapping owns one read-only file mapping. close is idempotent; the
+// first call unmaps and every later call returns the same result.
+type mapping struct {
+	data   []byte
+	size   int64
+	once   sync.Once
+	err    error
+	closed atomic.Bool
+}
+
+func (m *mapping) close() error {
+	m.once.Do(func() {
+		m.closed.Store(true)
+		m.err = syscall.Munmap(m.data)
+		m.data = nil
+	})
+	return m.err
+}
+
+func (m *mapping) isClosed() bool { return m.closed.Load() }
+
+// mapFile maps path read-only. The file descriptor is closed before
+// returning — the mapping keeps the pages alive on its own.
+func mapFile(path string) ([]byte, *mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, fmt.Errorf("csrz: %s is empty", path)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("csrz: %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("csrz: mmap %s: %w", path, err)
+	}
+	return data, &mapping{data: data, size: size}, nil
+}

@@ -1,0 +1,107 @@
+package graph
+
+// View is the read-only graph interface the execution engine and the five
+// benchmark applications consume. *Graph implements it with direct CSR
+// sub-slices; compressed representations (internal/csrz) implement it by
+// decoding on demand. Implementations must be safe for concurrent use.
+//
+// The accessor contract matches *Graph: OutNeighbors/InNeighbors and the
+// weight accessors return read-only slices aligned index-for-index, and
+// the order of a vertex's neighbor list is part of the representation —
+// two Views of the same graph must enumerate each list in the same order
+// for float-accumulating applications (PR, BC) to produce bit-identical
+// results.
+//
+// Hot loops should not assume the returned slices are free: a compressed
+// View materializes them per call. The engine type-switches to streaming
+// decode paths (see internal/ligra) and other per-edge consumers should
+// go through an AdjBuffer, which borrows the sub-slice on plain graphs
+// and reuses one decode buffer on streamed ones.
+type View interface {
+	NumVertices() int
+	NumEdges() int
+	AvgDegree() float64
+	Weighted() bool
+	OutDegree(v VertexID) int
+	InDegree(v VertexID) int
+	OutNeighbors(v VertexID) []VertexID
+	InNeighbors(v VertexID) []VertexID
+	OutWeights(v VertexID) []uint32
+	InWeights(v VertexID) []uint32
+	Degrees(kind DegreeKind) []uint32
+}
+
+// NeighborStreamer is implemented by Views whose neighbor lists are
+// decoded rather than stored (compressed CSR): Append* decode v's list
+// into buf (resliced from buf[:0]) and return it, so a caller holding one
+// buffer per goroutine gets amortized-zero-allocation access. The plain
+// *Graph deliberately does not implement it — callers use AdjBuffer,
+// which prefers the direct sub-slice.
+type NeighborStreamer interface {
+	AppendOutNeighbors(v VertexID, buf []VertexID) []VertexID
+	AppendInNeighbors(v VertexID, buf []VertexID) []VertexID
+}
+
+// AdjBuffer provides amortized-zero-allocation neighbor access over any
+// View: a direct sub-slice on plain graphs, a reused decode buffer on
+// NeighborStreamer implementations. Not safe for concurrent use — keep
+// one per goroutine. The returned slices are invalidated by the next call.
+type AdjBuffer struct {
+	st  NeighborStreamer
+	buf []VertexID
+}
+
+// NewAdjBuffer returns an AdjBuffer for g.
+func NewAdjBuffer(g View) AdjBuffer {
+	st, _ := g.(NeighborStreamer)
+	return AdjBuffer{st: st}
+}
+
+// Out returns v's out-neighbors of g (read-only, valid until the next
+// call on this buffer).
+func (a *AdjBuffer) Out(g View, v VertexID) []VertexID {
+	if a.st == nil {
+		return g.OutNeighbors(v)
+	}
+	a.buf = a.st.AppendOutNeighbors(v, a.buf[:0])
+	return a.buf
+}
+
+// In returns v's in-neighbors of g (read-only, valid until the next call
+// on this buffer).
+func (a *AdjBuffer) In(g View, v VertexID) []VertexID {
+	if a.st == nil {
+		return g.InNeighbors(v)
+	}
+	a.buf = a.st.AppendInNeighbors(v, a.buf[:0])
+	return a.buf
+}
+
+// IsNilView reports whether v is nil or a typed-nil *Graph — the two
+// "no graph" shapes an interface parameter can smuggle past a plain nil
+// check.
+func IsNilView(v View) bool {
+	if v == nil {
+		return true
+	}
+	g, ok := v.(*Graph)
+	return ok && g == nil
+}
+
+// NewFromCSR assembles a Graph directly from dual-CSR arrays (the layout
+// Validate checks): index arrays of length n+1, edge arrays of length m,
+// weight arrays either both nil or both length m. The slices are retained,
+// not copied. Used by decoders that already hold both CSRs (internal/csrz)
+// and by tests.
+func NewFromCSR(n, m int, outIndex []uint64, outEdges []VertexID, outWeights []uint32,
+	inIndex []uint64, inEdges []VertexID, inWeights []uint32) (*Graph, error) {
+	g := &Graph{
+		n: n, m: m,
+		outIndex: outIndex, outEdges: outEdges, outWeights: outWeights,
+		inIndex: inIndex, inEdges: inEdges, inWeights: inWeights,
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

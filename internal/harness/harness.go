@@ -243,8 +243,10 @@ type Measurement struct {
 
 // MeasureApp times spec on g: one warm-up execution, then Trials timed
 // executions, each aggregating over the provided roots (root-dependent
-// apps run once per RootsPerApp roots; rootless apps run once).
-func (r *Runner) MeasureApp(spec apps.Spec, g *graph.Graph, roots []graph.VertexID) (Measurement, error) {
+// apps run once per RootsPerApp roots; rootless apps run once). Any
+// graph backend works — the compress experiment times the same app on
+// the plain and compressed representations of one layout.
+func (r *Runner) MeasureApp(spec apps.Spec, g graph.View, roots []graph.VertexID) (Measurement, error) {
 	runOnce := func() (time.Duration, error) {
 		start := time.Now()
 		if spec.NumRoots <= 1 && spec.Name != "Radii" {

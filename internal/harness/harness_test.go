@@ -177,7 +177,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig3", "fig5", "table11", "fig6", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "table12", "quality", "ablation-groups",
+		"fig10", "fig11", "table12", "quality", "compress", "ablation-groups",
 		"ablation-gorderdbg", "ablation-genorder", "ablation-dynamic",
 	}
 	if len(ids) != len(want) {
@@ -199,7 +199,7 @@ func TestTimingExperimentsSmoke(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	r := tinyRunner(&buf)
-	for _, id := range []string{"fig3", "table11", "fig9", "table12", "quality"} {
+	for _, id := range []string{"fig3", "table11", "fig9", "table12", "quality", "compress"} {
 		if err := r.RunByID(id); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

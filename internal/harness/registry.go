@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"fig11", "Fig. 11 — SSSP net speed-up vs #traversals", (*Runner).Fig11},
 		{"table12", "Table XII — PR iterations to amortize", (*Runner).Table12},
 		{"quality", "Ordering quality — packing factor vs speed-up (§IV)", (*Runner).QualityVsSpeedup},
+		{"compress", "Compressed CSR backend — predicted vs realized ratio", (*Runner).CompressTable},
 		{"ablation-groups", "Ablation — DBG group-count sweep", (*Runner).AblationGroups},
 		{"ablation-gorderdbg", "Ablation — Gorder+DBG composition", (*Runner).AblationGorderDBG},
 		{"ablation-genorder", "Ablation — §VIII-A generation-integrated reordering", (*Runner).AblationGenOrder},

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"graphreorder/internal/csrz"
 	"graphreorder/internal/gen"
 	"graphreorder/internal/graph"
 )
@@ -22,7 +23,7 @@ func benchGraph(b *testing.B) *graph.Graph {
 	return g
 }
 
-func benchEdgeMap(b *testing.B, g *graph.Graph, frontier *VertexSet, dir Direction, workers int) {
+func benchEdgeMap(b *testing.B, g graph.View, frontier *VertexSet, dir Direction, workers int) {
 	b.Helper()
 	fns := EdgeMapFns{Update: func(_, dst graph.VertexID) bool { return dst%4 == 0 }}
 	opts := EdgeMapOpts{Dir: dir, Workers: workers}
@@ -39,6 +40,19 @@ func BenchmarkEdgeMapPull(b *testing.B) {
 	frontier := FullVertexSet(g.NumVertices())
 	b.Run("seq", func(b *testing.B) { benchEdgeMap(b, g, frontier, Pull, 1) })
 	b.Run("par", func(b *testing.B) { benchEdgeMap(b, g, frontier, Pull, runtime.GOMAXPROCS(0)) })
+}
+
+// BenchmarkEdgeMapPullCompressed is the compressed backend's CI-gated
+// counterpart to BenchmarkEdgeMapPull: the same full-frontier pull round
+// over the delta+varint streaming decoder. The gate budgets its seq
+// ns/op at a fixed multiple of the plain benchmark — streaming decode
+// costs real work per edge, but it must stay a constant factor, never
+// grow with graph size or allocate per round.
+func BenchmarkEdgeMapPullCompressed(b *testing.B) {
+	cz := csrz.Encode(benchGraph(b))
+	frontier := FullVertexSet(cz.NumVertices())
+	b.Run("seq", func(b *testing.B) { benchEdgeMap(b, cz, frontier, Pull, 1) })
+	b.Run("par", func(b *testing.B) { benchEdgeMap(b, cz, frontier, Pull, runtime.GOMAXPROCS(0)) })
 }
 
 func BenchmarkEdgeMapPush(b *testing.B) {

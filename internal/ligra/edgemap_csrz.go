@@ -1,0 +1,199 @@
+package ligra
+
+import (
+	"graphreorder/internal/csrz"
+	"graphreorder/internal/graph"
+	"graphreorder/internal/par"
+)
+
+// EdgeMap loops specialized for the compressed backend: neighbors are
+// streamed off the varint adjacency bytes with csrz.AdjIter — no
+// []VertexID is ever materialized, which is what lets a mapped snapshot
+// serve traversals out of page cache. Each loop mirrors its plain
+// counterpart in ligra.go/parallel.go statement for statement, because
+// the bit-identity contract is "same neighbor order, same destination
+// ownership", and the easiest way to keep that true is to keep the
+// control flow recognizably the same.
+
+func edgeMapSparseCZ(g *csrz.Graph, frontier *VertexSet, fns EdgeMapFns) *VertexSet {
+	cond := fns.Cond
+	out := newPooledSparse(g.NumVertices())
+	claimedBox := getScratchBitset(g.NumVertices())
+	claimed := *claimedBox
+	members, mbuf := frontierMembers(frontier)
+	for _, u := range members {
+		ws := g.OutWeights(u)
+		it := g.OutIter(u)
+		for i := 0; ; i++ {
+			dst, ok := it.Next()
+			if !ok {
+				break
+			}
+			if cond != nil && !cond(dst) {
+				continue
+			}
+			var hit bool
+			if fns.UpdateWeighted != nil {
+				var w uint32
+				if ws != nil {
+					w = ws[i]
+				}
+				hit = fns.UpdateWeighted(u, dst, w)
+			} else {
+				hit = fns.Update(u, dst)
+			}
+			if hit && !claimed.Has(dst) {
+				claimed.Set(dst)
+				out.sparse = append(out.sparse, dst)
+			}
+		}
+	}
+	putScratchBitset(claimedBox)
+	putIDBuf(mbuf)
+	out.count = len(out.sparse)
+	return out
+}
+
+func edgeMapDenseCZ(g *csrz.Graph, frontier *VertexSet, fns EdgeMapFns) *VertexSet {
+	update := fns.UpdatePull
+	if update == nil {
+		update = fns.Update
+	}
+	cond := fns.Cond
+	inFrontier := frontier.bits()
+	out := newPooledDense(g.NumVertices())
+	next := out.dense
+	for v := 0; v < g.NumVertices(); v++ {
+		dst := graph.VertexID(v)
+		if cond != nil && !cond(dst) {
+			continue
+		}
+		ws := g.InWeights(dst)
+		it := g.InIter(dst)
+		for i := 0; ; i++ {
+			src, ok := it.Next()
+			if !ok {
+				break
+			}
+			if !inFrontier.Has(src) {
+				continue
+			}
+			var hit bool
+			if fns.UpdateWeighted != nil {
+				var w uint32
+				if ws != nil {
+					w = ws[i]
+				}
+				hit = fns.UpdateWeighted(src, dst, w)
+			} else {
+				hit = update(src, dst)
+			}
+			if hit {
+				next.Set(dst)
+			}
+			if cond != nil && !cond(dst) {
+				break
+			}
+		}
+	}
+	out.count = next.Count()
+	return out
+}
+
+func edgeMapSparseParCZ(g *csrz.Graph, frontier *VertexSet, fns EdgeMapFns, workers int) *VertexSet {
+	n := g.NumVertices()
+	cond := fns.Cond
+	members, mbuf := frontierMembers(frontier)
+	claimedBox := getScratchBitset(n)
+	claimed := *claimedBox
+
+	out := newPooledSparse(n)
+	out.sparse = gatherIDs(len(members), workers, out.sparse, func(lo, hi int, local []graph.VertexID) []graph.VertexID {
+		for _, u := range members[lo:hi] {
+			ws := g.OutWeights(u)
+			it := g.OutIter(u)
+			for i := 0; ; i++ {
+				dst, ok := it.Next()
+				if !ok {
+					break
+				}
+				if cond != nil && !cond(dst) {
+					continue
+				}
+				var hit bool
+				if fns.UpdateWeighted != nil {
+					var w uint32
+					if ws != nil {
+						w = ws[i]
+					}
+					hit = fns.UpdateWeighted(u, dst, w)
+				} else {
+					hit = fns.Update(u, dst)
+				}
+				if hit && claimed.TrySetAtomic(dst) {
+					local = append(local, dst)
+				}
+			}
+		}
+		return local
+	})
+	putScratchBitset(claimedBox)
+	putIDBuf(mbuf)
+	out.count = len(out.sparse)
+	return out
+}
+
+func edgeMapDenseParCZ(g *csrz.Graph, frontier *VertexSet, fns EdgeMapFns, workers int) *VertexSet {
+	n := g.NumVertices()
+	update := fns.UpdatePull
+	if update == nil {
+		update = fns.Update
+	}
+	cond := fns.Cond
+	inFrontier := frontier.bits()
+	out := newPooledDense(n)
+	next := out.dense
+
+	// The compressed backend keeps the plain n+1 edge-index arrays, so
+	// chunks balance by in-edge count exactly like the plain path. (The
+	// output would be identical under any 64-aligned chunking — each dst
+	// is fully processed by one worker — this just balances the work.)
+	bounds := par.BalancedBounds(g.InEdgeIndex(), n, workers*pullChunksPerWorker, 64)
+	par.ForBounds(bounds, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			dst := graph.VertexID(v)
+			if cond != nil && !cond(dst) {
+				continue
+			}
+			ws := g.InWeights(dst)
+			it := g.InIter(dst)
+			for i := 0; ; i++ {
+				src, ok := it.Next()
+				if !ok {
+					break
+				}
+				if !inFrontier.Has(src) {
+					continue
+				}
+				var hit bool
+				if fns.UpdateWeighted != nil {
+					var w uint32
+					if ws != nil {
+						w = ws[i]
+					}
+					hit = fns.UpdateWeighted(src, dst, w)
+				} else {
+					hit = update(src, dst)
+				}
+				if hit {
+					next.Set(dst)
+				}
+				if cond != nil && !cond(dst) {
+					break
+				}
+			}
+		}
+	})
+	out.count = next.Count()
+	return out
+}

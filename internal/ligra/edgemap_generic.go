@@ -1,0 +1,197 @@
+package ligra
+
+import (
+	"graphreorder/internal/graph"
+	"graphreorder/internal/par"
+)
+
+// Generic EdgeMap loops over any graph.View: the fallback for backends
+// without a specialized path, and the tracing path for compressed graphs
+// (tracing already pins workers = 1, and a graph.AdjBuffer gives the
+// tracer real neighbor slices to walk). Neighbor access goes through
+// one AdjBuffer per goroutine — a borrowed sub-slice on plain graphs, a
+// reused decode buffer on NeighborStreamer backends — so even the
+// fallback is allocation-free per vertex. Determinism matches the
+// specialized paths: stored neighbor order per list, 64-aligned
+// destination ownership in parallel pull.
+
+func edgeMapSparseGeneric(g graph.View, frontier *VertexSet, fns EdgeMapFns, tr Tracer) *VertexSet {
+	cond := fns.Cond
+	out := newPooledSparse(g.NumVertices())
+	claimedBox := getScratchBitset(g.NumVertices())
+	claimed := *claimedBox
+	members, mbuf := frontierMembers(frontier)
+	adj := graph.NewAdjBuffer(g)
+	for _, u := range members {
+		if tr != nil {
+			tr.VertexVisited(u, false)
+		}
+		nbrs := adj.Out(g, u)
+		ws := g.OutWeights(u)
+		for i, dst := range nbrs {
+			if tr != nil {
+				tr.EdgeExamined(u, dst, false)
+			}
+			if cond != nil && !cond(dst) {
+				continue
+			}
+			var hit bool
+			if fns.UpdateWeighted != nil {
+				var w uint32
+				if ws != nil {
+					w = ws[i]
+				}
+				hit = fns.UpdateWeighted(u, dst, w)
+			} else {
+				hit = fns.Update(u, dst)
+			}
+			if hit && !claimed.Has(dst) {
+				claimed.Set(dst)
+				out.sparse = append(out.sparse, dst)
+			}
+		}
+	}
+	putScratchBitset(claimedBox)
+	putIDBuf(mbuf)
+	out.count = len(out.sparse)
+	return out
+}
+
+func edgeMapDenseGeneric(g graph.View, frontier *VertexSet, fns EdgeMapFns, tr Tracer) *VertexSet {
+	update := fns.UpdatePull
+	if update == nil {
+		update = fns.Update
+	}
+	cond := fns.Cond
+	inFrontier := frontier.bits()
+	out := newPooledDense(g.NumVertices())
+	next := out.dense
+	adj := graph.NewAdjBuffer(g)
+	for v := 0; v < g.NumVertices(); v++ {
+		dst := graph.VertexID(v)
+		if cond != nil && !cond(dst) {
+			continue
+		}
+		if tr != nil {
+			tr.VertexVisited(dst, true)
+		}
+		srcs := adj.In(g, dst)
+		ws := g.InWeights(dst)
+		for i, src := range srcs {
+			if tr != nil {
+				tr.EdgeExamined(src, dst, true)
+			}
+			if !inFrontier.Has(src) {
+				continue
+			}
+			var hit bool
+			if fns.UpdateWeighted != nil {
+				var w uint32
+				if ws != nil {
+					w = ws[i]
+				}
+				hit = fns.UpdateWeighted(src, dst, w)
+			} else {
+				hit = update(src, dst)
+			}
+			if hit {
+				next.Set(dst)
+			}
+			if cond != nil && !cond(dst) {
+				break
+			}
+		}
+	}
+	out.count = next.Count()
+	return out
+}
+
+func edgeMapSparseParGeneric(g graph.View, frontier *VertexSet, fns EdgeMapFns, workers int) *VertexSet {
+	n := g.NumVertices()
+	cond := fns.Cond
+	members, mbuf := frontierMembers(frontier)
+	claimedBox := getScratchBitset(n)
+	claimed := *claimedBox
+
+	out := newPooledSparse(n)
+	out.sparse = gatherIDs(len(members), workers, out.sparse, func(lo, hi int, local []graph.VertexID) []graph.VertexID {
+		adj := graph.NewAdjBuffer(g)
+		for _, u := range members[lo:hi] {
+			nbrs := adj.Out(g, u)
+			ws := g.OutWeights(u)
+			for i, dst := range nbrs {
+				if cond != nil && !cond(dst) {
+					continue
+				}
+				var hit bool
+				if fns.UpdateWeighted != nil {
+					var w uint32
+					if ws != nil {
+						w = ws[i]
+					}
+					hit = fns.UpdateWeighted(u, dst, w)
+				} else {
+					hit = fns.Update(u, dst)
+				}
+				if hit && claimed.TrySetAtomic(dst) {
+					local = append(local, dst)
+				}
+			}
+		}
+		return local
+	})
+	putScratchBitset(claimedBox)
+	putIDBuf(mbuf)
+	out.count = len(out.sparse)
+	return out
+}
+
+func edgeMapDenseParGeneric(g graph.View, frontier *VertexSet, fns EdgeMapFns, workers int) *VertexSet {
+	n := g.NumVertices()
+	update := fns.UpdatePull
+	if update == nil {
+		update = fns.Update
+	}
+	cond := fns.Cond
+	inFrontier := frontier.bits()
+	out := newPooledDense(n)
+	next := out.dense
+
+	// No index array to balance by on an arbitrary View; 64-aligned even
+	// chunks keep the exclusive-destination-ownership determinism
+	// contract, just with coarser load balancing.
+	par.For(n, workers, 64, func(lo, hi int) {
+		adj := graph.NewAdjBuffer(g)
+		for v := lo; v < hi; v++ {
+			dst := graph.VertexID(v)
+			if cond != nil && !cond(dst) {
+				continue
+			}
+			srcs := adj.In(g, dst)
+			ws := g.InWeights(dst)
+			for i, src := range srcs {
+				if !inFrontier.Has(src) {
+					continue
+				}
+				var hit bool
+				if fns.UpdateWeighted != nil {
+					var w uint32
+					if ws != nil {
+						w = ws[i]
+					}
+					hit = fns.UpdateWeighted(src, dst, w)
+				} else {
+					hit = update(src, dst)
+				}
+				if hit {
+					next.Set(dst)
+				}
+				if cond != nil && !cond(dst) {
+					break
+				}
+			}
+		}
+	})
+	out.count = next.Count()
+	return out
+}

@@ -28,6 +28,7 @@ import (
 	"context"
 	"math/bits"
 
+	"graphreorder/internal/csrz"
 	"graphreorder/internal/graph"
 	"graphreorder/internal/par"
 )
@@ -197,13 +198,15 @@ func (s *VertexSet) Bits() Bitset { return s.bits() }
 // Auto direction heuristic uses — computed on up to workers goroutines
 // and cached on the set, so callers that account traversed edges per
 // round don't rescan the degree array.
-func (s *VertexSet) OutEdgeSum(g *graph.Graph, workers int) uint64 {
+func (s *VertexSet) OutEdgeSum(g graph.View, workers int) uint64 {
 	return s.computeOutEdges(g, workers)
 }
 
 // computeOutEdges fills the member out-degree sum used by the direction
 // heuristic; cached after first use (including a genuinely zero sum).
-func (s *VertexSet) computeOutEdges(g *graph.Graph, workers int) uint64 {
+// Degrees come from the n+1 index arrays on every backend, so this costs
+// the same on compressed graphs as on plain ones.
+func (s *VertexSet) computeOutEdges(g graph.View, workers int) uint64 {
 	if s.outEdgesValid {
 		return s.outEdges
 	}
@@ -332,9 +335,17 @@ func WriteTracer(tr Tracer) PropertyWriteTracer {
 // and checks membership of the source. The returned set is pooled; the
 // caller may Release it once done.
 //
+// g may be any graph.View. The plain *graph.Graph keeps its original
+// slice-ranging loops; the compressed *csrz.Graph gets streaming-decode
+// loops that walk the varint adjacency in place (see edgemap_csrz.go);
+// anything else runs generic loops through a graph.AdjBuffer. All
+// backends produce bit-identical frontiers and property updates because
+// every path enumerates each neighbor list in stored order and pull-mode
+// destination ownership is 64-aligned on every path.
+//
 // When opts.Ctx is non-nil and already done, EdgeMap returns nil instead
 // of a frontier (see EdgeMapOpts.Ctx); no other call path returns nil.
-func EdgeMap(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, opts EdgeMapOpts) *VertexSet {
+func EdgeMap(g graph.View, frontier *VertexSet, fns EdgeMapFns, opts EdgeMapOpts) *VertexSet {
 	if opts.Ctx != nil && opts.Ctx.Err() != nil {
 		return nil
 	}
@@ -355,16 +366,44 @@ func EdgeMap(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, opts EdgeMapOp
 			dir = Push
 		}
 	}
+	switch cg := g.(type) {
+	case *graph.Graph:
+		if dir == Pull {
+			if workers > 1 {
+				return edgeMapDensePar(cg, frontier, fns, workers)
+			}
+			return edgeMapDense(cg, frontier, fns, opts.Trace)
+		}
+		if workers > 1 {
+			return edgeMapSparsePar(cg, frontier, fns, workers)
+		}
+		return edgeMapSparse(cg, frontier, fns, opts.Trace)
+	case *csrz.Graph:
+		// The streaming loops have no tracer hooks; tracing (which already
+		// pins workers = 1) takes the generic buffered path below.
+		if opts.Trace == nil {
+			if dir == Pull {
+				if workers > 1 {
+					return edgeMapDenseParCZ(cg, frontier, fns, workers)
+				}
+				return edgeMapDenseCZ(cg, frontier, fns)
+			}
+			if workers > 1 {
+				return edgeMapSparseParCZ(cg, frontier, fns, workers)
+			}
+			return edgeMapSparseCZ(cg, frontier, fns)
+		}
+	}
 	if dir == Pull {
 		if workers > 1 {
-			return edgeMapDensePar(g, frontier, fns, workers)
+			return edgeMapDenseParGeneric(g, frontier, fns, workers)
 		}
-		return edgeMapDense(g, frontier, fns, opts.Trace)
+		return edgeMapDenseGeneric(g, frontier, fns, opts.Trace)
 	}
 	if workers > 1 {
-		return edgeMapSparsePar(g, frontier, fns, workers)
+		return edgeMapSparseParGeneric(g, frontier, fns, workers)
 	}
-	return edgeMapSparse(g, frontier, fns, opts.Trace)
+	return edgeMapSparseGeneric(g, frontier, fns, opts.Trace)
 }
 
 func edgeMapSparse(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, tr Tracer) *VertexSet {

@@ -55,7 +55,7 @@ func TestVertexSetBasics(t *testing.T) {
 
 // bfsLevels runs a BFS from root using EdgeMap in the given direction and
 // returns the level of each vertex (-1 if unreached).
-func bfsLevels(g *graph.Graph, root graph.VertexID, dir Direction) []int {
+func bfsLevels(g graph.View, root graph.VertexID, dir Direction) []int {
 	n := g.NumVertices()
 	level := make([]int, n)
 	for i := range level {

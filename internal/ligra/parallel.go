@@ -134,7 +134,7 @@ func edgeMapDensePar(g *graph.Graph, frontier *VertexSet, fns EdgeMapFns, worker
 // parallelOutEdgeSum sums member out-degrees of a dense frontier across
 // workers (integer sum: order-independent, so the cached value matches the
 // sequential computation exactly).
-func parallelOutEdgeSum(g *graph.Graph, members Bitset, workers int) uint64 {
+func parallelOutEdgeSum(g graph.View, members Bitset, workers int) uint64 {
 	var total atomic.Uint64
 	par.For(g.NumVertices(), workers, 64, func(lo, hi int) {
 		var sum uint64

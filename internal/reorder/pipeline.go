@@ -20,13 +20,20 @@ import (
 // ordering-quality report to the Result.
 //
 // The empty plan is the identity ordering.
+//
+// A plan may additionally carry a terminal compress marker (the
+// "|compress" spec suffix): it does not change the permutation — it
+// tells the consumer (graphd's build path, the harness) to hand the
+// relabeled graph to the csrz codec, making "reorder first, then
+// compress" a first-class pipeline outcome.
 type Plan struct {
-	stages []Technique
+	stages   []Technique
+	compress bool
 }
 
 // Compose builds a Plan from stages, applied left to right. Nested plans
-// are flattened and nil stages skipped, so Compose(PlanOf(a), b) chains
-// cleanly.
+// are flattened (a nested plan's compress marker is inherited) and nil
+// stages skipped, so Compose(PlanOf(a), b) chains cleanly.
 func Compose(stages ...Technique) *Plan {
 	p := &Plan{stages: make([]Technique, 0, len(stages))}
 	for _, s := range stages {
@@ -34,12 +41,25 @@ func Compose(stages ...Technique) *Plan {
 		case nil:
 		case *Plan:
 			p.stages = append(p.stages, t.stages...)
+			p.compress = p.compress || t.compress
 		default:
 			p.stages = append(p.stages, s)
 		}
 	}
 	return p
 }
+
+// WithCompression returns a copy of the plan with the terminal compress
+// marker set — the programmatic spelling of the "|compress" spec suffix.
+func (p *Plan) WithCompression() *Plan {
+	q := Compose(p)
+	q.compress = true
+	return q
+}
+
+// Compress reports whether the plan ends in the compress stage, i.e. the
+// consumer should encode the relabeled graph with the csrz codec.
+func (p *Plan) Compress() bool { return p.compress }
 
 // PlanOf wraps a single technique as a one-stage plan; a *Plan argument
 // is returned as-is. Nil means the identity plan.
@@ -56,16 +76,23 @@ func (p *Plan) Stages() []Technique {
 }
 
 // Name implements Technique: stage names joined by the spec separator
-// ("DBG|Gorder"); the empty plan is "Original".
+// ("DBG|Gorder"), with "|Compress" appended when the plan carries the
+// compress marker; the empty plan is "Original" (or "Original|Compress").
 func (p *Plan) Name() string {
+	var base string
 	if len(p.stages) == 0 {
-		return IdentityTechnique{}.Name()
+		base = IdentityTechnique{}.Name()
+	} else {
+		names := make([]string, len(p.stages))
+		for i, s := range p.stages {
+			names[i] = s.Name()
+		}
+		base = strings.Join(names, "|")
 	}
-	names := make([]string, len(p.stages))
-	for i, s := range p.stages {
-		names[i] = s.Name()
+	if p.compress {
+		base += "|Compress"
 	}
-	return strings.Join(names, "|")
+	return base
 }
 
 // Permute implements Technique: it runs the stages in order and returns

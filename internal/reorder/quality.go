@@ -3,6 +3,7 @@ package reorder
 import (
 	"math"
 
+	"graphreorder/internal/csrz"
 	"graphreorder/internal/graph"
 	"graphreorder/internal/stats"
 )
@@ -88,6 +89,20 @@ type QualityReport struct {
 	// edges — the structure-locality proxy: small gaps mean neighbors
 	// live nearby in memory.
 	AvgNeighborGap float64
+	// PredictedAdjBytes is the exact number of bytes the out-direction
+	// adjacency would occupy under the csrz delta+varint codec in this
+	// layout. It is computed in the same O(E) pass as AvgNeighborGap by
+	// summing csrz.DeltaCost over every list, and it is exact (not an
+	// estimate) because Relabel preserves within-list neighbor order —
+	// the relabeled list the encoder would see is precisely the
+	// perm-mapped list this pass walks.
+	PredictedAdjBytes int64
+	// PredictedRatio is the predicted out-direction compression ratio:
+	// plain 4-bytes-per-edge adjacency over PredictedAdjBytes. This is
+	// the advisor's bridge from the paper's locality metric to capacity:
+	// small AvgNeighborGap ⇒ small varint deltas ⇒ high PredictedRatio.
+	// The honesty test pins it against the ratio csrz.Encode realizes.
+	PredictedRatio float64
 }
 
 // PackingGain returns the multiplicative packing-factor improvement still
@@ -110,13 +125,14 @@ func (q QualityReport) PackingGain() float64 {
 // layout positions; nil means g's current ID order is the layout (the
 // common case after Relabel, where the reordered graph's IDs are the
 // layout). Cost is one O(V) pass over the degrees plus one O(E) pass over
-// the edges; nothing is materialized.
-func Evaluate(g *graph.Graph, kind graph.DegreeKind, perm Permutation) QualityReport {
+// the edges; nothing is materialized. g may be any backend — evaluating
+// an already-compressed csrz view streams its lists through an AdjBuffer.
+func Evaluate(g graph.View, kind graph.DegreeKind, perm Permutation) QualityReport {
 	return EvaluateOpts(g, kind, perm, QualityOptions{})
 }
 
 // EvaluateOpts is Evaluate with explicit block/hot-threshold options.
-func EvaluateOpts(g *graph.Graph, kind graph.DegreeKind, perm Permutation, opts QualityOptions) QualityReport {
+func EvaluateOpts(g graph.View, kind graph.DegreeKind, perm Permutation, opts QualityOptions) QualityReport {
 	opts = opts.withDefaults()
 	n := g.NumVertices()
 	rep := QualityReport{
@@ -163,23 +179,33 @@ func EvaluateOpts(g *graph.Graph, kind graph.DegreeKind, perm Permutation, opts 
 		rep.MinHubWorkingSetBytes = int64(minBlocks) * int64(opts.BlockBytes)
 	}
 
-	// Mean neighbor gap under the layout.
+	// Mean neighbor gap and predicted compressed adjacency bytes under
+	// the layout, in one pass. The varint accumulation mirrors
+	// csrz.encodeDirection: first neighbor delta-coded against the
+	// source position, each subsequent one against its predecessor.
 	if e := g.NumEdges(); e > 0 {
 		var sum float64
+		var predicted int64
+		adj := graph.NewAdjBuffer(g)
 		for v := 0; v < n; v++ {
 			srcPos := int64(v)
 			if perm != nil {
 				srcPos = int64(perm[v])
 			}
-			for _, dst := range g.OutNeighbors(graph.VertexID(v)) {
+			prev := uint32(srcPos)
+			for _, dst := range adj.Out(g, graph.VertexID(v)) {
 				dstPos := int64(dst)
 				if perm != nil {
 					dstPos = int64(perm[dst])
 				}
 				sum += math.Abs(float64(srcPos - dstPos))
+				predicted += int64(csrz.DeltaCost(prev, uint32(dstPos)))
+				prev = uint32(dstPos)
 			}
 		}
 		rep.AvgNeighborGap = sum / float64(e)
+		rep.PredictedAdjBytes = predicted
+		rep.PredictedRatio = float64(e) * 4 / float64(predicted)
 	}
 	return rep
 }

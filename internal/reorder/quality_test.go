@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"graphreorder/internal/csrz"
 	"graphreorder/internal/gen"
 	"graphreorder/internal/graph"
 )
@@ -188,4 +189,36 @@ func BenchmarkEvaluate(b *testing.B) {
 			Evaluate(g, graph.OutDegree, perm)
 		}
 	})
+}
+
+// TestPredictedRatioIsHonest pins the predictor's central promise: the
+// PredictedAdjBytes a quality report computes from a permutation alone
+// equals, byte for byte, what the csrz encoder produces after actually
+// relabeling and encoding the graph — for the identity layout and for a
+// reordering that changes every list.
+func TestPredictedRatioIsHonest(t *testing.T) {
+	g, err := gen.Generate(gen.MustDataset("lj", gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, q QualityReport, target *graph.Graph) {
+		t.Helper()
+		st := csrz.Encode(target).Stats()
+		if q.PredictedAdjBytes != st.OutAdjBytes {
+			t.Errorf("%s: predicted %d adjacency bytes, encoder produced %d",
+				name, q.PredictedAdjBytes, st.OutAdjBytes)
+		}
+		wantRatio := float64(target.NumEdges()) * 4 / float64(st.OutAdjBytes)
+		if math.Abs(q.PredictedRatio-wantRatio) > 1e-12 {
+			t.Errorf("%s: predicted ratio %v, realized %v", name, q.PredictedRatio, wantRatio)
+		}
+	}
+	check("identity", Evaluate(g, graph.OutDegree, nil), g)
+	for _, tech := range []Technique{NewDBG(), HubCluster{}, RandomVertex{Seed: 3}} {
+		res, err := Apply(g, tech, graph.OutDegree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(tech.Name(), res.Quality, res.Graph)
+	}
 }

@@ -14,21 +14,37 @@ import (
 // spelling). Stages chain with "|" into a pipeline: "dbg|gorder" runs
 // DBG's coarse grouping first, then Gorder over the grouped layout.
 func ByName(name string) (Technique, error) {
-	if strings.Contains(name, "|") {
+	if strings.Contains(name, "|") || isCompressSpec(name) {
 		return ParsePlan(name)
 	}
 	return byNameSingle(name)
 }
 
+func isCompressSpec(part string) bool {
+	return strings.ToLower(strings.TrimSpace(part)) == "compress"
+}
+
 // ParsePlan parses a pipeline spec: one or more single-stage specs joined
-// by "|", applied left to right. A single stage parses to a one-stage
-// plan, so ParsePlan accepts everything ByName does.
+// by "|", applied left to right, optionally ending in the terminal
+// "compress" stage ("dbg|compress"; bare "compress" is the identity
+// ordering, compressed). A single stage parses to a one-stage plan, so
+// ParsePlan accepts everything ByName does. "compress" anywhere but last
+// is an error — it is not a reordering, it marks what happens to the
+// final layout.
 func ParsePlan(spec string) (*Plan, error) {
 	parts := strings.Split(spec, "|")
+	compress := false
+	if isCompressSpec(parts[len(parts)-1]) {
+		compress = true
+		parts = parts[:len(parts)-1]
+	}
 	stages := make([]Technique, 0, len(parts))
 	for _, part := range parts {
 		if strings.TrimSpace(part) == "" {
 			return nil, fmt.Errorf("reorder: empty stage in pipeline spec %q", spec)
+		}
+		if isCompressSpec(part) {
+			return nil, fmt.Errorf("reorder: %q must be the final stage in pipeline spec %q", "compress", spec)
 		}
 		t, err := byNameSingle(part)
 		if err != nil {
@@ -36,7 +52,9 @@ func ParsePlan(spec string) (*Plan, error) {
 		}
 		stages = append(stages, t)
 	}
-	return Compose(stages...), nil
+	p := Compose(stages...)
+	p.compress = compress
+	return p, nil
 }
 
 // byNameSingle resolves one stage spec (no pipe).

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"graphreorder"
+	"graphreorder/internal/csrz"
 	"graphreorder/internal/dynamic"
 	"graphreorder/internal/faultinject"
 	"graphreorder/internal/graph"
@@ -123,6 +124,10 @@ type liveGraph struct {
 	source   string
 	maxIters int
 	workers  int
+	// backend is the resolved serving representation (plain or
+	// compressed, never auto: the build resolved that once). A
+	// compressed pipeline re-encodes every published epoch.
+	backend string
 
 	// advised/adviceReason mirror the snapshot fields for "auto" builds;
 	// a refresher re-reorder re-advises, so they track the live graph's
@@ -158,10 +163,12 @@ type liveGraph struct {
 }
 
 // newLiveGraph wires the mutation pipeline for a freshly built snapshot:
-// base is the graph in original order, snap the published (reordered)
-// snapshot. The Reorderer is seeded with the build's ordering so the
-// first write does not redo it.
-func newLiveGraph(st *Store, spec BuildSpec, base *graph.Graph, snap *Snapshot, tech reorder.Technique, kind graph.DegreeKind, recovered *recoveredState) *liveGraph {
+// base is the graph in original order, reordered the plain relabeled
+// graph the build produced (the published snapshot may serve a
+// compressed encoding of it), snap the published snapshot. The Reorderer
+// is seeded with the build's ordering so the first write does not redo
+// it.
+func newLiveGraph(st *Store, spec BuildSpec, base, reordered *graph.Graph, snap *Snapshot, tech reorder.Technique, kind graph.DegreeKind, recovered *recoveredState) *liveGraph {
 	lg := &liveGraph{
 		store:        st,
 		name:         snap.name,
@@ -170,6 +177,7 @@ func newLiveGraph(st *Store, spec BuildSpec, base *graph.Graph, snap *Snapshot, 
 		source:       snap.source,
 		maxIters:     spec.MaxIters,
 		workers:      st.workers,
+		backend:      snap.backend,
 		advised:      snap.advised,
 		adviceReason: snap.adviceReason,
 		dyn:          dynamic.FromGraph(base),
@@ -184,7 +192,7 @@ func newLiveGraph(st *Store, spec BuildSpec, base *graph.Graph, snap *Snapshot, 
 	if perm == nil {
 		perm = reorder.Identity(base.NumVertices())
 	}
-	lg.reord.Seed(lg.dyn, snap.graph, perm)
+	lg.reord.Seed(lg.dyn, reordered, perm)
 	if recovered != nil {
 		// The base graph already contains recovered.batches WAL batches;
 		// resume the mutation history there so new WAL records continue
@@ -438,15 +446,25 @@ func (lg *liveGraph) publish() (*Snapshot, bool, error) {
 		return nil, false, err
 	}
 
+	// A compressed pipeline re-encodes the fresh layout before it goes
+	// live: readers hot-swap between compressed epochs exactly as they do
+	// between plain ones (results stay bit-identical either way).
+	var view graph.View = g
+	var cz *csrz.Graph
+	if lg.backend == backendCompressed {
+		cz = csrz.Encode(g)
+		view = cz
+	}
 	snap := &Snapshot{
 		epoch:          lg.store.nextID.Add(1),
 		name:           lg.name,
-		graph:          g,
+		graph:          view,
 		technique:      lg.techName,
 		degree:         lg.kind,
 		perm:           perm,
 		source:         lg.source,
 		live:           true,
+		cz:             cz,
 		quality:        quality,
 		advised:        lg.advised,
 		adviceReason:   lg.adviceReason,
@@ -456,6 +474,7 @@ func (lg *liveGraph) publish() (*Snapshot, bool, error) {
 		built:          time.Now(),
 		precomputeTime: time.Since(preStart),
 	}
+	snap.finishBackend()
 	if refreshed {
 		snap.reorderTime = viewTime
 	} else {

@@ -132,6 +132,16 @@ type CurrentSnapshotStats struct {
 	Epoch     uint64      `json:"epoch"`
 	Technique string      `json:"technique"`
 	Quality   QualityInfo `json:"quality"`
+	// Backend and the byte gauges describe the serving representation:
+	// resident vs plain adjacency bytes, the .csrz file size behind a
+	// mapped snapshot (0 otherwise), and the realized compression ratio
+	// (1.0 on the plain backend). Always present, whatever the backend,
+	// so capacity dashboards need no existence checks.
+	Backend          string  `json:"backend"`
+	ResidentAdjBytes int64   `json:"resident_adj_bytes"`
+	PlainAdjBytes    int64   `json:"plain_adj_bytes"`
+	DiskBytes        int64   `json:"disk_bytes"`
+	CompressionRatio float64 `json:"compression_ratio"`
 	// HotSetDivergence is the fraction of the observed (touch-ranked) hot
 	// set outside the degree-predicted one — absent until heat telemetry
 	// has seen traffic on this snapshot.
@@ -147,10 +157,15 @@ func snapshotStatsFor(tab *snapTable, st *Store) SnapshotStats {
 	}
 	if cur := tab.current; cur != nil {
 		s.Current = &CurrentSnapshotStats{
-			Name:      cur.name,
-			Epoch:     cur.epoch,
-			Technique: cur.technique,
-			Quality:   qualityInfo(cur.quality),
+			Name:             cur.name,
+			Epoch:            cur.epoch,
+			Technique:        cur.technique,
+			Quality:          qualityInfo(cur.quality),
+			Backend:          cur.backend,
+			ResidentAdjBytes: cur.residentAdjBytes,
+			PlainAdjBytes:    cur.plainAdjBytes,
+			DiskBytes:        cur.onDiskBytes,
+			CompressionRatio: cur.ratio,
 		}
 	}
 	return s

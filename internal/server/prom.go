@@ -104,6 +104,19 @@ func (s *Server) writePromMetrics(w http.ResponseWriter) {
 		p.Sample("graphd_snapshot_packing_utilization", nil, cur.Quality.Utilization)
 		p.Gauge("graphd_snapshot_hub_working_set_bytes", "Cache footprint of blocks holding hot vertices.")
 		p.Sample("graphd_snapshot_hub_working_set_bytes", nil, float64(cur.Quality.HubWorkingSetBytes))
+		// Space accounting of the serving representation — emitted for
+		// every backend (plain reports ratio 1 and disk 0), so a
+		// promcheck -require on these families holds on any deployment.
+		p.Gauge("graphd_snapshot_bytes", "Current snapshot space by kind: resident vs plain adjacency bytes, and the mapped .csrz file size (0 when not file-backed).")
+		backendLabel := obs.Label{Name: "backend", Value: cur.Backend}
+		p.Sample("graphd_snapshot_bytes",
+			[]obs.Label{{Name: "kind", Value: "resident_adjacency"}, backendLabel}, float64(cur.ResidentAdjBytes))
+		p.Sample("graphd_snapshot_bytes",
+			[]obs.Label{{Name: "kind", Value: "plain_adjacency"}, backendLabel}, float64(cur.PlainAdjBytes))
+		p.Sample("graphd_snapshot_bytes",
+			[]obs.Label{{Name: "kind", Value: "disk"}, backendLabel}, float64(cur.DiskBytes))
+		p.Gauge("graphd_snapshot_compression_ratio", "Plain over resident adjacency bytes of the current snapshot (1 = plain backend).")
+		p.Sample("graphd_snapshot_compression_ratio", nil, cur.CompressionRatio)
 	}
 	if div, ok := s.currentHotSetDivergence(); ok {
 		p.Gauge("graphd_hot_set_divergence", "Fraction of the observed hot set outside the degree-predicted one (current snapshot).")

@@ -13,12 +13,26 @@ import (
 	"time"
 
 	"graphreorder"
+	"graphreorder/internal/csrz"
 	"graphreorder/internal/dynamic"
 	"graphreorder/internal/gen"
 	"graphreorder/internal/graph"
 	"graphreorder/internal/obs"
 	"graphreorder/internal/reorder"
 )
+
+// Snapshot backends: the adjacency representation a snapshot serves from.
+const (
+	backendPlain      = "plain"      // dual-CSR uint32 arrays
+	backendCompressed = "compressed" // csrz delta+varint byte streams
+	backendAuto       = "auto"       // compressed iff the layout predicts it pays
+)
+
+// autoCompressMinRatio is the "auto" backend's gate: compress when the
+// layout's predicted out-direction compression ratio clears it. Below
+// this the space win does not buy back the decode overhead on the query
+// path.
+const autoCompressMinRatio = 1.4
 
 // Snapshot is one immutable, named serving unit: a graph in a particular
 // vertex order together with results precomputed at build time. Queries
@@ -28,7 +42,7 @@ import (
 type Snapshot struct {
 	epoch     uint64
 	name      string
-	graph     *graph.Graph
+	graph     graph.View
 	technique string
 	degree    graph.DegreeKind
 	perm      reorder.Permutation // nil when serving the original order
@@ -70,8 +84,75 @@ type Snapshot struct {
 	rebuildTime    time.Duration
 	precomputeTime time.Duration
 
+	// backend is the serving representation ("plain" or "compressed");
+	// cz is the compressed graph when backend is compressed (it and
+	// s.graph are then the same object). The byte fields record the
+	// published representation's space accounting, filled once by
+	// finishBackend before publish.
+	backend          string
+	cz               *csrz.Graph
+	residentAdjBytes int64
+	plainAdjBytes    int64
+	onDiskBytes      int64
+	ratio            float64
+
 	refs    atomic.Int64 // queries currently using this snapshot
 	retired atomic.Bool  // removed from the table; draining until refs hit 0
+	// closeOnce guards the munmap of an OpenFile-loaded compressed
+	// snapshot: exactly one of the retire/release/sweep paths runs it,
+	// and only once the snapshot is retired with no readers left.
+	closeOnce sync.Once
+}
+
+// finishBackend fills the snapshot's backend label and space accounting
+// from its representation. Must be called once, before publish.
+func (s *Snapshot) finishBackend() {
+	if s.cz != nil {
+		cs := s.cz.Stats()
+		s.backend = backendCompressed
+		s.residentAdjBytes = cs.CompressedAdjBytes
+		s.plainAdjBytes = cs.PlainAdjBytes
+		s.onDiskBytes = cs.OnDiskBytes
+		s.ratio = cs.Ratio
+		return
+	}
+	s.backend = backendPlain
+	s.plainAdjBytes = int64(s.graph.NumEdges()) * 4 * 2
+	s.residentAdjBytes = s.plainAdjBytes
+	s.ratio = 1
+}
+
+// mmapBacked reports whether the snapshot's arrays live in a file
+// mapping that retirement will eventually unmap — the one case Acquire
+// must never hand out once the snapshot is retired.
+func (s *Snapshot) mmapBacked() bool { return s.cz != nil && s.cz.MmapBacked() }
+
+// maybeClose releases the mapping behind an mmap-backed snapshot once it
+// is both retired and unreferenced. Every path that can be the last to
+// observe that state calls it (retire with no readers, the final
+// release, the drain sweep); the Once makes the munmap happen exactly
+// once, and heap-backed snapshots make it a no-op.
+func (s *Snapshot) maybeClose() {
+	if s.cz == nil || !s.retired.Load() || s.refs.Load() != 0 {
+		return
+	}
+	s.closeOnce.Do(func() { s.cz.Close() })
+}
+
+// WriteCSRZ exports the snapshot's graph (in its published order) as a
+// .csrz container — the file a later BuildSpec.Path loads back through
+// the codec's zero-copy mapping. A plain-backend snapshot is encoded on
+// the fly; a compressed one writes its existing representation.
+func (s *Snapshot) WriteCSRZ(path string) error {
+	cz := s.cz
+	if cz == nil {
+		pg, ok := s.graph.(*graph.Graph)
+		if !ok {
+			return fmt.Errorf("server: snapshot %q has no encodable graph", s.name)
+		}
+		cz = csrz.Encode(pg)
+	}
+	return cz.WriteFile(path)
 }
 
 // Epoch returns the snapshot's unique, monotonically increasing ID.
@@ -80,8 +161,9 @@ func (s *Snapshot) Epoch() uint64 { return s.epoch }
 // Name returns the snapshot's name.
 func (s *Snapshot) Name() string { return s.name }
 
-// Graph returns the snapshot's (immutable) graph.
-func (s *Snapshot) Graph() *graph.Graph { return s.graph }
+// Graph returns the snapshot's (immutable) graph view — plain dual-CSR
+// or compressed, depending on the backend the snapshot was built with.
+func (s *Snapshot) Graph() graph.View { return s.graph }
 
 // invPerm returns the current->original inverse of the snapshot's
 // permutation, computed once on first use and cached (the snapshot is
@@ -103,22 +185,32 @@ func (s *Snapshot) invPerm() reorder.Permutation {
 
 // SnapshotInfo is the JSON description of a snapshot for admin endpoints.
 type SnapshotInfo struct {
-	Name         string  `json:"name"`
-	Epoch        uint64  `json:"epoch"`
-	Current      bool    `json:"current"`
-	Vertices     int     `json:"vertices"`
-	Edges        int     `json:"edges"`
-	Weighted     bool    `json:"weighted"`
-	Technique    string  `json:"technique"`
-	Degree       string  `json:"degree"`
-	Source       string  `json:"source"`
-	Mutable      bool    `json:"mutable,omitempty"`
-	Built        string  `json:"built"`
-	LoadMs       float64 `json:"load_ms"`
-	ReorderMs    float64 `json:"reorder_ms"`
-	RebuildMs    float64 `json:"rebuild_ms"`
-	PrecomputeMs float64 `json:"precompute_ms"`
-	RankIters    int     `json:"rank_iters"`
+	Name      string `json:"name"`
+	Epoch     uint64 `json:"epoch"`
+	Current   bool   `json:"current"`
+	Vertices  int    `json:"vertices"`
+	Edges     int    `json:"edges"`
+	Weighted  bool   `json:"weighted"`
+	Technique string `json:"technique"`
+	Degree    string `json:"degree"`
+	Source    string `json:"source"`
+	Mutable   bool   `json:"mutable,omitempty"`
+	// Backend is the serving representation ("plain" or "compressed");
+	// the byte fields compare it against the plain 4-bytes-per-edge
+	// adjacency. OnDiskBytes is the .csrz file size when the snapshot is
+	// served straight from a mapping, 0 otherwise; CompressionRatio is
+	// plain over resident adjacency bytes (1.0 on the plain backend).
+	Backend          string  `json:"backend"`
+	ResidentAdjBytes int64   `json:"resident_adj_bytes"`
+	PlainAdjBytes    int64   `json:"plain_adj_bytes"`
+	OnDiskBytes      int64   `json:"on_disk_bytes,omitempty"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	Built            string  `json:"built"`
+	LoadMs           float64 `json:"load_ms"`
+	ReorderMs        float64 `json:"reorder_ms"`
+	RebuildMs        float64 `json:"rebuild_ms"`
+	PrecomputeMs     float64 `json:"precompute_ms"`
+	RankIters        int     `json:"rank_iters"`
 	// Advised is the technique the skew-gated advisor picked when the
 	// snapshot was built with technique "auto"; AdviceReason explains the
 	// verdict.
@@ -166,16 +258,22 @@ func qualityInfo(q reorder.QualityReport) QualityInfo {
 
 func (s *Snapshot) info(current bool) SnapshotInfo {
 	return SnapshotInfo{
-		Name:          s.name,
-		Epoch:         s.epoch,
-		Current:       current,
-		Vertices:      s.graph.NumVertices(),
-		Edges:         s.graph.NumEdges(),
-		Weighted:      s.graph.Weighted(),
-		Technique:     s.technique,
-		Degree:        s.degree.String(),
-		Source:        s.source,
-		Mutable:       s.live,
+		Name:             s.name,
+		Epoch:            s.epoch,
+		Current:          current,
+		Vertices:         s.graph.NumVertices(),
+		Edges:            s.graph.NumEdges(),
+		Weighted:         s.graph.Weighted(),
+		Technique:        s.technique,
+		Degree:           s.degree.String(),
+		Source:           s.source,
+		Mutable:          s.live,
+		Backend:          s.backend,
+		ResidentAdjBytes: s.residentAdjBytes,
+		PlainAdjBytes:    s.plainAdjBytes,
+		OnDiskBytes:      s.onDiskBytes,
+		CompressionRatio: s.ratio,
+
 		Built:         s.built.UTC().Format(time.RFC3339),
 		LoadMs:        float64(s.loadTime.Microseconds()) / 1000,
 		ReorderMs:     float64(s.reorderTime.Microseconds()) / 1000,
@@ -275,28 +373,50 @@ func (st *Store) SetLogger(l *slog.Logger) {
 // blocks: a concurrent swap just means this query finishes on the
 // snapshot it started with.
 func (st *Store) Acquire() (*Snapshot, func()) {
-	return st.acquire(st.tab.Load().current)
+	return st.acquire(func() *Snapshot { return st.tab.Load().current })
 }
 
 // AcquireNamed is Acquire for an explicitly named snapshot.
 func (st *Store) AcquireNamed(name string) (*Snapshot, func()) {
-	return st.acquire(st.tab.Load().byName[name])
+	return st.acquire(func() *Snapshot { return st.tab.Load().byName[name] })
 }
 
-func (st *Store) acquire(s *Snapshot) (*Snapshot, func()) {
-	if s == nil {
-		return nil, nil
+// acquireRetries bounds the mmap back-off loop in acquire. Publish
+// installs a replacement table before retiring the old snapshot, so one
+// reload normally suffices; the bound only guards against pathological
+// swap storms.
+const acquireRetries = 8
+
+func (st *Store) acquire(load func() *Snapshot) (*Snapshot, func()) {
+	for range acquireRetries {
+		s := load()
+		if s == nil {
+			return nil, nil
+		}
+		release := s.retain()
+		// Close the retire/acquire race: a Drop or replace may have
+		// retired s after we loaded the table but before the retain, and
+		// the retirer may have seen refs==0 — the seq-cst ordering of
+		// (Add refs; load retired) here against (store retired; load
+		// refs) there guarantees at least one side sees the other.
+		if !s.retired.Load() {
+			return s, release
+		}
+		if !s.mmapBacked() {
+			// Heap-backed snapshots stay valid for as long as anyone
+			// holds them: just make sure the drain tracking knows about
+			// us (registerDraining deduplicates if the retirer already
+			// did).
+			st.registerDraining(s)
+			return s, release
+		}
+		// Mmap-backed and retired: the retirer may already have seen
+		// refs==0 and unmapped the arrays, and we cannot distinguish
+		// that from a close still pending. Back off — the release may
+		// itself trigger the close — and retry against a fresh table.
+		release()
 	}
-	release := s.retain()
-	// Close the retire/acquire race: if a Drop or replace retired s after
-	// we loaded the table but before the retain, the retirer may have
-	// seen refs==0 and skipped the draining list — register ourselves.
-	// (If the retain preceded the retire, the retirer saw refs>0 and
-	// registered s; registerDraining deduplicates either way.)
-	if s.retired.Load() {
-		st.registerDraining(s)
-	}
-	return s, release
+	return nil, nil
 }
 
 // registerDraining adds a retired-but-referenced snapshot to the
@@ -314,11 +434,19 @@ func (st *Store) registerDraining(s *Snapshot) {
 
 // retain takes an additional reference on the snapshot, for computations
 // that outlive the acquiring request (e.g. a singleflight leader whose
-// waiters have all timed out). The returned release is idempotent.
+// waiters have all timed out). The returned release is idempotent. The
+// last release of a retired snapshot also runs its close step — see
+// maybeClose.
 func (s *Snapshot) retain() func() {
 	s.refs.Add(1)
 	var once sync.Once
-	return func() { once.Do(func() { s.refs.Add(-1) }) }
+	return func() {
+		once.Do(func() {
+			if s.refs.Add(-1) == 0 {
+				s.maybeClose()
+			}
+		})
+	}
 }
 
 // Current returns the current snapshot without taking a reference (for
@@ -408,6 +536,8 @@ func (st *Store) Drop(name string) error {
 	s.retired.Store(true)
 	if s.refs.Load() > 0 {
 		st.draining = append(st.draining, s)
+	} else {
+		s.maybeClose()
 	}
 	st.sweepDrainedLocked()
 	st.dropping[name] = struct{}{}
@@ -437,6 +567,8 @@ func (st *Store) sweepDrainedLocked() {
 	for _, s := range st.draining {
 		if s.refs.Load() > 0 {
 			kept = append(kept, s)
+		} else {
+			s.maybeClose()
 		}
 	}
 	st.draining = kept
@@ -460,6 +592,15 @@ type BuildSpec struct {
 	// Technique is a reordering technique name ("dbg", "sort", ...);
 	// empty or "original" serves the graph as loaded.
 	Technique string `json:"technique,omitempty"`
+	// Backend selects the serving representation: "plain" (dual-CSR
+	// uint32 arrays), "compressed" (csrz delta+varint adjacency —
+	// bit-identical results, a fraction of the resident bytes), or
+	// "auto" (compressed when the layout's predicted compression ratio
+	// clears the gate). Empty means plain, except that a .csrz Path
+	// defaults to compressed — and serves the file's mapping zero-copy
+	// when no reordering or mutation forces a decode. A Technique plan
+	// ending in "|compress" forces the compressed backend.
+	Backend string `json:"backend,omitempty"`
 	// Degree is the degree kind used for reordering: "in" or "out"
 	// (default "out", the paper's choice for pull-dominated apps).
 	Degree string `json:"degree,omitempty"`
@@ -627,7 +768,7 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 		source = recovered.source
 		st.bumpEpochFloor(recovered.epochFloor)
 		loadTime := time.Since(start)
-		return st.buildFrom(spec, status, g, source, kind, loadTime, recovered)
+		return st.buildFrom(spec, status, g, nil, source, kind, loadTime, recovered)
 	}
 	switch {
 	case spec.Dataset != "" && spec.Path != "":
@@ -650,6 +791,21 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 		}
 		source = "dataset:" + spec.Dataset + "/" + scale
 	case spec.Path != "":
+		// A .csrz file (sniffed by magic) loads through the codec's
+		// zero-copy mapping; everything else goes through the text/binary
+		// auto-reader.
+		isCZ, err := isCSRZFile(spec.Path)
+		if err != nil {
+			return nil, err
+		}
+		if isCZ {
+			cz, err := csrz.OpenFile(spec.Path)
+			if err != nil {
+				return nil, err
+			}
+			source = "file:" + spec.Path
+			return st.buildFrom(spec, status, nil, cz, source, kind, time.Since(start), nil)
+		}
 		var f *os.File
 		if f, err = os.Open(spec.Path); err != nil {
 			return nil, err
@@ -663,18 +819,53 @@ func (st *Store) build(spec BuildSpec, status *BuildStatus) (*Snapshot, error) {
 	default:
 		return nil, errors.New("server: build spec needs dataset or path")
 	}
-	return st.buildFrom(spec, status, g, source, kind, time.Since(start), nil)
+	return st.buildFrom(spec, status, g, nil, source, kind, time.Since(start), nil)
 }
 
-// buildFrom runs the reorder/precompute/publish stages on an already
-// loaded (or recovered) graph.
-func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, source string,
-	kind graph.DegreeKind, loadTime time.Duration, recovered *recoveredState) (*Snapshot, error) {
-	// Stage 2: reorder. base keeps the as-loaded order alive for the
-	// mutation pipeline of a mutable snapshot. Technique "auto" consults
-	// the skew-gated advisor, recording its verdict; pipeline specs like
-	// "dbg|gorder" run through the same plan path.
-	base := g
+// isCSRZFile reports whether path starts with the .csrz magic. A file
+// too short to hold the magic is simply "not csrz" — the auto-reader
+// will produce the real error.
+func isCSRZFile(path string) (bool, error) {
+	return csrz.SniffFile(path)
+}
+
+// resolveBackend normalizes a BuildSpec.Backend, defaulting by input
+// form: plain for plain inputs, compressed when the graph arrived as a
+// .csrz file.
+func resolveBackend(spec string, fromCSRZ bool) (string, error) {
+	b := strings.ToLower(strings.TrimSpace(spec))
+	switch b {
+	case "":
+		if fromCSRZ {
+			return backendCompressed, nil
+		}
+		return backendPlain, nil
+	case backendPlain, backendCompressed, backendAuto:
+		return b, nil
+	}
+	return "", fmt.Errorf("server: bad backend %q (want plain|compressed|auto)", spec)
+}
+
+// buildFrom runs the reorder/compress/precompute/publish stages on an
+// already loaded (or recovered) graph. Exactly one of g (plain) and cz
+// (a .csrz load, possibly mmap-backed) is non-nil on entry; cz is served
+// zero-copy when nothing forces the plain form.
+func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, cz *csrz.Graph,
+	source string, kind graph.DegreeKind, loadTime time.Duration, recovered *recoveredState) (*Snapshot, error) {
+	// Any early error must release a load-time mapping; once the snapshot
+	// publishes, its retire path owns the close instead.
+	published := false
+	defer func() {
+		if !published && cz != nil {
+			cz.Close()
+		}
+	}()
+
+	backend, err := resolveBackend(spec.Backend, cz != nil)
+	if err != nil {
+		return nil, err
+	}
+
 	// Normalize like the registry does, so "Auto"/"DBG" hit the same
 	// paths (and display the same) as their lowercase spellings.
 	techName := strings.ToLower(strings.TrimSpace(spec.Technique))
@@ -691,6 +882,40 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 		adviceReason string
 	)
 	plan := reorder.Compose() // identity
+	if techName != "auto" && techName != "original" {
+		p, err := reorder.ParsePlan(techName)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+		tech = p
+	}
+	if plan.Compress() {
+		// A "...|compress" plan makes the backend part of the technique
+		// spec; it overrides whatever the Backend field says.
+		backend = backendCompressed
+	}
+
+	// A .csrz load serves its mapped arrays directly only when nothing
+	// needs the plain form: reordering, the advisor, a mutation pipeline
+	// and the plain backend all decode first.
+	needPlain := len(plan.Stages()) > 0 || techName == "auto" ||
+		spec.Mutable || backend == backendPlain
+	if cz != nil && needPlain {
+		dg, derr := cz.Decode()
+		cz.Close()
+		cz = nil
+		if derr != nil {
+			return nil, derr
+		}
+		g = dg
+	}
+
+	// Stage 2: reorder. base keeps the as-loaded order alive for the
+	// mutation pipeline of a mutable snapshot. Technique "auto" consults
+	// the skew-gated advisor, recording its verdict; pipeline specs like
+	// "dbg|gorder" run through the same plan path.
+	base := g
 	if techName == "auto" {
 		rec := reorder.Advise(g, kind)
 		advised = rec.Spec
@@ -699,13 +924,6 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 		// The mutation pipeline keeps re-advising on refresh, so a live
 		// graph whose skew grows into (or out of) the gate changes plan.
 		tech = reorder.Auto{}
-	} else if techName != "original" {
-		p, err := reorder.ParsePlan(techName)
-		if err != nil {
-			return nil, err
-		}
-		plan = p
-		tech = p
 	}
 	if len(plan.Stages()) > 0 {
 		status.setStage("reordering")
@@ -719,8 +937,43 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 		reorderTime = res.ReorderTime
 		rebuildTime = res.RebuildTime
 		quality = res.Quality
-	} else {
+	} else if g != nil {
 		quality = reorder.Evaluate(g, kind, nil)
+	} else {
+		quality = reorder.Evaluate(cz, kind, nil)
+	}
+
+	// Resolve "auto" now that the published layout's quality is known:
+	// compress exactly when the predicted ratio says the bytes come back.
+	if backend == backendAuto {
+		if quality.PredictedRatio >= autoCompressMinRatio {
+			backend = backendCompressed
+		} else {
+			backend = backendPlain
+		}
+	}
+	// Stage 2b: materialize the serving representation. Encoding runs
+	// after reorder so the codec sees the final layout; the auto-plain
+	// case on a .csrz input is the one late decode.
+	if backend == backendCompressed {
+		if cz == nil {
+			status.setStage("compressing")
+			cz = csrz.Encode(g)
+		}
+	} else if g == nil {
+		dg, derr := cz.Decode()
+		cz.Close()
+		cz = nil
+		if derr != nil {
+			return nil, derr
+		}
+		g = dg
+	}
+	var view graph.View
+	if backend == backendCompressed {
+		view = cz
+	} else {
+		view = g
 	}
 
 	// Stage 3: precompute PageRank once; point rank lookups and top-k
@@ -739,7 +992,7 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 		extRanks bool
 	)
 	if spec.RanksPath != "" {
-		rf, err := readRankFile(spec.RanksPath, g.NumVertices())
+		rf, err := readRankFile(spec.RanksPath, view.NumVertices())
 		if err != nil {
 			return nil, err
 		}
@@ -756,8 +1009,15 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 		}
 		iters, rankSum, extRanks = rf.iters, rf.checksum, true
 	} else {
+		// Precompute on the plain form when it exists (cheapest), on the
+		// compressed view otherwise — the engine's results are
+		// bit-identical across backends either way.
+		var pg graph.View = view
+		if g != nil {
+			pg = g
+		}
 		//lint:allow ctxflow precompute belongs to the build, not to the request that started it
-		run, err := graphreorder.Run(context.Background(), g, graphreorder.AppPR,
+		run, err := graphreorder.Run(context.Background(), pg, graphreorder.AppPR,
 			graphreorder.WithMaxIters(spec.MaxIters), graphreorder.WithWorkers(st.workers))
 		if err != nil {
 			return nil, err
@@ -770,7 +1030,7 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 	snap := &Snapshot{
 		epoch:          st.nextID.Add(1),
 		name:           spec.Name,
-		graph:          g,
+		graph:          view,
 		technique:      techName,
 		degree:         kind,
 		perm:           perm,
@@ -790,6 +1050,10 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 		rebuildTime:    rebuildTime,
 		precomputeTime: precomputeTime,
 	}
+	if backend == backendCompressed {
+		snap.cz = cz
+	}
+	snap.finishBackend()
 	// Retire the name's previous mutation pipeline only now that the
 	// rebuild is certain to publish: a spec or load failure above leaves
 	// the old incarnation fully writable. stopLive waits for the old
@@ -797,11 +1061,13 @@ func (st *Store) buildFrom(spec BuildSpec, status *BuildStatus, g *graph.Graph, 
 	// never after — the rebuilt snapshot's.
 	st.stopLive(spec.Name)
 	if !st.publish(snap, spec.Activate) {
-		// A concurrent Drop owns the name; do not resurrect it.
+		// A concurrent Drop owns the name; do not resurrect it. The
+		// deferred close releases a mapping-backed build.
 		return nil, fmt.Errorf("server: snapshot %q was dropped during the build", spec.Name)
 	}
+	published = true
 	if spec.Mutable {
-		st.registerLive(newLiveGraph(st, spec, base, snap, tech, kind, recovered))
+		st.registerLive(newLiveGraph(st, spec, base, g, snap, tech, kind, recovered))
 	}
 	return snap, nil
 }
@@ -842,6 +1108,8 @@ func (st *Store) publish(snap *Snapshot, activate bool) bool {
 		replaced.retired.Store(true)
 		if replaced.refs.Load() > 0 {
 			st.draining = append(st.draining, replaced)
+		} else {
+			replaced.maybeClose()
 		}
 	}
 	st.sweepDrainedLocked()

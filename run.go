@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"graphreorder/internal/apps"
+	"graphreorder/internal/graph"
 	"graphreorder/internal/ligra"
 	"graphreorder/internal/par"
 )
@@ -219,6 +220,10 @@ func (r *Result) Eccentricities() []int32 {
 // call shape serves one-shot CLI runs, the benchmark harness and the
 // graphd query layer.
 //
+// g is any GraphView: the plain *Graph or a compressed graph
+// (CompressGraph, OpenCSRZ). Results are bit-identical across backends —
+// see the GraphView contract.
+//
 // Cancellation is cooperative and bounded by one traversal round: when
 // ctx is canceled or its deadline passes, the run stops at the next round
 // boundary, releases its frontier back to the pool, and returns ctx.Err().
@@ -228,12 +233,12 @@ func (r *Result) Eccentricities() []int32 {
 // WithTolerance, WithRoot, WithSamples, WithTracer, WithProgress). The
 // default worker count is GOMAXPROCS; WithWorkers(1) pins the
 // deterministic sequential engine.
-func Run(ctx context.Context, g *Graph, app App, opts ...RunOption) (*Result, error) {
+func Run(ctx context.Context, g GraphView, app App, opts ...RunOption) (*Result, error) {
 	start := time.Now()
 	if app.spec.Run == nil {
 		return nil, fmt.Errorf("graphreorder: Run: invalid (zero) App; use the App registry (AppPR, AppByName, ...)")
 	}
-	if g == nil {
+	if graph.IsNilView(g) {
 		return nil, fmt.Errorf("graphreorder: Run %s: nil graph", app.Name())
 	}
 	if ctx == nil {
